@@ -1,0 +1,43 @@
+// Table II of the paper: the molecule dataset — qubits, Pauli-term counts,
+// and complement-graph edge counts per instance, at container scale.
+//
+// Paper shape to reproduce: term counts grow with basis size and atom
+// count; complement graphs are ~50% dense (|E| ≈ |V|^2/2); the small /
+// medium / large classes span roughly three orders of magnitude in edges.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace picasso;
+  bench::print_banner("Table II", "molecule dataset registry");
+
+  util::Table table({"molecule", "class", "qubits", "Pauli terms",
+                     "compl. edges", "density", "gen time"});
+  for (const auto& spec : pauli::all_datasets()) {
+    if (bench::quick_mode() && spec.size_class == pauli::SizeClass::Large) {
+      continue;
+    }
+    util::WallTimer timer;
+    const auto& set = pauli::load_dataset(spec);
+    const double gen_seconds = timer.seconds();
+    bool exact = false;
+    const std::uint64_t edges = bench::complement_edges_estimate(set, &exact);
+    const double n = static_cast<double>(set.size());
+    const double density = n > 1 ? 100.0 * static_cast<double>(edges) /
+                                       (n * (n - 1.0) / 2.0)
+                                 : 0.0;
+    table.add_row({spec.name, to_string(spec.size_class),
+                   util::Table::fmt_int(static_cast<long long>(set.num_qubits())),
+                   util::Table::fmt_int(static_cast<long long>(set.size())),
+                   util::Table::fmt_int(static_cast<long long>(edges)) +
+                       (exact ? "" : "~"),
+                   util::Table::fmt_pct(density, 1),
+                   util::format_duration(gen_seconds)});
+  }
+  table.print("Table II analogue: Hn molecule datasets ('~' = sampled estimate)");
+  std::printf(
+      "\nShape checks vs the paper: ~50%% density throughout; term counts\n"
+      "rise with basis size (sto3g < 631g) and atom count; size classes\n"
+      "span the small/medium/large regimes used by the other benches.\n");
+  return 0;
+}

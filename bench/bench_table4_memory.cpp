@@ -1,0 +1,79 @@
+// Table IV of the paper: maximum resident memory per algorithm on the
+// small dataset.
+//
+// The explicit-graph tools (ColPack / Kokkos-EB / ECL-GC-R) must hold the
+// whole ~50%-dense complement graph in CSR plus their auxiliaries; Picasso
+// holds only the encoded Pauli strings, one iteration's color lists, and
+// the (sparse) conflict CSR. We report logical peak bytes per algorithm
+// (process RSS cannot be reset between algorithms in one process — see
+// DESIGN.md §1) plus the paper's headline ratio ColPack/Picasso-Normal.
+//
+// Paper shape to reproduce: Picasso Normal is smallest everywhere (paper:
+// up to 68x below ColPack); Aggressive trades some of the saving back;
+// Kokkos-EB is the most memory-hungry explicit tool; the ratio grows with
+// instance size.
+
+#include "bench_common.hpp"
+#include "coloring/greedy.hpp"
+#include "coloring/jones_plassmann.hpp"
+#include "coloring/speculative.hpp"
+#include "core/picasso.hpp"
+
+int main() {
+  using namespace picasso;
+  bench::print_banner("Table IV", "peak memory on the small dataset");
+
+  util::Table table({"problem", "|V|", "ColPack*", "Picasso Norm.",
+                     "Picasso Aggr.", "Kokkos-EB*", "ECL-GC-R*",
+                     "ColPack/Norm"});
+
+  util::RunningStats ratios;
+  for (const auto& spec : pauli::datasets_in_class(pauli::SizeClass::Small)) {
+    const auto& set = pauli::load_dataset(spec);
+    const graph::ComplementOracle oracle(set);
+    const std::uint64_t edges = graph::count_edges(oracle);
+    const std::size_t csr = bench::csr_resident_bytes(set.size(), edges);
+
+    // Baseline auxiliaries on top of the resident CSR. Greedy (ColPack):
+    // colors + forbidden array. Speculative (Kokkos-EB): colors + forbidden
+    // + worklists + conflict flags — the edge-based variant also stages the
+    // edge list a second time, which is what made it the hungriest tool in
+    // the paper; we charge the staged copy. JP (ECL-GC): colors +
+    // priorities + wait counters + worklists.
+    const std::size_t n = set.size();
+    const std::size_t colpack = csr + 2 * n * sizeof(std::uint32_t);
+    const std::size_t kokkos = 2 * csr + 6 * n * sizeof(std::uint32_t);
+    const std::size_t eclgc = csr + n * (sizeof(std::uint64_t) + 3 * sizeof(std::uint32_t));
+
+    auto picasso_peak = [&](double percent, double alpha) {
+      core::PicassoParams params;
+      params.palette_percent = percent;
+      params.alpha = alpha;
+      params.seed = 1;
+      const auto r = core::picasso_color_pauli(set, params);
+      // Picasso's working set: encoded input + per-iteration structures.
+      return set.logical_bytes() + r.peak_logical_bytes;
+    };
+    const std::size_t norm = picasso_peak(12.5, 2.0);
+    const std::size_t aggr = picasso_peak(3.0, 30.0);
+
+    const double ratio =
+        static_cast<double>(colpack) / static_cast<double>(norm);
+    ratios.add(ratio);
+    table.add_row({spec.name,
+                   util::Table::fmt_int(static_cast<long long>(n)),
+                   util::Table::fmt_bytes(colpack), util::Table::fmt_bytes(norm),
+                   util::Table::fmt_bytes(aggr), util::Table::fmt_bytes(kokkos),
+                   util::Table::fmt_bytes(eclgc),
+                   util::Table::fmt(ratio, 1) + "x"});
+  }
+  table.print("Table IV analogue: peak logical memory (lower is better)");
+  std::printf(
+      "\n*Explicit-graph tools: resident complement CSR + algorithm\n"
+      " auxiliaries (see source for the accounting). Picasso columns are\n"
+      " measured peaks: encoded input + lists + conflict CSR + buckets.\n"
+      "ColPack/Picasso-Normal ratio: geomean %.1fx, max %.1fx\n"
+      "(paper: 14-68x depending on instance, growing with size).\n",
+      ratios.geomean(), util::max_of(ratios.values()));
+  return 0;
+}

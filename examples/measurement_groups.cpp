@@ -1,0 +1,60 @@
+// Comparing the three Pauli-grouping relations of the quantum-measurement
+// literature (§III of the paper) on one molecule, with the same Picasso
+// machinery — only the adjacency oracle changes:
+//
+//   unitary        : pairwise anticommuting groups (the paper's target;
+//                    compact unitaries via Eq. (1));
+//   general-commute: pairwise commuting groups (simultaneous measurement
+//                    after a basis-change circuit);
+//   qubit-wise     : pairwise qubit-wise-commuting groups (directly
+//                    measurable, no extra circuit — but far fewer pairs
+//                    qualify, so many more groups).
+//
+// Usage: measurement_groups [dataset-name]   (default H4_2D_sto3g)
+
+#include <cstdio>
+#include <string>
+
+#include "core/clique_partition.hpp"
+#include "pauli/datasets.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace picasso;
+
+  const std::string name = argc > 1 ? argv[1] : "H4_2D_sto3g";
+  const auto& spec = pauli::dataset_by_name(name);
+  const pauli::PauliSet& set = pauli::load_dataset(spec);
+  std::printf("%s: %zu Pauli strings on %zu qubits\n", spec.name.c_str(),
+              set.size(), set.num_qubits());
+
+  util::Table table(
+      {"grouping relation", "groups", "compression", "iters", "time"});
+  for (auto mode : {core::GroupingMode::Unitary,
+                    core::GroupingMode::GeneralCommute,
+                    core::GroupingMode::QubitWiseCommute}) {
+    core::PicassoParams params;
+    params.palette_percent = 12.5;
+    params.alpha = 2.0;
+    params.seed = 1;
+    const auto result = core::partition_pauli_strings(set, params, mode);
+    const std::string violation =
+        core::verify_partition(set, result.groups, mode);
+    if (!violation.empty()) {
+      std::printf("INVALID (%s): %s\n", to_string(mode), violation.c_str());
+      return 1;
+    }
+    table.add_row({to_string(mode),
+                   util::Table::fmt_int(static_cast<long long>(result.num_groups())),
+                   util::Table::fmt(result.compression_ratio(), 2) + "x",
+                   util::Table::fmt_int(static_cast<long long>(
+                       result.coloring.iterations.size())),
+                   util::format_duration(result.coloring.total_seconds)});
+  }
+  table.print("grouping " + spec.name + " under the three relations");
+  std::printf(
+      "\nAll three partitions verified against their own relation. The\n"
+      "ordering (QWC most groups, the clique-partition relations far\n"
+      "fewer) mirrors the measurement-cost hierarchy in the literature.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The §VI machine-learning workflow end to end:
+//
+//   1. sweep (P', alpha) on several training molecules,
+//   2. pick per-beta optima of the bi-objective (Eq. 7),
+//   3. train the random-forest predictor,
+//   4. predict parameters for a held-out molecule and run Picasso with
+//      them, comparing against the default configuration.
+//
+// Usage: parameter_prediction [beta]   (default beta = 0.5)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/picasso.hpp"
+#include "graph/oracles.hpp"
+#include "ml/predictor.hpp"
+#include "pauli/datasets.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace picasso;
+
+  const double beta = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const std::vector<double> betas{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  // Reduced grids keep this demo snappy; bench_ml_predictor runs the full
+  // paper grid.
+  const std::vector<double> percents{2.5, 5.0, 10.0, 15.0, 20.0};
+  const std::vector<double> alphas{1.0, 2.0, 3.0, 4.5};
+
+  const char* train_names[] = {"H4_1D_sto3g", "H4_2D_sto3g", "H4_3D_sto3g",
+                               "H6_1D_sto3g"};
+  const char* test_name = "H6_3D_sto3g";
+
+  std::vector<ml::TrainingSample> samples;
+  for (const char* name : train_names) {
+    const auto& set = pauli::load_dataset(pauli::dataset_by_name(name));
+    const graph::ComplementOracle oracle(set);
+    const std::uint64_t edges = graph::count_edges(oracle);
+    std::printf("sweeping %-12s (|V|=%zu, |E|=%llu)...\n", name, set.size(),
+                static_cast<unsigned long long>(edges));
+    const auto batch =
+        ml::build_training_samples(set, edges, betas, percents, alphas);
+    samples.insert(samples.end(), batch.begin(), batch.end());
+  }
+  std::printf("training random forest on %zu samples...\n\n", samples.size());
+  ml::ParameterPredictor predictor(ml::ModelKind::RandomForest);
+  predictor.fit(samples, {.num_trees = 100, .tree = {.max_depth = 20}});
+
+  const auto& test_set = pauli::load_dataset(pauli::dataset_by_name(test_name));
+  const graph::ComplementOracle oracle(test_set);
+  const std::uint64_t test_edges = graph::count_edges(oracle);
+  const auto predicted = predictor.predict(beta, test_set.size(), test_edges);
+  std::printf("held-out %s at beta=%.2f -> predicted P'=%.2f%%, alpha=%.2f\n",
+              test_name, beta, predicted.palette_percent, predicted.alpha);
+
+  util::Table table({"config", "P'(%)", "alpha", "colors", "max |Ec|", "time"});
+  for (auto [label, percent, alpha] :
+       {std::tuple{"default", 12.5, 2.0},
+        std::tuple{"predicted", predicted.palette_percent, predicted.alpha}}) {
+    core::PicassoParams params;
+    params.palette_percent = percent;
+    params.alpha = alpha;
+    const auto r = core::picasso_color_pauli(test_set, params);
+    table.add_row({label, util::Table::fmt(percent, 2),
+                   util::Table::fmt(alpha, 2),
+                   util::Table::fmt_int(r.num_colors),
+                   util::Table::fmt_int(static_cast<long long>(r.max_conflict_edges)),
+                   util::format_duration(r.total_seconds)});
+  }
+  table.print("default vs ML-predicted parameters on " + std::string(test_name));
+  std::printf(
+      "\nbeta near 1 favours fewer colors; beta near 0 favours fewer\n"
+      "conflict edges (lower memory/time). Adjust the first argument.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// End-to-end quantum-computing workflow (the paper's motivating
+// application, §I-II):
+//
+//   Hn molecule geometry -> synthetic integrals -> second-quantised
+//   Hamiltonian (+ CC-doubles ansatz) -> Jordan-Wigner -> Pauli strings ->
+//   Picasso coloring of the complement graph -> compact unitary partition.
+//
+// Usage: pauli_grouping [dataset-name]
+//   e.g. pauli_grouping H6_2D_sto3g     (default)
+//        pauli_grouping H4_2D_631g
+// Known names are the Table II-style registry entries; run with an unknown
+// name to get the list.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "core/clique_partition.hpp"
+#include "pauli/datasets.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace picasso;
+
+  const std::string name = argc > 1 ? argv[1] : "H6_2D_sto3g";
+  const pauli::DatasetSpec* spec = nullptr;
+  try {
+    spec = &pauli::dataset_by_name(name);
+  } catch (const std::exception&) {
+    std::printf("unknown dataset '%s'; available:\n", name.c_str());
+    for (const auto& d : pauli::all_datasets()) {
+      std::printf("  %-16s (%s)\n", d.name.c_str(), to_string(d.size_class));
+    }
+    return 1;
+  }
+
+  std::printf("generating %s (%d H atoms, %s lattice, %s basis)...\n",
+              spec->name.c_str(), spec->molecule.num_atoms,
+              to_string(spec->molecule.geometry),
+              to_string(spec->molecule.basis));
+  const pauli::PauliSet& set = pauli::load_dataset(*spec);
+  std::printf("  %zu Pauli strings on %zu qubits (%.2f MB encoded)\n\n",
+              set.size(), set.num_qubits(),
+              static_cast<double>(set.logical_bytes()) / (1 << 20));
+
+  util::Table table({"config", "P'(%)", "alpha", "colors", "C/|V|", "iters",
+                     "max |Ec|", "time"});
+  struct Config {
+    const char* label;
+    double percent, alpha;
+  };
+  for (const Config& cfg : {Config{"normal", 12.5, 2.0},
+                            Config{"aggressive", 3.0, 30.0}}) {
+    core::PicassoParams params;
+    params.palette_percent = cfg.percent;
+    params.alpha = cfg.alpha;
+    params.seed = 1;
+    const core::PartitionResult result =
+        core::partition_pauli_strings(set, params);
+    const std::string violation = core::verify_partition(set, result.groups);
+    if (!violation.empty()) {
+      std::printf("INVALID PARTITION: %s\n", violation.c_str());
+      return 1;
+    }
+    table.add_row({cfg.label, util::Table::fmt(cfg.percent, 1),
+                   util::Table::fmt(cfg.alpha, 1),
+                   util::Table::fmt_int(result.coloring.num_colors),
+                   util::Table::fmt_pct(result.coloring.color_percent(), 1),
+                   util::Table::fmt_int(
+                       static_cast<long long>(result.coloring.iterations.size())),
+                   util::Table::fmt_int(
+                       static_cast<long long>(result.coloring.max_conflict_edges)),
+                   util::format_duration(result.coloring.total_seconds)});
+  }
+  table.print("unitary partitioning of " + spec->name);
+
+  std::printf(
+      "\nBoth configurations verified: every group is pairwise\n"
+      "anticommuting, so each maps to one unitary in Eq. (1) of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,272 @@
+// picasso_cli — command-line front end for the library.
+//
+// Subcommands:
+//   list                               registered datasets
+//   info <dataset>                     dataset statistics
+//   partition <dataset> [options]      group Pauli strings into unitaries
+//   color --file <edgelist> [options]  color an arbitrary graph
+//   sweep <dataset> [options]          (P', alpha) grid sweep, CSV output
+//
+// Common options:
+//   --percent P     palette percent P' (default 12.5)
+//   --alpha A       list-size multiplier (default 2.0)
+//   --seed S        RNG seed (default 1)
+//   --mode M        partition relation: unitary | commute | qwc
+//   --stream        color: re-read the file per pass (semi-streaming mode)
+//   --refine        apply iterated-greedy refinement to the result
+//   --csv           machine-readable output where supported
+//
+// Examples:
+//   picasso_cli partition H6_2D_sto3g --percent 3 --alpha 30
+//   picasso_cli color --file graph.el --stream
+//   picasso_cli sweep H4_1D_sto3g --csv > sweep.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "coloring/refine.hpp"
+#include "coloring/verify.hpp"
+#include "core/clique_partition.hpp"
+#include "core/streaming.hpp"
+#include "graph/graph_io.hpp"
+#include "ml/sweep.hpp"
+#include "pauli/datasets.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace picasso;
+
+struct CliOptions {
+  std::string command;
+  std::string target;  // dataset name or (with --file) a path
+  std::string file;
+  double percent = 12.5;
+  double alpha = 2.0;
+  std::uint64_t seed = 1;
+  core::GroupingMode mode = core::GroupingMode::Unitary;
+  bool stream = false;
+  bool refine = false;
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <list|info|partition|color|sweep> [target] "
+               "[--percent P] [--alpha A] [--seed S] [--mode unitary|commute|qwc] "
+               "[--file path] [--stream] [--refine] [--csv]\n",
+               argv0);
+  std::exit(2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  CliOptions opt;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--percent") {
+      opt.percent = std::atof(next("--percent"));
+    } else if (arg == "--alpha") {
+      opt.alpha = std::atof(next("--alpha"));
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--file") {
+      opt.file = next("--file");
+    } else if (arg == "--mode") {
+      const std::string m = next("--mode");
+      if (m == "unitary") {
+        opt.mode = core::GroupingMode::Unitary;
+      } else if (m == "commute") {
+        opt.mode = core::GroupingMode::GeneralCommute;
+      } else if (m == "qwc") {
+        opt.mode = core::GroupingMode::QubitWiseCommute;
+      } else {
+        std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--stream") {
+      opt.stream = true;
+    } else if (arg == "--refine") {
+      opt.refine = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (!arg.empty() && arg[0] != '-' && opt.target.empty()) {
+      opt.target = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+core::PicassoParams params_from(const CliOptions& opt) {
+  core::PicassoParams params;
+  params.palette_percent = opt.percent;
+  params.alpha = opt.alpha;
+  params.seed = opt.seed;
+  return params;
+}
+
+int cmd_list() {
+  util::Table table({"name", "class", "qubits", "atoms", "geometry", "basis"});
+  for (const auto& d : pauli::all_datasets()) {
+    table.add_row({d.name, to_string(d.size_class),
+                   util::Table::fmt_int(2 * d.molecule.num_atoms *
+                                        static_cast<int>(d.molecule.basis)),
+                   util::Table::fmt_int(d.molecule.num_atoms),
+                   to_string(d.molecule.geometry), to_string(d.molecule.basis)});
+  }
+  table.print("registered datasets");
+  return 0;
+}
+
+int cmd_info(const CliOptions& opt) {
+  const auto& spec = pauli::dataset_by_name(opt.target);
+  const auto& set = pauli::load_dataset(spec);
+  std::printf("dataset      : %s (%s)\n", spec.name.c_str(),
+              to_string(spec.size_class));
+  std::printf("qubits       : %zu\n", set.num_qubits());
+  std::printf("Pauli strings: %zu\n", set.size());
+  std::printf("encoded size : %.2f MB\n",
+              static_cast<double>(set.logical_bytes()) / (1 << 20));
+  if (set.size() <= 20000) {
+    const graph::ComplementOracle oracle(set);
+    const auto edges = graph::count_edges(oracle);
+    std::printf("compl. edges : %llu (%.1f%% dense)\n",
+                static_cast<unsigned long long>(edges),
+                200.0 * static_cast<double>(edges) /
+                    (static_cast<double>(set.size()) *
+                     static_cast<double>(set.size() - 1)));
+  }
+  return 0;
+}
+
+int cmd_partition(const CliOptions& opt) {
+  const auto& spec = pauli::dataset_by_name(opt.target);
+  const auto& set = pauli::load_dataset(spec);
+  const auto result =
+      core::partition_pauli_strings(set, params_from(opt), opt.mode);
+  const std::string violation =
+      core::verify_partition(set, result.groups, opt.mode);
+  if (!violation.empty()) {
+    std::fprintf(stderr, "INVALID PARTITION: %s\n", violation.c_str());
+    return 1;
+  }
+  if (opt.csv) {
+    std::printf("group,member,string,coefficient\n");
+    for (std::size_t g = 0; g < result.groups.size(); ++g) {
+      for (std::uint32_t m : result.groups[g].members) {
+        std::printf("%zu,%u,%s,%.12g\n", g, m,
+                    set.string(m).to_string().c_str(), set.coefficient(m));
+      }
+    }
+    return 0;
+  }
+  std::printf("%s under %s: %zu strings -> %zu groups (%.2fx), "
+              "%zu iterations, %llu max conflict edges, %s\n",
+              spec.name.c_str(), to_string(opt.mode), set.size(),
+              result.num_groups(), result.compression_ratio(),
+              result.coloring.iterations.size(),
+              static_cast<unsigned long long>(result.coloring.max_conflict_edges),
+              util::format_duration(result.coloring.total_seconds).c_str());
+  return 0;
+}
+
+int cmd_color(const CliOptions& opt) {
+  if (opt.file.empty()) {
+    std::fprintf(stderr, "color requires --file <edgelist>\n");
+    return 2;
+  }
+  core::PicassoParams params = params_from(opt);
+  core::PicassoResult result;
+  if (opt.stream) {
+    const core::FileEdgeStream stream(opt.file);
+    result = core::picasso_color_stream(stream.num_vertices(), stream, params);
+    const auto g = graph::read_edge_list_file(opt.file);  // verification only
+    if (!coloring::is_valid_coloring(g, result.colors)) {
+      std::fprintf(stderr, "INVALID COLORING\n");
+      return 1;
+    }
+  } else {
+    auto g = graph::read_edge_list_file(opt.file);
+    result = core::picasso_color_csr(g, params);
+    if (opt.refine) {
+      const auto refined = coloring::iterated_greedy_refine(g, result.colors);
+      result.num_colors = refined.colors_after;
+    }
+    if (!coloring::is_valid_coloring(g, result.colors)) {
+      std::fprintf(stderr, "INVALID COLORING\n");
+      return 1;
+    }
+  }
+  if (opt.csv) {
+    std::printf("vertex,color\n");
+    for (std::uint32_t v = 0; v < result.colors.size(); ++v) {
+      std::printf("%u,%u\n", v, result.colors[v]);
+    }
+    return 0;
+  }
+  std::printf("%s: %zu vertices colored with %u colors in %zu iterations "
+              "(%s)%s\n",
+              opt.file.c_str(), result.colors.size(), result.num_colors,
+              result.iterations.size(),
+              util::format_duration(result.total_seconds).c_str(),
+              opt.stream ? " [streaming]" : "");
+  return 0;
+}
+
+int cmd_sweep(const CliOptions& opt) {
+  const auto& spec = pauli::dataset_by_name(opt.target);
+  const auto& set = pauli::load_dataset(spec);
+  const auto sweep = ml::parameter_sweep(set, ml::default_percent_grid(),
+                                         ml::default_alpha_grid(),
+                                         params_from(opt));
+  if (opt.csv) {
+    std::printf("percent,alpha,colors,max_conflict_edges,seconds\n");
+    for (const auto& p : sweep) {
+      std::printf("%.2f,%.2f,%u,%llu,%.4f\n", p.palette_percent, p.alpha,
+                  p.colors, static_cast<unsigned long long>(p.max_conflict_edges),
+                  p.seconds);
+    }
+    return 0;
+  }
+  util::Table table({"P'(%)", "alpha", "colors", "max |Ec|", "time"});
+  for (const auto& p : sweep) {
+    table.add_row({util::Table::fmt(p.palette_percent, 1),
+                   util::Table::fmt(p.alpha, 1), util::Table::fmt_int(p.colors),
+                   util::Table::fmt_int(static_cast<long long>(p.max_conflict_edges)),
+                   util::format_duration(p.seconds)});
+  }
+  table.print("sweep of " + spec.name);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions opt = parse_args(argc, argv);
+    if (opt.command == "list") return cmd_list();
+    if (opt.command == "info") return cmd_info(opt);
+    if (opt.command == "partition") return cmd_partition(opt);
+    if (opt.command == "color") return cmd_color(opt);
+    if (opt.command == "sweep") return cmd_sweep(opt);
+    usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,36 @@
+#pragma once
+// Uniform neighbor iteration over the two explicit graph representations
+// (CSR and dense bitset), so every baseline colorer is written once.
+
+#include <concepts>
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/dense_graph.hpp"
+
+namespace picasso::coloring {
+
+using graph::VertexId;
+
+/// Sentinel for "not colored".
+inline constexpr std::uint32_t kNoColor = 0xffffffffu;
+
+template <typename Fn>
+void for_each_neighbor(const graph::CsrGraph& g, VertexId v, Fn&& fn) {
+  for (VertexId u : g.neighbors(v)) fn(u);
+}
+
+template <typename Fn>
+void for_each_neighbor(const graph::DenseGraph& g, VertexId v, Fn&& fn) {
+  g.for_each_neighbor(v, fn);
+}
+
+template <typename G>
+concept ColorableGraph = requires(const G& g, VertexId v) {
+  { g.num_vertices() } -> std::convertible_to<VertexId>;
+  { g.degree(v) } -> std::convertible_to<std::uint64_t>;
+  { g.max_degree() } -> std::convertible_to<VertexId>;
+  for_each_neighbor(g, v, [](VertexId) {});
+};
+
+}  // namespace picasso::coloring

@@ -1,0 +1,19 @@
+#include "coloring/greedy.hpp"
+
+// Explicit instantiations for the two explicit graph representations keep
+// template code out of every consumer translation unit.
+
+namespace picasso::coloring {
+
+template ColoringResult greedy_color<graph::CsrGraph>(const graph::CsrGraph&,
+                                                      OrderingKind,
+                                                      std::uint64_t);
+template ColoringResult greedy_color<graph::DenseGraph>(
+    const graph::DenseGraph&, OrderingKind, std::uint64_t);
+
+template ColoringResult greedy_color_in_order<graph::CsrGraph>(
+    const graph::CsrGraph&, const std::vector<VertexId>&);
+template ColoringResult greedy_color_in_order<graph::DenseGraph>(
+    const graph::DenseGraph&, const std::vector<VertexId>&);
+
+}  // namespace picasso::coloring

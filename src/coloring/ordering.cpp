@@ -1,0 +1,46 @@
+#include "coloring/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace picasso::coloring {
+
+const char* to_string(OrderingKind k) noexcept {
+  switch (k) {
+    case OrderingKind::Natural: return "Natural";
+    case OrderingKind::Random: return "Random";
+    case OrderingKind::LargestFirst: return "LF";
+    case OrderingKind::SmallestLast: return "SL";
+    case OrderingKind::DynamicLargestFirst: return "DLF";
+    case OrderingKind::IncidenceDegree: return "ID";
+  }
+  return "?";
+}
+
+std::vector<VertexId> natural_order(VertexId n) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return order;
+}
+
+std::vector<VertexId> random_order(VertexId n, std::uint64_t seed) {
+  std::vector<VertexId> order = natural_order(n);
+  util::Xoshiro256 rng(seed);
+  util::shuffle(order, rng);
+  return order;
+}
+
+std::vector<VertexId> largest_first_order(
+    const std::vector<std::uint64_t>& degrees) {
+  std::vector<VertexId> order(degrees.size());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return degrees[a] > degrees[b];
+  });
+  return order;
+}
+
+// smallest_last_order is a template (header); the dynamic orders live in
+// greedy.hpp where selection and coloring interleave.
+
+}  // namespace picasso::coloring

@@ -1,0 +1,72 @@
+#pragma once
+// Vertex orderings for greedy coloring (§III; the ColPack columns of
+// Table III): Natural, Random, Largest-degree First (LF), Smallest-degree
+// Last (SL). The dynamic orders (DLF, ID) interleave vertex selection with
+// coloring and live in greedy.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coloring/adapters.hpp"
+#include "util/bucket_queue.hpp"
+#include "util/rng.hpp"
+
+namespace picasso::coloring {
+
+enum class OrderingKind {
+  Natural,         // vertex id order
+  Random,          // uniform permutation
+  LargestFirst,    // static degree, descending (LF)
+  SmallestLast,    // SL: peel min-degree vertices, color in reverse
+  DynamicLargestFirst,  // DLF: max degree among uncolored, dynamic
+  IncidenceDegree,      // ID: max colored-neighbor count, dynamic
+};
+
+const char* to_string(OrderingKind k) noexcept;
+
+/// True for orderings that must be interleaved with coloring.
+constexpr bool is_dynamic(OrderingKind k) noexcept {
+  return k == OrderingKind::DynamicLargestFirst ||
+         k == OrderingKind::IncidenceDegree;
+}
+
+/// Identity permutation.
+std::vector<VertexId> natural_order(VertexId n);
+
+/// Uniform random permutation.
+std::vector<VertexId> random_order(VertexId n, std::uint64_t seed);
+
+/// Sorted by degree descending; ties by vertex id (deterministic).
+std::vector<VertexId> largest_first_order(const std::vector<std::uint64_t>& degrees);
+
+/// Smallest-degree-last: repeatedly peel a vertex of minimum remaining
+/// degree; the coloring order is the reverse of the peeling order. This is
+/// the classic Matula-Beck order; it colors with at most degeneracy+1 colors.
+template <ColorableGraph G>
+std::vector<VertexId> smallest_last_order(const G& g) {
+  const VertexId n = g.num_vertices();
+  util::BucketQueue queue(n, g.max_degree());
+  std::vector<std::uint32_t> remaining_degree(n);
+  for (VertexId v = 0; v < n; ++v) {
+    remaining_degree[v] = static_cast<std::uint32_t>(g.degree(v));
+    queue.insert(v, remaining_degree[v]);
+  }
+  std::vector<VertexId> peel_order;
+  peel_order.reserve(n);
+  while (!queue.empty()) {
+    const std::uint32_t key = queue.min_key();
+    const VertexId v = queue.any_in_bucket(key);
+    queue.erase(v);
+    peel_order.push_back(v);
+    for_each_neighbor(g, v, [&](VertexId u) {
+      if (queue.contains(u)) {
+        queue.update_key(u, --remaining_degree[u]);
+      }
+    });
+  }
+  std::vector<VertexId> order(peel_order.rbegin(), peel_order.rend());
+  return order;
+}
+
+}  // namespace picasso::coloring

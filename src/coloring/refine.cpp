@@ -1,0 +1,71 @@
+#include "coloring/refine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace picasso::coloring {
+
+const char* to_string(RefineOrder order) noexcept {
+  switch (order) {
+    case RefineOrder::ReverseClasses: return "reverse-classes";
+    case RefineOrder::LargestFirst: return "largest-first";
+    case RefineOrder::RandomClasses: return "random-classes";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::vector<VertexId> class_grouped_order(
+    const std::vector<std::uint32_t>& colors, RefineOrder order, int round,
+    util::Xoshiro256& rng) {
+  // Dense class ids in increasing color-value order.
+  std::vector<std::uint32_t> distinct(colors.begin(), colors.end());
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+
+  auto class_of = [&distinct](std::uint32_t color) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), color) -
+        distinct.begin());
+  };
+
+  // Class sizes for the LargestFirst policy.
+  std::vector<std::uint32_t> class_size(distinct.size(), 0);
+  for (std::uint32_t c : colors) ++class_size[class_of(c)];
+
+  std::vector<std::uint32_t> class_order(distinct.size());
+  std::iota(class_order.begin(), class_order.end(), 0u);
+  switch (order) {
+    case RefineOrder::ReverseClasses:
+      if (round % 2 == 0) {
+        std::reverse(class_order.begin(), class_order.end());
+      }
+      break;
+    case RefineOrder::LargestFirst:
+      std::stable_sort(class_order.begin(), class_order.end(),
+                       [&class_size](std::uint32_t a, std::uint32_t b) {
+                         return class_size[a] > class_size[b];
+                       });
+      break;
+    case RefineOrder::RandomClasses:
+      util::shuffle(class_order, rng);
+      break;
+  }
+  std::vector<std::uint32_t> rank(distinct.size());
+  for (std::uint32_t r = 0; r < class_order.size(); ++r) {
+    rank[class_order[r]] = r;
+  }
+
+  std::vector<VertexId> visit(colors.size());
+  std::iota(visit.begin(), visit.end(), VertexId{0});
+  std::stable_sort(visit.begin(), visit.end(),
+                   [&](VertexId a, VertexId b) {
+                     return rank[class_of(colors[a])] <
+                            rank[class_of(colors[b])];
+                   });
+  return visit;
+}
+
+}  // namespace detail
+}  // namespace picasso::coloring

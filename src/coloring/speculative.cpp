@@ -1,0 +1,10 @@
+#include "coloring/speculative.hpp"
+
+namespace picasso::coloring {
+
+template ColoringResult speculative_color<graph::CsrGraph>(
+    const graph::CsrGraph&, int);
+template ColoringResult speculative_color<graph::DenseGraph>(
+    const graph::DenseGraph&, int);
+
+}  // namespace picasso::coloring

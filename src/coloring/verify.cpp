@@ -1,0 +1,28 @@
+#include "coloring/verify.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace picasso::coloring {
+
+std::uint32_t count_colors(std::span<const std::uint32_t> colors) {
+  std::vector<std::uint32_t> used(colors.begin(), colors.end());
+  used.erase(std::remove(used.begin(), used.end(), kNoColor), used.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return static_cast<std::uint32_t>(used.size());
+}
+
+std::vector<std::uint32_t> color_class_sizes(
+    std::span<const std::uint32_t> colors) {
+  std::map<std::uint32_t, std::uint32_t> histogram;
+  for (std::uint32_t c : colors) {
+    if (c != kNoColor) ++histogram[c];
+  }
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(histogram.size());
+  for (const auto& [color, count] : histogram) sizes.push_back(count);
+  return sizes;
+}
+
+}  // namespace picasso::coloring

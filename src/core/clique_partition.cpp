@@ -1,0 +1,116 @@
+#include "core/clique_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace picasso::core {
+
+const char* to_string(GroupingMode m) noexcept {
+  switch (m) {
+    case GroupingMode::Unitary: return "unitary (anticommute)";
+    case GroupingMode::GeneralCommute: return "general-commute";
+    case GroupingMode::QubitWiseCommute: return "qubit-wise-commute";
+  }
+  return "?";
+}
+
+bool pair_satisfies(const pauli::PauliSet& set, GroupingMode mode,
+                    std::uint32_t a, std::uint32_t b) {
+  switch (mode) {
+    case GroupingMode::Unitary:
+      return set.anticommute(a, b);
+    case GroupingMode::GeneralCommute:
+      return !set.anticommute(a, b);
+    case GroupingMode::QubitWiseCommute:
+      return set.qubit_wise_commute(a, b);
+  }
+  return false;
+}
+
+std::vector<UnitaryGroup> groups_from_coloring(
+    const pauli::PauliSet& set, const std::vector<std::uint32_t>& colors) {
+  std::map<std::uint32_t, UnitaryGroup> by_color;
+  for (std::uint32_t v = 0; v < colors.size(); ++v) {
+    by_color[colors[v]].members.push_back(v);
+  }
+  std::vector<UnitaryGroup> groups;
+  groups.reserve(by_color.size());
+  for (auto& [color, group] : by_color) {
+    double norm_sq = 0.0;
+    for (std::uint32_t v : group.members) {
+      const double p = set.coefficient(v);
+      norm_sq += p * p;
+    }
+    group.coefficient_norm = std::sqrt(norm_sq);
+    groups.push_back(std::move(group));
+  }
+  // Deterministic order: by smallest member id.
+  std::sort(groups.begin(), groups.end(),
+            [](const UnitaryGroup& a, const UnitaryGroup& b) {
+              return a.members.front() < b.members.front();
+            });
+  return groups;
+}
+
+PartitionResult partition_pauli_strings(const pauli::PauliSet& set,
+                                        const PicassoParams& params,
+                                        GroupingMode mode) {
+  PartitionResult result;
+  switch (mode) {
+    case GroupingMode::Unitary:
+      result.coloring = picasso_color_pauli(set, params);
+      break;
+    case GroupingMode::GeneralCommute: {
+      // The coloring graph of commute-cliques is the anticommute graph.
+      const graph::AnticommuteOracle oracle(set);
+      result.coloring = picasso_color(oracle, params);
+      break;
+    }
+    case GroupingMode::QubitWiseCommute: {
+      const graph::QwcComplementOracle oracle(set);
+      result.coloring = picasso_color(oracle, params);
+      break;
+    }
+  }
+  result.groups = groups_from_coloring(set, result.coloring.colors);
+  return result;
+}
+
+std::string verify_partition(const pauli::PauliSet& set,
+                             const std::vector<UnitaryGroup>& groups,
+                             GroupingMode mode) {
+  std::vector<char> seen(set.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& members = groups[g].members;
+    if (members.empty()) {
+      return "group " + std::to_string(g) + " is empty";
+    }
+    for (std::uint32_t v : members) {
+      if (v >= set.size()) {
+        return "group " + std::to_string(g) + " has out-of-range member";
+      }
+      if (seen[v]) {
+        return "vertex " + std::to_string(v) + " appears in two groups";
+      }
+      seen[v] = 1;
+    }
+    // Clique check in the anticommutation graph: singletons always valid.
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (!pair_satisfies(set, mode, members[i], members[j])) {
+          return "group " + std::to_string(g) + ": strings " +
+                 std::to_string(members[i]) + " and " +
+                 std::to_string(members[j]) + " violate " +
+                 std::string(to_string(mode));
+        }
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < set.size(); ++v) {
+    if (!seen[v]) return "vertex " + std::to_string(v) + " not covered";
+  }
+  return {};
+}
+
+}  // namespace picasso::core

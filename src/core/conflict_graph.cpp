@@ -1,0 +1,38 @@
+#include "core/conflict_graph.hpp"
+
+namespace picasso::core {
+
+const char* to_string(ConflictKernel k) noexcept {
+  switch (k) {
+    case ConflictKernel::Reference: return "reference";
+    case ConflictKernel::Indexed: return "indexed";
+    case ConflictKernel::Auto: return "auto";
+  }
+  return "?";
+}
+
+namespace detail {
+
+ColorIndex build_color_index(const ColorLists& lists,
+                             std::uint32_t palette_size) {
+  const std::uint32_t n = lists.num_vertices();
+  const std::uint32_t l = lists.list_size();
+  ColorIndex index;
+  index.offsets.assign(palette_size + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t c : lists.list(v)) ++index.offsets[c + 1];
+  }
+  for (std::uint32_t c = 0; c < palette_size; ++c) {
+    index.offsets[c + 1] += index.offsets[c];
+  }
+  index.members.resize(static_cast<std::size_t>(n) * l);
+  std::vector<std::uint32_t> cursor(index.offsets.begin(),
+                                    index.offsets.end() - 1);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t c : lists.list(v)) index.members[cursor[c]++] = v;
+  }
+  return index;
+}
+
+}  // namespace detail
+}  // namespace picasso::core

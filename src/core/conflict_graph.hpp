@@ -1,0 +1,218 @@
+#pragma once
+// Conflict-graph construction (Algorithm 1, Line 7; §IV-A; §V).
+//
+// An edge {u, v} of the (implicit) graph is *conflicted* when the two color
+// lists intersect. Only conflicted edges are ever materialised — this is the
+// entire memory story of the paper: the conflict graph is expected to be
+// O(n log^3 n) edges (Lemma 2) while the input graph has Θ(n^2).
+//
+// Two kernels produce identical edge sets:
+//  * Reference: scan all n(n-1)/2 pairs, check list intersection then the
+//    oracle. This mirrors the paper's GPU kernel (one thread per pair) and
+//    the character-comparison CPU baseline of Table V.
+//  * Indexed: invert the lists into a color -> vertices index; only pairs
+//    sharing at least one color are examined, each exactly once (at its
+//    smallest shared color). Expected work Σ_c |S_c|^2 (L + oracle) — the
+//    optimised path that stands in for the paper's accelerated build.
+//
+// Either kernel can route its output through the simulated device pipeline
+// of Algorithm 3 (device/device_conflict.hpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/palette.hpp"
+#include "device/device_conflict.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/oracles.hpp"
+#include "util/timer.hpp"
+
+namespace picasso::core {
+
+enum class ConflictKernel {
+  Reference,  // all-pairs (GPU-kernel mirror / unencoded CPU baseline)
+  Indexed,    // color-inverted-index fast path
+  Auto,       // Indexed when lists are sparse in the palette, else Reference
+};
+
+/// Cost model for Auto: the indexed kernel examines ~n^2 L^2 / (2P) pair
+/// slots, the reference kernel n^2/2 — the index only pays off while
+/// L^2 < P. In the aggressive regime (L ~ P) every vertex sits in every
+/// color bucket and the index degenerates, so Auto falls back to the
+/// all-pairs scan there.
+constexpr ConflictKernel resolve_kernel(ConflictKernel kernel,
+                                        std::uint32_t palette_size,
+                                        std::uint32_t list_size) noexcept {
+  if (kernel != ConflictKernel::Auto) return kernel;
+  const std::uint64_t l2 =
+      static_cast<std::uint64_t>(list_size) * list_size;
+  return l2 >= palette_size ? ConflictKernel::Reference
+                            : ConflictKernel::Indexed;
+}
+
+const char* to_string(ConflictKernel k) noexcept;
+
+struct ConflictBuildResult {
+  /// Conflict graph over local indices [0, active.size()); vertices with
+  /// degree 0 are the *unconflicted* vertices of Algorithm 1 Line 8.
+  graph::CsrGraph graph;
+  std::uint64_t num_edges = 0;
+  std::uint32_t num_conflicted_vertices = 0;  // |Vc|
+  double seconds = 0.0;
+  std::size_t logical_bytes = 0;
+  bool csr_built_on_device = false;
+};
+
+namespace detail {
+
+/// Emits every conflicted edge exactly once (u < v, local ids), by scanning
+/// all pairs. Emit must accept (u32, u32).
+template <graph::GraphOracle Oracle, typename Emit>
+void enumerate_reference(const Oracle& oracle,
+                         std::span<const std::uint32_t> active,
+                         const ColorLists& lists, Emit&& emit) {
+  const auto n = static_cast<std::uint32_t>(active.size());
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (lists.share_color(u, v) && oracle.edge(active[u], active[v])) {
+        emit(u, v);
+      }
+    }
+  }
+}
+
+/// Inverted index: bucket vertices by each color in their list.
+struct ColorIndex {
+  std::vector<std::uint32_t> offsets;  // size P+1
+  std::vector<std::uint32_t> members;  // size n*L, grouped by color
+};
+
+ColorIndex build_color_index(const ColorLists& lists,
+                             std::uint32_t palette_size);
+
+/// Emits every conflicted edge exactly once using the inverted index: a
+/// pair is examined within each shared color's bucket but emitted only at
+/// its smallest shared color.
+template <graph::GraphOracle Oracle, typename Emit>
+void enumerate_indexed(const Oracle& oracle,
+                       std::span<const std::uint32_t> active,
+                       const ColorLists& lists, std::uint32_t palette_size,
+                       Emit&& emit) {
+  const ColorIndex index = build_color_index(lists, palette_size);
+  for (std::uint32_t c = 0; c < palette_size; ++c) {
+    const std::uint32_t lo = index.offsets[c];
+    const std::uint32_t hi = index.offsets[c + 1];
+    for (std::uint32_t a = lo; a < hi; ++a) {
+      for (std::uint32_t b = a + 1; b < hi; ++b) {
+        std::uint32_t u = index.members[a];
+        std::uint32_t v = index.members[b];
+        if (u > v) std::swap(u, v);
+        // Deduplicate: this pair belongs to color c's bucket for every
+        // shared color; only the smallest one reports it.
+        if (lists.first_shared_color(u, v) != c) continue;
+        if (oracle.edge(active[u], active[v])) emit(u, v);
+      }
+    }
+  }
+}
+
+/// Builds a CSR conflict graph on the host from an edge enumerator.
+template <typename EnumerateFn>
+graph::CsrGraph csr_from_enumerator(std::uint32_t n, EnumerateFn&& enumerate) {
+  std::vector<std::uint32_t> coo;
+  enumerate([&coo](std::uint32_t u, std::uint32_t v) {
+    coo.push_back(u);
+    coo.push_back(v);
+  });
+  const std::uint64_t num_edges = coo.size() / 2;
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    ++offsets[coo[2 * e] + 1];
+    ++offsets[coo[2 * e + 1] + 1];
+  }
+  for (std::uint32_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<std::uint32_t> neighbors(2 * num_edges);
+  device::fill_csr(offsets, coo.data(), num_edges, neighbors.data());
+  return graph::CsrGraph::from_csr(std::move(offsets), std::move(neighbors));
+}
+
+inline std::uint32_t count_conflicted(const graph::CsrGraph& g) {
+  std::uint32_t count = 0;
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    count += g.degree(v) > 0 ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace detail
+
+/// Host conflict-graph construction with the selected kernel.
+template <graph::GraphOracle Oracle>
+ConflictBuildResult build_conflict_graph(const Oracle& oracle,
+                                         std::span<const std::uint32_t> active,
+                                         const ColorLists& lists,
+                                         std::uint32_t palette_size,
+                                         ConflictKernel kernel) {
+  util::WallTimer timer;
+  ConflictBuildResult result;
+  const auto n = static_cast<std::uint32_t>(active.size());
+  kernel = resolve_kernel(kernel, palette_size, lists.list_size());
+  auto run = [&](auto&& enumerate) {
+    result.graph = detail::csr_from_enumerator(
+        n, std::forward<decltype(enumerate)>(enumerate));
+  };
+  if (kernel == ConflictKernel::Reference) {
+    run([&](auto&& emit) {
+      detail::enumerate_reference(oracle, active, lists,
+                                  std::forward<decltype(emit)>(emit));
+    });
+  } else {
+    run([&](auto&& emit) {
+      detail::enumerate_indexed(oracle, active, lists, palette_size,
+                                std::forward<decltype(emit)>(emit));
+    });
+  }
+  result.num_edges = result.graph.num_edges();
+  result.num_conflicted_vertices = detail::count_conflicted(result.graph);
+  result.logical_bytes = result.graph.logical_bytes();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+/// Device-pipeline conflict-graph construction (Algorithm 3): same edge
+/// set, but the COO buffer, counters and (if they fit) the CSR arrays are
+/// charged against the device budget.
+template <graph::GraphOracle Oracle>
+ConflictBuildResult build_conflict_graph_device(
+    device::DeviceContext& ctx, const Oracle& oracle,
+    std::span<const std::uint32_t> active, const ColorLists& lists,
+    std::uint32_t palette_size, ConflictKernel kernel) {
+  util::WallTimer timer;
+  ConflictBuildResult result;
+  const auto n = static_cast<std::uint32_t>(active.size());
+  const std::uint64_t worst_case =
+      static_cast<std::uint64_t>(n) * (n > 0 ? n - 1 : 0) / 2;
+  kernel = resolve_kernel(kernel, palette_size, lists.list_size());
+  device::DeviceCsrResult dres;
+  if (kernel == ConflictKernel::Reference) {
+    dres = device::build_conflict_csr(ctx, n, worst_case, [&](auto&& emit) {
+      detail::enumerate_reference(oracle, active, lists,
+                                  std::forward<decltype(emit)>(emit));
+    });
+  } else {
+    dres = device::build_conflict_csr(ctx, n, worst_case, [&](auto&& emit) {
+      detail::enumerate_indexed(oracle, active, lists, palette_size,
+                                std::forward<decltype(emit)>(emit));
+    });
+  }
+  result.graph = std::move(dres.graph);
+  result.num_edges = dres.num_edges;
+  result.num_conflicted_vertices = detail::count_conflicted(result.graph);
+  result.logical_bytes = dres.device_peak_bytes;
+  result.csr_built_on_device = dres.csr_built_on_device;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace picasso::core

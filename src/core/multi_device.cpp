@@ -1,0 +1,22 @@
+#include "core/multi_device.hpp"
+
+namespace picasso::core {
+
+std::uint32_t edge_shard(std::uint32_t u, std::uint32_t v,
+                         std::uint32_t num_devices) noexcept {
+  if (num_devices <= 1) return 0;
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+  util::SplitMix64 mix(packed);
+  return static_cast<std::uint32_t>(mix.next() % num_devices);
+}
+
+template MultiDeviceResult picasso_color_multi_device<graph::ComplementOracle>(
+    const graph::ComplementOracle&, const PicassoParams&,
+    const MultiDeviceConfig&);
+template MultiDeviceResult picasso_color_multi_device<graph::DenseOracle>(
+    const graph::DenseOracle&, const PicassoParams&, const MultiDeviceConfig&);
+template MultiDeviceResult picasso_color_multi_device<graph::CsrOracle>(
+    const graph::CsrOracle&, const PicassoParams&, const MultiDeviceConfig&);
+
+}  // namespace picasso::core

@@ -1,0 +1,241 @@
+#pragma once
+// Multi-device Picasso — the paper's §VIII future work ("distributed
+// multi-GPU parallel implementations"), simulated.
+//
+// The conflict-graph build is the device-resident phase, so the natural
+// distribution is by edges: conflicted edges are sharded across D simulated
+// devices by a deterministic hash, each device runs its own Algorithm-3
+// accounting (counters + COO within its private budget), and the host
+// merges the per-device COO partitions into the global conflict CSR before
+// the (host-side) list coloring — mirroring how the single-GPU pipeline
+// already falls back to the host for CSR assembly when tight on memory.
+//
+// The coloring produced is bit-identical to the single-device driver (the
+// merged edge set is the same); what changes — and what the bench measures —
+// is the per-device peak, which drops ~1/D and thereby admits inputs whose
+// conflict graph exceeds any single device.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/picasso.hpp"
+#include "device/device_context.hpp"
+
+namespace picasso::core {
+
+struct MultiDeviceConfig {
+  std::uint32_t num_devices = 2;
+  std::size_t device_capacity_bytes = 256u << 20;  // per device
+};
+
+struct DeviceShardStats {
+  std::uint64_t edges = 0;        // conflict edges routed to this device
+  std::size_t peak_bytes = 0;     // device-budget high-water mark
+};
+
+struct MultiDeviceResult {
+  PicassoResult coloring;
+  std::vector<DeviceShardStats> devices;
+
+  std::uint64_t total_edges() const {
+    std::uint64_t total = 0;
+    for (const auto& d : devices) total += d.edges;
+    return total;
+  }
+
+  /// max/mean edge load across devices (1.0 = perfectly balanced).
+  double imbalance() const {
+    if (devices.empty()) return 0.0;
+    std::uint64_t max_edges = 0;
+    for (const auto& d : devices) max_edges = std::max(max_edges, d.edges);
+    const double mean = static_cast<double>(total_edges()) /
+                        static_cast<double>(devices.size());
+    return mean > 0 ? static_cast<double>(max_edges) / mean : 1.0;
+  }
+
+  std::size_t max_device_peak_bytes() const {
+    std::size_t peak = 0;
+    for (const auto& d : devices) peak = std::max(peak, d.peak_bytes);
+    return peak;
+  }
+};
+
+/// Deterministic edge -> device routing (splitmix over the packed pair, so
+/// the shards stay balanced regardless of vertex-id structure).
+std::uint32_t edge_shard(std::uint32_t u, std::uint32_t v,
+                         std::uint32_t num_devices) noexcept;
+
+/// Runs Picasso with the conflict build sharded over simulated devices.
+/// Throws device::DeviceOutOfMemory if a shard exceeds its budget.
+template <graph::GraphOracle Oracle>
+MultiDeviceResult picasso_color_multi_device(const Oracle& oracle,
+                                             const PicassoParams& params,
+                                             const MultiDeviceConfig& config);
+
+// ---------------------------------------------------------------------------
+// Implementation.
+
+template <graph::GraphOracle Oracle>
+MultiDeviceResult picasso_color_multi_device(const Oracle& oracle,
+                                             const PicassoParams& params,
+                                             const MultiDeviceConfig& config) {
+  MultiDeviceResult result;
+  result.devices.assign(config.num_devices, {});
+
+  // Per-device contexts persist across iterations so the reported peaks are
+  // whole-run high-water marks, as in the single-device driver.
+  std::vector<device::DeviceContext> devices;
+  devices.reserve(config.num_devices);
+  for (std::uint32_t d = 0; d < config.num_devices; ++d) {
+    devices.emplace_back(config.device_capacity_bytes);
+  }
+
+  PicassoResult coloring;
+  const std::uint32_t n = oracle.num_vertices();
+  coloring.colors.assign(n, 0xffffffffu);
+  std::vector<std::uint32_t> active(n);
+  for (std::uint32_t v = 0; v < n; ++v) active[v] = v;
+  util::Xoshiro256 coloring_rng(params.seed ^ 0x5bf03635dd3bb1f0ULL);
+  std::uint32_t base_color = 0;
+  int iteration = 0;
+
+  while (!active.empty() && iteration < params.max_iterations) {
+    IterationStats stats;
+    stats.n_active = static_cast<std::uint32_t>(active.size());
+    const IterationPalette palette = compute_palette(
+        stats.n_active, params.palette_percent, params.alpha, base_color);
+    stats.palette_size = palette.palette_size;
+    stats.list_size = palette.list_size;
+
+    ColorLists lists;
+    {
+      util::ScopedAccumulator acc(stats.assign_seconds);
+      lists = assign_random_lists(stats.n_active, palette, params.seed,
+                                  static_cast<std::uint64_t>(iteration));
+    }
+
+    // Shard the conflicted edges across the devices: each device holds its
+    // partition as COO plus per-vertex counters, charged to its own budget.
+    ConflictBuildResult conflict;
+    {
+      util::ScopedAccumulator acc(stats.conflict_seconds);
+      const std::uint32_t d_count = config.num_devices;
+      std::vector<device::DeviceBuffer<std::uint64_t>> counters;
+      std::vector<std::vector<std::uint32_t>> shard_coo(d_count);
+      std::vector<device::DeviceAllocation> coo_charges;
+      counters.reserve(d_count);
+      for (std::uint32_t d = 0; d < d_count; ++d) {
+        counters.emplace_back(devices[d], stats.n_active);
+        for (std::uint32_t v = 0; v < stats.n_active; ++v) counters[d][v] = 0;
+      }
+
+      // COO slots are charged to the owning device in 4096-edge chunks (one
+      // RAII charge per chunk keeps the ledger small while preserving the
+      // mid-enumeration OOM semantics of Algorithm 3).
+      constexpr std::uint64_t kChunkEdges = 4096;
+      std::vector<std::uint64_t> shard_edges(d_count, 0);
+      auto route = [&](std::uint32_t u, std::uint32_t v) {
+        const std::uint32_t d = edge_shard(u, v, d_count);
+        if (shard_edges[d] % kChunkEdges == 0) {
+          coo_charges.push_back(
+              devices[d].allocate(kChunkEdges * 2 * sizeof(std::uint32_t)));
+        }
+        ++shard_edges[d];
+        shard_coo[d].push_back(u);
+        shard_coo[d].push_back(v);
+        ++counters[d][u];
+        ++counters[d][v];
+        ++result.devices[d].edges;
+      };
+      const ConflictKernel kernel = resolve_kernel(
+          params.kernel, palette.palette_size, palette.list_size);
+      if (kernel == ConflictKernel::Reference) {
+        detail::enumerate_reference(oracle, active, lists, route);
+      } else {
+        detail::enumerate_indexed(oracle, active, lists,
+                                  palette.palette_size, route);
+      }
+
+      // Host-side merge: global per-vertex counts = sum over devices.
+      std::vector<std::uint64_t> offsets(stats.n_active + 1, 0);
+      std::uint64_t num_edges = 0;
+      for (std::uint32_t v = 0; v < stats.n_active; ++v) {
+        std::uint64_t degree = 0;
+        for (std::uint32_t d = 0; d < d_count; ++d) degree += counters[d][v];
+        offsets[v + 1] = offsets[v] + degree;
+      }
+      for (std::uint32_t d = 0; d < d_count; ++d) {
+        num_edges += shard_coo[d].size() / 2;
+      }
+      std::vector<std::uint32_t> merged_coo;
+      merged_coo.reserve(2 * num_edges);
+      for (std::uint32_t d = 0; d < d_count; ++d) {
+        merged_coo.insert(merged_coo.end(), shard_coo[d].begin(),
+                          shard_coo[d].end());
+      }
+      std::vector<std::uint32_t> neighbors(2 * num_edges);
+      device::fill_csr(offsets, merged_coo.data(), num_edges, neighbors.data());
+      conflict.graph = graph::CsrGraph::from_csr(std::move(offsets),
+                                                 std::move(neighbors));
+      conflict.num_edges = num_edges;
+      conflict.num_conflicted_vertices = detail::count_conflicted(conflict.graph);
+      conflict.logical_bytes = conflict.graph.logical_bytes();
+      // Release the per-iteration device charges; peaks persist.
+      coo_charges.clear();
+    }
+    stats.conflict_edges = conflict.num_edges;
+    stats.conflicted_vertices = conflict.num_conflicted_vertices;
+
+    ListColoringResult colored;
+    {
+      util::ScopedAccumulator acc(stats.coloring_seconds);
+      colored = color_conflict_graph(conflict.graph, lists,
+                                     params.conflict_scheme, coloring_rng);
+    }
+
+    std::vector<std::uint32_t> next_active;
+    for (std::uint32_t local = 0; local < stats.n_active; ++local) {
+      const std::uint32_t c = colored.assigned[local];
+      if (c == ListColoringResult::kNoColorLocal) {
+        next_active.push_back(active[local]);
+      } else {
+        coloring.colors[active[local]] = palette.base_color + c;
+      }
+    }
+    stats.colored = colored.num_colored;
+    stats.uncolored = static_cast<std::uint32_t>(next_active.size());
+    stats.logical_bytes = lists.logical_bytes() + conflict.logical_bytes +
+                          colored.aux_peak_bytes;
+
+    coloring.iterations.push_back(stats);
+    coloring.assign_seconds += stats.assign_seconds;
+    coloring.conflict_seconds += stats.conflict_seconds;
+    coloring.coloring_seconds += stats.coloring_seconds;
+    coloring.max_conflict_edges =
+        std::max(coloring.max_conflict_edges, stats.conflict_edges);
+    coloring.peak_logical_bytes =
+        std::max(coloring.peak_logical_bytes, stats.logical_bytes);
+    base_color += palette.palette_size;
+    active = std::move(next_active);
+    ++iteration;
+  }
+
+  if (!active.empty()) {
+    coloring.converged = false;
+    for (std::uint32_t v : active) coloring.colors[v] = base_color++;
+  }
+  coloring.palette_total = base_color;
+  {
+    std::vector<std::uint32_t> used(coloring.colors);
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    coloring.num_colors = static_cast<std::uint32_t>(used.size());
+  }
+  for (std::uint32_t d = 0; d < config.num_devices; ++d) {
+    result.devices[d].peak_bytes = devices[d].peak_bytes();
+  }
+  result.coloring = std::move(coloring);
+  return result;
+}
+
+}  // namespace picasso::core

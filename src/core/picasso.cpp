@@ -1,0 +1,35 @@
+#include "core/picasso.hpp"
+
+namespace picasso::core {
+
+PicassoResult picasso_color_pauli(const pauli::PauliSet& set,
+                                  const PicassoParams& params) {
+  const graph::ComplementOracle oracle(set);
+  return picasso_color(oracle, params);
+}
+
+PicassoResult picasso_color_csr(const graph::CsrGraph& g,
+                                const PicassoParams& params) {
+  const graph::CsrOracle oracle(g);
+  return picasso_color(oracle, params);
+}
+
+PicassoResult picasso_color_dense(const graph::DenseGraph& g,
+                                  const PicassoParams& params) {
+  const graph::DenseOracle oracle(g);
+  return picasso_color(oracle, params);
+}
+
+// Pin the common instantiations into this translation unit.
+template PicassoResult picasso_color<graph::ComplementOracle>(
+    const graph::ComplementOracle&, const PicassoParams&);
+template PicassoResult picasso_color<graph::AnticommuteOracle>(
+    const graph::AnticommuteOracle&, const PicassoParams&);
+template PicassoResult picasso_color<graph::QwcComplementOracle>(
+    const graph::QwcComplementOracle&, const PicassoParams&);
+template PicassoResult picasso_color<graph::CsrOracle>(const graph::CsrOracle&,
+                                                       const PicassoParams&);
+template PicassoResult picasso_color<graph::DenseOracle>(
+    const graph::DenseOracle&, const PicassoParams&);
+
+}  // namespace picasso::core

@@ -1,0 +1,208 @@
+#pragma once
+// Picasso (Algorithm 1): iterative palette-based coloring.
+//
+// Every iteration draws a fresh palette for the still-uncolored vertices,
+// samples per-vertex color lists, materialises only the *conflict* subgraph
+// (edges whose endpoints share a list color), colors unconflicted vertices
+// trivially and the conflict graph by list coloring, then recurses on the
+// vertices whose lists were exhausted. Palettes of different iterations are
+// disjoint ([base, base+P) with advancing base), so cross-iteration validity
+// is structural and the graph itself is only ever touched through the
+// adjacency oracle.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/conflict_graph.hpp"
+#include "core/list_coloring.hpp"
+#include "core/palette.hpp"
+#include "device/device_context.hpp"
+#include "graph/oracles.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace picasso::core {
+
+struct PicassoParams {
+  /// P' — palette size as a percent of the active vertex count (Table III's
+  /// "Norm." uses 12.5, "Aggr." uses 3).
+  double palette_percent = 12.5;
+  /// alpha — list size multiplier, L = ceil(alpha * log10 n) clamped to
+  /// [1, P] ("Norm." uses 2, "Aggr." uses 30); see compute_palette() for the
+  /// choice of logarithm base.
+  double alpha = 2.0;
+  std::uint64_t seed = 1;
+  /// Safety valve; the algorithm terminates on its own (at least one vertex
+  /// is colored per iteration), this bounds the tail.
+  int max_iterations = 64;
+  ConflictKernel kernel = ConflictKernel::Auto;
+  ConflictColoringScheme conflict_scheme = ConflictColoringScheme::DynamicBucket;
+  /// When set, conflict graphs are built through the simulated device
+  /// (Algorithm 3) against its memory budget.
+  device::DeviceContext* device = nullptr;
+};
+
+struct IterationStats {
+  std::uint32_t n_active = 0;
+  std::uint32_t palette_size = 0;     // P_l
+  std::uint32_t list_size = 0;        // L_l
+  std::uint64_t conflict_edges = 0;   // |Ec|
+  std::uint32_t conflicted_vertices = 0;  // |Vc|
+  std::uint32_t colored = 0;          // colored this iteration (all paths)
+  std::uint32_t uncolored = 0;        // |Vu| carried to the next iteration
+  double assign_seconds = 0.0;
+  double conflict_seconds = 0.0;
+  double coloring_seconds = 0.0;
+  std::size_t logical_bytes = 0;      // iteration-local peak
+  bool csr_built_on_device = false;
+};
+
+struct PicassoResult {
+  std::vector<std::uint32_t> colors;  // global colors, per input vertex
+  std::uint32_t num_colors = 0;       // distinct colors used
+  std::uint32_t palette_total = 0;    // Σ P_l (upper bound of Lemma 2)
+  std::vector<IterationStats> iterations;
+  double total_seconds = 0.0;
+  double assign_seconds = 0.0;
+  double conflict_seconds = 0.0;
+  double coloring_seconds = 0.0;
+  std::uint64_t max_conflict_edges = 0;      // max |Ec| over iterations
+  std::size_t peak_logical_bytes = 0;        // max iteration footprint
+  /// False only if max_iterations was hit and the tail was finished with
+  /// fresh singleton colors (still a valid coloring).
+  bool converged = true;
+
+  /// Color percentage C/|V|*100 — the paper's application-quality metric.
+  double color_percent() const {
+    return colors.empty() ? 0.0
+                          : 100.0 * static_cast<double>(num_colors) /
+                                static_cast<double>(colors.size());
+  }
+};
+
+/// Runs Picasso against any adjacency oracle.
+template <graph::GraphOracle Oracle>
+PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params);
+
+// Convenience entry points for the library's standard oracles.
+PicassoResult picasso_color_pauli(const pauli::PauliSet& set,
+                                  const PicassoParams& params);
+PicassoResult picasso_color_csr(const graph::CsrGraph& g,
+                                const PicassoParams& params);
+PicassoResult picasso_color_dense(const graph::DenseGraph& g,
+                                  const PicassoParams& params);
+
+// ---------------------------------------------------------------------------
+// Implementation.
+
+template <graph::GraphOracle Oracle>
+PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
+  util::WallTimer total_timer;
+  PicassoResult result;
+  const std::uint32_t n = oracle.num_vertices();
+  result.colors.assign(n, 0xffffffffu);
+
+  std::vector<std::uint32_t> active(n);
+  for (std::uint32_t v = 0; v < n; ++v) active[v] = v;
+
+  util::Xoshiro256 coloring_rng(params.seed ^ 0x5bf03635dd3bb1f0ULL);
+  std::uint32_t base_color = 0;
+  int iteration = 0;
+
+  while (!active.empty() && iteration < params.max_iterations) {
+    IterationStats stats;
+    stats.n_active = static_cast<std::uint32_t>(active.size());
+
+    const IterationPalette palette =
+        compute_palette(stats.n_active, params.palette_percent, params.alpha,
+                        base_color);
+    stats.palette_size = palette.palette_size;
+    stats.list_size = palette.list_size;
+
+    // Line 6: random color lists.
+    ColorLists lists;
+    {
+      util::ScopedAccumulator acc(stats.assign_seconds);
+      lists = assign_random_lists(stats.n_active, palette, params.seed,
+                                  static_cast<std::uint64_t>(iteration));
+    }
+
+    // Line 7: conflict graph (host or simulated-device pipeline).
+    ConflictBuildResult conflict;
+    {
+      util::ScopedAccumulator acc(stats.conflict_seconds);
+      if (params.device != nullptr) {
+        conflict = build_conflict_graph_device(*params.device, oracle, active,
+                                               lists, palette.palette_size,
+                                               params.kernel);
+      } else {
+        conflict = build_conflict_graph(oracle, active, lists,
+                                        palette.palette_size, params.kernel);
+      }
+    }
+    stats.conflict_edges = conflict.num_edges;
+    stats.conflicted_vertices = conflict.num_conflicted_vertices;
+    stats.csr_built_on_device = conflict.csr_built_on_device;
+
+    // Lines 8-9: color unconflicted vertices and the conflict graph. The
+    // list colorer handles isolated conflict-graph vertices (the
+    // unconflicted set) as a special case of its main loop.
+    ListColoringResult colored;
+    {
+      util::ScopedAccumulator acc(stats.coloring_seconds);
+      colored = color_conflict_graph(conflict.graph, lists,
+                                     params.conflict_scheme, coloring_rng);
+    }
+
+    std::vector<std::uint32_t> next_active;
+    next_active.reserve(colored.uncolored.size());
+    for (std::uint32_t local = 0; local < stats.n_active; ++local) {
+      const std::uint32_t c = colored.assigned[local];
+      if (c == ListColoringResult::kNoColorLocal) {
+        next_active.push_back(active[local]);
+      } else {
+        result.colors[active[local]] = palette.base_color + c;
+      }
+    }
+    stats.colored = colored.num_colored;
+    stats.uncolored = static_cast<std::uint32_t>(next_active.size());
+    stats.logical_bytes = lists.logical_bytes() + conflict.logical_bytes +
+                          colored.aux_peak_bytes +
+                          active.capacity() * sizeof(std::uint32_t);
+
+    result.iterations.push_back(stats);
+    result.assign_seconds += stats.assign_seconds;
+    result.conflict_seconds += stats.conflict_seconds;
+    result.coloring_seconds += stats.coloring_seconds;
+    result.max_conflict_edges =
+        std::max(result.max_conflict_edges, stats.conflict_edges);
+    result.peak_logical_bytes =
+        std::max(result.peak_logical_bytes, stats.logical_bytes);
+
+    base_color += palette.palette_size;
+    active = std::move(next_active);
+    ++iteration;
+  }
+
+  // Safety valve: fresh singleton colors for any tail (trivially valid,
+  // disjoint from every palette used above).
+  if (!active.empty()) {
+    result.converged = false;
+    for (std::uint32_t v : active) result.colors[v] = base_color++;
+  }
+  result.palette_total = base_color;
+
+  // Distinct colors used.
+  {
+    std::vector<std::uint32_t> used(result.colors);
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    result.num_colors = static_cast<std::uint32_t>(used.size());
+  }
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace picasso::core

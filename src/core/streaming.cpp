@@ -1,0 +1,46 @@
+#include "core/streaming.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace picasso::core {
+
+FileEdgeStream::FileEdgeStream(std::string path) : path_(std::move(path)) {
+  // Read the header once to expose the dimensions; edges stay on disk.
+  std::ifstream in(path_);
+  if (!in) throw std::runtime_error("FileEdgeStream: cannot open " + path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!(ls >> num_vertices_ >> num_edges_)) {
+      throw std::runtime_error("FileEdgeStream: bad header in " + path_);
+    }
+    return;
+  }
+  throw std::runtime_error("FileEdgeStream: empty file " + path_);
+}
+
+void FileEdgeStream::replay(
+    const std::function<void(std::uint32_t, std::uint32_t)>& fn) const {
+  std::ifstream in(path_);
+  if (!in) throw std::runtime_error("FileEdgeStream: cannot reopen " + path_);
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!header_seen) {
+      header_seen = true;  // skip the "n m" line
+      continue;
+    }
+    std::uint32_t u, v;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("FileEdgeStream: bad edge line: " + line);
+    }
+    fn(u, v);
+  }
+}
+
+}  // namespace picasso::core

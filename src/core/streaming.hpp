@@ -1,0 +1,192 @@
+#pragma once
+// Semi-streaming Picasso.
+//
+// The algorithm descends from Assadi-Chen-Khanna's palette-sparsification
+// streaming colorers (§III): the graph need not support random-access
+// adjacency queries at all — one *pass* over the edge list per iteration
+// suffices, because the only thing an iteration needs is the subset of
+// edges whose endpoints share a list color. This driver runs Algorithm 1
+// against any edge source that can replay its stream, keeping
+// O(n L + |Ec|) state per pass. The oracle-based driver needs O(1)-time
+// adjacency; this one needs O(1)-space edge enumeration — together they
+// cover both access models of the paper's lineage.
+//
+// An EdgeSource is anything with
+//     void for_each_edge(Fn&& fn) const;   // fn(u, v), u != v, each
+//                                          // undirected edge at least once
+// Passes are counted; PicassoResult::iterations.size() == #passes.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/picasso.hpp"
+
+namespace picasso::core {
+
+/// Replayable in-memory edge stream.
+class VectorEdgeStream {
+ public:
+  explicit VectorEdgeStream(std::vector<std::pair<std::uint32_t, std::uint32_t>> edges)
+      : edges_(std::move(edges)) {}
+
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (const auto& [u, v] : edges_) fn(u, v);
+  }
+
+  std::size_t size() const noexcept { return edges_.size(); }
+
+ private:
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+};
+
+/// Replayable on-disk edge stream: re-reads the edge-list file (the format
+/// of graph/graph_io.hpp) on every pass, so the graph never resides in
+/// memory — the honest semi-streaming setting.
+class FileEdgeStream {
+ public:
+  explicit FileEdgeStream(std::string path);
+
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    replay([&fn](std::uint32_t u, std::uint32_t v) { fn(u, v); });
+  }
+
+  std::uint32_t num_vertices() const noexcept { return num_vertices_; }
+  std::uint64_t num_edges() const noexcept { return num_edges_; }
+
+ private:
+  void replay(const std::function<void(std::uint32_t, std::uint32_t)>& fn) const;
+
+  std::string path_;
+  std::uint32_t num_vertices_ = 0;
+  std::uint64_t num_edges_ = 0;
+};
+
+/// Runs Picasso over a replayable edge stream on `n` vertices. With equal
+/// seed and parameters the coloring is identical to the oracle-based driver
+/// on the same graph: each pass reconstructs exactly the conflict edges the
+/// oracle path would have found.
+template <typename EdgeSource>
+PicassoResult picasso_color_stream(std::uint32_t n, const EdgeSource& source,
+                                   const PicassoParams& params);
+
+// ---------------------------------------------------------------------------
+// Implementation.
+
+template <typename EdgeSource>
+PicassoResult picasso_color_stream(std::uint32_t n, const EdgeSource& source,
+                                   const PicassoParams& params) {
+  util::WallTimer total_timer;
+  PicassoResult result;
+  result.colors.assign(n, 0xffffffffu);
+
+  // global -> local index of active vertices; kInactive for colored ones.
+  constexpr std::uint32_t kInactive = 0xffffffffu;
+  std::vector<std::uint32_t> local_of(n);
+  std::vector<std::uint32_t> active(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    active[v] = v;
+    local_of[v] = v;
+  }
+
+  util::Xoshiro256 coloring_rng(params.seed ^ 0x5bf03635dd3bb1f0ULL);
+  std::uint32_t base_color = 0;
+  int iteration = 0;
+
+  while (!active.empty() && iteration < params.max_iterations) {
+    IterationStats stats;
+    stats.n_active = static_cast<std::uint32_t>(active.size());
+    const IterationPalette palette = compute_palette(
+        stats.n_active, params.palette_percent, params.alpha, base_color);
+    stats.palette_size = palette.palette_size;
+    stats.list_size = palette.list_size;
+
+    ColorLists lists;
+    {
+      util::ScopedAccumulator acc(stats.assign_seconds);
+      lists = assign_random_lists(stats.n_active, palette, params.seed,
+                                  static_cast<std::uint64_t>(iteration));
+    }
+
+    // One pass: keep exactly the conflicted edges among active vertices.
+    ConflictBuildResult conflict;
+    {
+      util::ScopedAccumulator acc(stats.conflict_seconds);
+      conflict.graph = detail::csr_from_enumerator(
+          stats.n_active, [&](auto&& emit) {
+            source.for_each_edge([&](std::uint32_t gu, std::uint32_t gv) {
+              std::uint32_t lu = local_of[gu];
+              std::uint32_t lv = local_of[gv];
+              if (lu == kInactive || lv == kInactive) return;
+              if (lu > lv) std::swap(lu, lv);
+              if (lists.share_color(lu, lv)) emit(lu, lv);
+            });
+          });
+      conflict.num_edges = conflict.graph.num_edges();
+      conflict.num_conflicted_vertices =
+          detail::count_conflicted(conflict.graph);
+      conflict.logical_bytes = conflict.graph.logical_bytes();
+    }
+    stats.conflict_edges = conflict.num_edges;
+    stats.conflicted_vertices = conflict.num_conflicted_vertices;
+
+    ListColoringResult colored;
+    {
+      util::ScopedAccumulator acc(stats.coloring_seconds);
+      colored = color_conflict_graph(conflict.graph, lists,
+                                     params.conflict_scheme, coloring_rng);
+    }
+
+    std::vector<std::uint32_t> next_active;
+    for (std::uint32_t local = 0; local < stats.n_active; ++local) {
+      const std::uint32_t c = colored.assigned[local];
+      if (c == ListColoringResult::kNoColorLocal) {
+        next_active.push_back(active[local]);
+      } else {
+        result.colors[active[local]] = palette.base_color + c;
+      }
+    }
+    stats.colored = colored.num_colored;
+    stats.uncolored = static_cast<std::uint32_t>(next_active.size());
+    stats.logical_bytes = lists.logical_bytes() + conflict.logical_bytes +
+                          colored.aux_peak_bytes +
+                          local_of.capacity() * sizeof(std::uint32_t);
+
+    result.iterations.push_back(stats);
+    result.assign_seconds += stats.assign_seconds;
+    result.conflict_seconds += stats.conflict_seconds;
+    result.coloring_seconds += stats.coloring_seconds;
+    result.max_conflict_edges =
+        std::max(result.max_conflict_edges, stats.conflict_edges);
+    result.peak_logical_bytes =
+        std::max(result.peak_logical_bytes, stats.logical_bytes);
+
+    base_color += palette.palette_size;
+    active = std::move(next_active);
+    std::fill(local_of.begin(), local_of.end(), kInactive);
+    for (std::uint32_t local = 0; local < active.size(); ++local) {
+      local_of[active[local]] = local;
+    }
+    ++iteration;
+  }
+
+  if (!active.empty()) {
+    result.converged = false;
+    for (std::uint32_t v : active) result.colors[v] = base_color++;
+  }
+  result.palette_total = base_color;
+  {
+    std::vector<std::uint32_t> used(result.colors);
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    result.num_colors = static_cast<std::uint32_t>(used.size());
+  }
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace picasso::core

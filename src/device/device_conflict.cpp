@@ -1,0 +1,25 @@
+#include "device/device_conflict.hpp"
+
+#include <algorithm>
+
+namespace picasso::device {
+
+void fill_csr(const std::vector<std::uint64_t>& offsets,
+              const std::uint32_t* coo, std::uint64_t num_edges,
+              std::uint32_t* neighbors_out) {
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    const std::uint32_t u = coo[2 * e];
+    const std::uint32_t v = coo[2 * e + 1];
+    neighbors_out[cursor[u]++] = v;
+    neighbors_out[cursor[v]++] = u;
+  }
+  // The GPU scatter leaves rows unordered; sort them so downstream CSR
+  // invariants (sorted rows, binary-search adjacency) hold.
+  const std::size_t n = offsets.size() - 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(neighbors_out + offsets[v], neighbors_out + offsets[v + 1]);
+  }
+}
+
+}  // namespace picasso::device

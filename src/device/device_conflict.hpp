@@ -1,0 +1,111 @@
+#pragma once
+// Algorithm 3 of the paper: conflict-graph construction through the
+// simulated device.
+//
+//   1: AvailMem = min(2|V|(|V|-1), MaxAvailGPUMem)
+//   2: allocate AvailMem on the GPU
+//   3: (Vedgecount, Ecoo) <- build_unordered_coo(colList, V)
+//   4: Voffsets <- exclusive_sum(Vedgecount)
+//   5: if |Ecoo| <= AvailMem/2: CSR on the GPU
+//   7: else:                    CSR on the host
+//
+// The conflict predicate is supplied by the caller as an *edge enumerator*
+// so the same pipeline serves both the brute-force all-pairs kernel the GPU
+// runs and the color-inverted-index kernel of the optimised host path.
+
+#include <cstdint>
+#include <functional>
+
+#include "device/device_context.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace picasso::device {
+
+struct DeviceCsrResult {
+  graph::CsrGraph graph;
+  bool csr_built_on_device = false;  // Line 5 taken (vs host fallback)
+  std::size_t device_peak_bytes = 0;
+  std::uint64_t num_edges = 0;
+};
+
+/// Scatters an unordered COO list into CSR rows (rows sorted afterwards so
+/// the result satisfies the CsrGraph invariants).
+void fill_csr(const std::vector<std::uint64_t>& offsets,
+              const std::uint32_t* coo, std::uint64_t num_edges,
+              std::uint32_t* neighbors_out);
+
+/// Runs the Algorithm-3 pipeline. `enumerate` must invoke its callback once
+/// per undirected conflict edge with u < v. `worst_case_edges` bounds the
+/// COO buffer reservation exactly as Line 1 does; if the enumerator emits
+/// more edges than the device COO buffer can hold, DeviceOutOfMemory is
+/// thrown — the event that stops the largest instance in the paper.
+template <typename EnumerateFn>
+DeviceCsrResult build_conflict_csr(DeviceContext& ctx, std::uint32_t n,
+                                   std::uint64_t worst_case_edges,
+                                   EnumerateFn&& enumerate) {
+  DeviceCsrResult result;
+
+  // Per-vertex degree counters live on the device for the whole pipeline.
+  DeviceBuffer<std::uint64_t> counts(ctx, n);
+  for (std::uint32_t v = 0; v < n; ++v) counts[v] = 0;
+
+  // Line 1-2: the unordered COO edge list gets all remaining device memory
+  // or the worst-case size, whichever is smaller (8 bytes per edge).
+  const std::uint64_t coo_capacity_by_mem =
+      static_cast<std::uint64_t>(ctx.available_bytes()) / (2 * sizeof(std::uint32_t));
+  const std::uint64_t coo_capacity =
+      worst_case_edges < coo_capacity_by_mem ? worst_case_edges
+                                             : coo_capacity_by_mem;
+  DeviceBuffer<std::uint32_t> coo(ctx, 2 * coo_capacity);
+
+  // Line 3: fill the unordered COO list and the per-vertex counters.
+  std::uint64_t num_edges = 0;
+  enumerate([&](std::uint32_t u, std::uint32_t v) {
+    if (num_edges == coo_capacity) {
+      // The preallocated edge list overflowed: on hardware the kernel would
+      // have exhausted the device. Surface it the same way.
+      ctx.signal_oom(2 * sizeof(std::uint32_t));
+    }
+    coo[2 * num_edges] = u;
+    coo[2 * num_edges + 1] = v;
+    ++counts[u];
+    ++counts[v];
+    ++num_edges;
+  });
+  result.num_edges = num_edges;
+
+  // Line 4: exclusive prefix sum of the counters.
+  std::vector<std::uint64_t> offsets(n + 1);
+  {
+    std::uint64_t running = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      offsets[v] = running;
+      running += counts[v];
+    }
+    offsets[n] = running;
+  }
+
+  // Line 5: each edge is stored twice in CSR. If that fits in what is left
+  // of the device after the COO list, "generate CSR on the GPU"; otherwise
+  // fall back to the host (no device charge).
+  const std::size_t csr_bytes = 2 * num_edges * sizeof(std::uint32_t);
+  std::vector<std::uint32_t> neighbors;
+  const bool fits_on_device = csr_bytes <= ctx.available_bytes();
+  if (fits_on_device) {
+    DeviceBuffer<std::uint32_t> device_neighbors(ctx, 2 * num_edges);
+    fill_csr(offsets, coo.data(), num_edges, device_neighbors.data());
+    neighbors = device_neighbors.take();
+    result.csr_built_on_device = true;
+  } else {
+    neighbors.resize(2 * num_edges);
+    fill_csr(offsets, coo.data(), num_edges, neighbors.data());
+    result.csr_built_on_device = false;
+  }
+  result.device_peak_bytes = ctx.peak_bytes();
+  result.graph =
+      graph::CsrGraph::from_csr(std::move(offsets), std::move(neighbors));
+  return result;
+}
+
+}  // namespace picasso::device

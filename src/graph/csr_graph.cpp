@@ -1,0 +1,93 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/prefix_sum.hpp"
+
+namespace picasso::graph {
+
+CsrGraph CsrGraph::from_edges(
+    VertexId num_vertices, std::vector<std::pair<VertexId, VertexId>> edges) {
+  std::vector<std::uint64_t> counts(num_vertices, 0);
+  for (auto& [u, v] : edges) {
+    if (u >= num_vertices || v >= num_vertices) {
+      throw std::invalid_argument("CsrGraph::from_edges: vertex out of range");
+    }
+    if (u == v) {
+      throw std::invalid_argument("CsrGraph::from_edges: self loop");
+    }
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  for (const auto& [u, v] : edges) {
+    ++counts[u];
+    ++counts[v];
+  }
+  std::vector<std::uint64_t> offsets = util::offsets_from_counts(counts);
+  std::vector<VertexId> neighbors(offsets.back());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+  return from_csr(std::move(offsets), std::move(neighbors));
+}
+
+CsrGraph CsrGraph::from_csr(std::vector<std::uint64_t> offsets,
+                            std::vector<VertexId> neighbors) {
+  if (offsets.empty() || offsets.back() != neighbors.size()) {
+    throw std::invalid_argument("CsrGraph::from_csr: inconsistent arrays");
+  }
+  CsrGraph g;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  return g;
+}
+
+VertexId CsrGraph::max_degree() const noexcept {
+  std::uint64_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, degree(v));
+  }
+  return static_cast<VertexId>(best);
+}
+
+double CsrGraph::average_degree() const noexcept {
+  const VertexId n = num_vertices();
+  if (n == 0) return 0.0;
+  return static_cast<double>(neighbors_.size()) / static_cast<double>(n);
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const {
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+std::string CsrGraph::validate() const {
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto row = neighbors(v);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] >= n) return "neighbor id out of range";
+      if (row[i] == v) return "self loop at vertex " + std::to_string(v);
+      if (i > 0 && row[i - 1] >= row[i]) {
+        return "row not strictly sorted at vertex " + std::to_string(v);
+      }
+      if (!has_edge(row[i], v)) {
+        return "asymmetric edge (" + std::to_string(v) + "," +
+               std::to_string(row[i]) + ")";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace picasso::graph

@@ -1,0 +1,73 @@
+#pragma once
+// Compressed Sparse Row graph. Used for (a) the per-iteration conflict graphs
+// Picasso colors, and (b) explicitly materialised graphs consumed by the
+// baseline colorers (which, unlike Picasso, require the whole graph resident
+// in memory — the crux of Table IV).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace picasso::graph {
+
+using VertexId = std::uint32_t;
+
+/// An undirected simple graph in CSR form; every edge {u,v} is stored twice
+/// (u's row contains v and vice versa), as in the paper's GPU pipeline.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an undirected edge list (each pair listed once, u != v).
+  /// Duplicate pairs are tolerated and deduplicated.
+  static CsrGraph from_edges(VertexId num_vertices,
+                             std::vector<std::pair<VertexId, VertexId>> edges);
+
+  /// Builds directly from CSR arrays (offsets.size() == n+1).
+  static CsrGraph from_csr(std::vector<std::uint64_t> offsets,
+                           std::vector<VertexId> neighbors);
+
+  VertexId num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  std::uint64_t num_edges() const noexcept { return neighbors_.size() / 2; }
+
+  std::uint64_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  VertexId max_degree() const noexcept;
+  double average_degree() const noexcept;
+
+  /// Adjacency test via binary search (rows are sorted).
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Structural checks: sorted rows, symmetric adjacency, no self loops.
+  /// Returns an empty string when valid, else a description of the defect.
+  std::string validate() const;
+
+  /// Bytes held by the CSR arrays (the baselines' memory footprint).
+  std::size_t logical_bytes() const noexcept {
+    return offsets_.capacity() * sizeof(std::uint64_t) +
+           neighbors_.capacity() * sizeof(VertexId);
+  }
+
+  const std::vector<std::uint64_t>& offsets() const noexcept { return offsets_; }
+  const std::vector<VertexId>& neighbor_array() const noexcept {
+    return neighbors_;
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;   // size n+1
+  std::vector<VertexId> neighbors_;      // size 2|E|, sorted per row
+};
+
+}  // namespace picasso::graph

@@ -1,0 +1,44 @@
+#include "graph/dense_graph.hpp"
+
+#include <bit>
+
+namespace picasso::graph {
+
+std::uint64_t DenseGraph::degree(std::uint32_t v) const noexcept {
+  const std::uint64_t* r = row(v);
+  std::uint64_t d = 0;
+  for (std::uint32_t w = 0; w < words_per_row_; ++w) {
+    d += static_cast<std::uint64_t>(std::popcount(r[w]));
+  }
+  return d;
+}
+
+std::uint64_t DenseGraph::num_edges() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint32_t v = 0; v < n_; ++v) total += degree(v);
+  return total / 2;
+}
+
+std::uint32_t DenseGraph::max_degree() const noexcept {
+  std::uint64_t best = 0;
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    const std::uint64_t d = degree(v);
+    if (d > best) best = d;
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
+std::string DenseGraph::validate() const {
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    if (has_edge(u, u)) return "self loop at " + std::to_string(u);
+    for (std::uint32_t v = u + 1; v < n_; ++v) {
+      if (has_edge(u, v) != has_edge(v, u)) {
+        return "asymmetric edge (" + std::to_string(u) + "," +
+               std::to_string(v) + ")";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace picasso::graph

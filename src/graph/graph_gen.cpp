@@ -1,0 +1,135 @@
+#include "graph/graph_gen.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace picasso::graph {
+
+using util::Xoshiro256;
+
+CsrGraph erdos_renyi(VertexId n, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+    }
+    return CsrGraph::from_edges(n, std::move(edges));
+  }
+  if (p > 0.0) {
+    // Geometric skipping: visit present edges only, O(|E|) expected work.
+    // Gap between consecutive present pair-indices is geometric with
+    // parameter p: gap = 1 + floor(log(1-u) / log(1-p)).
+    const double log1mp = std::log1p(-p);
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t idx = 0;
+    while (true) {
+      const double u = rng.uniform();
+      const double skip = std::floor(std::log(1.0 - u) / log1mp);
+      idx += static_cast<std::uint64_t>(skip) + 1;
+      if (idx > total) break;
+      const std::uint64_t e = idx - 1;  // 0-based edge index
+      // Unrank e into (u, v), u < v, row-major over the upper triangle.
+      VertexId row = 0;
+      std::uint64_t rem = e;
+      std::uint64_t row_len = n - 1;
+      while (rem >= row_len) {
+        rem -= row_len;
+        ++row;
+        --row_len;
+      }
+      edges.emplace_back(row, static_cast<VertexId>(row + 1 + rem));
+    }
+  }
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+DenseGraph erdos_renyi_dense(VertexId n, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  DenseGraph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.uniform() < p) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+CsrGraph random_geometric(VertexId n, double radius, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& [x, y] : pts) {
+    x = rng.uniform();
+    y = rng.uniform();
+  }
+  const double r2 = radius * radius;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double dx = pts[u].first - pts[v].first;
+      const double dy = pts[u].second - pts[v].second;
+      if (dx * dx + dy * dy <= r2) edges.emplace_back(u, v);
+    }
+  }
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+DenseGraph complete_graph(VertexId n) {
+  DenseGraph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+CsrGraph complete_bipartite(VertexId a, VertexId b) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  }
+  return CsrGraph::from_edges(a + b, std::move(edges));
+}
+
+CsrGraph path_graph(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+CsrGraph cycle_graph(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  if (n >= 3) edges.emplace_back(n - 1, VertexId{0});
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+CsrGraph ring_lattice(VertexId n, VertexId d) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const VertexId half = d / 2;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId k = 1; k <= half; ++k) {
+      const VertexId u = (v + k) % n;
+      if (u != v) edges.emplace_back(v, u);
+    }
+  }
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+DenseGraph disjoint_cliques(VertexId num_cliques, VertexId clique_size) {
+  DenseGraph g(num_cliques * clique_size);
+  for (VertexId c = 0; c < num_cliques; ++c) {
+    const VertexId base = c * clique_size;
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        g.add_edge(base + i, base + j);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace picasso::graph

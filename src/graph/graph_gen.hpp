@@ -1,0 +1,42 @@
+#pragma once
+// Synthetic graph generators for the generalised (non-quantum) setting the
+// paper's conclusion points to, and for property-based testing of the
+// coloring algorithms on inputs with controlled structure.
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/dense_graph.hpp"
+
+namespace picasso::graph {
+
+/// Erdős–Rényi G(n, p): each pair independently an edge with probability p.
+CsrGraph erdos_renyi(VertexId n, double p, std::uint64_t seed);
+
+/// Dense-bitset version of G(n, p) (preferred for p around 0.5).
+DenseGraph erdos_renyi_dense(VertexId n, double p, std::uint64_t seed);
+
+/// Random geometric graph: n points uniform in the unit square, edge iff
+/// distance <= radius. Produces the clustered structure typical of meshes.
+CsrGraph random_geometric(VertexId n, double radius, std::uint64_t seed);
+
+/// Complete graph K_n.
+DenseGraph complete_graph(VertexId n);
+
+/// Complete bipartite graph K_{a,b} (chromatic number 2; good test oracle).
+CsrGraph complete_bipartite(VertexId a, VertexId b);
+
+/// Path P_n (chromatic number 2 for n >= 2).
+CsrGraph path_graph(VertexId n);
+
+/// Cycle C_n (chromatic number 2 if n even, 3 if odd).
+CsrGraph cycle_graph(VertexId n);
+
+/// d-regular ring lattice: each vertex connected to d/2 neighbors each side.
+CsrGraph ring_lattice(VertexId n, VertexId d);
+
+/// Union of disjoint cliques of the given size (chromatic number =
+/// clique_size); the planted structure for clique-partition tests.
+DenseGraph disjoint_cliques(VertexId num_cliques, VertexId clique_size);
+
+}  // namespace picasso::graph

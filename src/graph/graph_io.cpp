@@ -1,0 +1,56 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace picasso::graph {
+
+void write_edge_list(std::ostream& out, const CsrGraph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(out, g);
+}
+
+CsrGraph read_edge_list(std::istream& in) {
+  std::string line;
+  VertexId n = 0;
+  std::uint64_t m = 0;
+  bool have_header = false;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      if (!(ls >> n >> m)) throw std::runtime_error("bad edge-list header");
+      have_header = true;
+      edges.reserve(m);
+      continue;
+    }
+    VertexId u, v;
+    if (!(ls >> u >> v)) throw std::runtime_error("bad edge line: " + line);
+    edges.emplace_back(u, v);
+  }
+  if (!have_header) throw std::runtime_error("empty edge-list input");
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+CsrGraph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace picasso::graph

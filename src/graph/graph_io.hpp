@@ -1,0 +1,22 @@
+#pragma once
+// Minimal text I/O for graphs: a whitespace edge-list format with a
+// "n m" header line ("%%" comment lines allowed, 0-based vertex ids).
+// Used by the generic-coloring example and for test fixtures.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace picasso::graph {
+
+/// Writes "n m" followed by one "u v" line per undirected edge (u < v).
+void write_edge_list(std::ostream& out, const CsrGraph& g);
+void write_edge_list_file(const std::string& path, const CsrGraph& g);
+
+/// Reads the format produced by write_edge_list. Lines starting with '%'
+/// or '#' are ignored. Throws std::runtime_error on malformed input.
+CsrGraph read_edge_list(std::istream& in);
+CsrGraph read_edge_list_file(const std::string& path);
+
+}  // namespace picasso::graph

@@ -1,0 +1,19 @@
+#include "graph/oracles.hpp"
+
+// Header-only templates plus concrete oracle classes; this translation unit
+// pins the vtable-free classes' linkage and provides explicit instantiations
+// of the materialisation helpers for the oracle types used across the
+// library, keeping rebuild times down for consumers.
+
+namespace picasso::graph {
+
+template DenseGraph materialize_dense<ComplementOracle>(const ComplementOracle&);
+template DenseGraph materialize_dense<AnticommuteOracle>(const AnticommuteOracle&);
+template CsrGraph materialize_csr<ComplementOracle>(const ComplementOracle&);
+template CsrGraph materialize_csr<AnticommuteOracle>(const AnticommuteOracle&);
+template std::uint64_t count_edges<ComplementOracle>(const ComplementOracle&);
+template std::uint64_t count_edges<AnticommuteOracle>(const AnticommuteOracle&);
+template std::uint64_t count_edges<CsrOracle>(const CsrOracle&);
+template std::uint64_t count_edges<DenseOracle>(const DenseOracle&);
+
+}  // namespace picasso::graph

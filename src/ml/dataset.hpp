@@ -1,0 +1,43 @@
+#pragma once
+// Row-major numeric dataset shared by the regression models.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace picasso::ml {
+
+/// A dense (rows x cols) matrix of doubles, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+
+  void push_row(const std::vector<double>& values) {
+    if (cols_ == 0) cols_ = values.size();
+    if (values.size() != cols_) {
+      throw std::invalid_argument("Matrix::push_row: width mismatch");
+    }
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+  }
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace picasso::ml

@@ -1,0 +1,212 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace picasso::ml {
+
+namespace {
+
+/// Sum of squared errors around the mean, totalled over all outputs, for
+/// rows indices[begin..end).
+double node_sse(const Matrix& y, const std::vector<std::uint32_t>& indices,
+                std::size_t begin, std::size_t end) {
+  const std::size_t t = y.cols();
+  const auto n = static_cast<double>(end - begin);
+  double sse = 0.0;
+  for (std::size_t out = 0; out < t; ++out) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double v = y.at(indices[i], out);
+      sum += v;
+      sum_sq += v * v;
+    }
+    sse += sum_sq - sum * sum / n;
+  }
+  return sse;
+}
+
+}  // namespace
+
+void DecisionTreeRegressor::fit(const Matrix& x, const Matrix& y,
+                                const TreeParams& params, util::Xoshiro256& rng,
+                                const std::vector<std::uint32_t>& sample_indices) {
+  if (x.rows() != y.rows() || x.rows() == 0) {
+    throw std::invalid_argument("DecisionTreeRegressor::fit: bad shapes");
+  }
+  num_features_ = x.cols();
+  num_outputs_ = y.cols();
+  nodes_.clear();
+  leaf_values_.clear();
+
+  std::vector<std::uint32_t> indices;
+  if (sample_indices.empty()) {
+    indices.resize(x.rows());
+    std::iota(indices.begin(), indices.end(), 0u);
+  } else {
+    indices = sample_indices;
+  }
+  build(x, y, indices, 0, indices.size(), 0, params, rng);
+}
+
+std::int32_t DecisionTreeRegressor::build(const Matrix& x, const Matrix& y,
+                                          std::vector<std::uint32_t>& indices,
+                                          std::size_t begin, std::size_t end,
+                                          int depth, const TreeParams& params,
+                                          util::Xoshiro256& rng) {
+  const std::size_t count = end - begin;
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  auto make_leaf = [&]() {
+    Node& node = nodes_[static_cast<std::size_t>(node_id)];
+    node.feature = -1;
+    node.leaf_start = static_cast<std::uint32_t>(leaf_values_.size());
+    for (std::size_t out = 0; out < num_outputs_; ++out) {
+      double sum = 0.0;
+      for (std::size_t i = begin; i < end; ++i) sum += y.at(indices[i], out);
+      leaf_values_.push_back(sum / static_cast<double>(count));
+    }
+    return node_id;
+  };
+
+  if (depth >= params.max_depth || count < params.min_samples_split ||
+      count < 2 * params.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  const double parent_sse = node_sse(y, indices, begin, end);
+  if (parent_sse <= 1e-12) return make_leaf();  // pure node
+
+  // Feature subset for this split.
+  std::vector<std::size_t> features(num_features_);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t feature_budget = params.max_features == 0
+                                   ? num_features_
+                                   : std::min(params.max_features, num_features_);
+  if (feature_budget < num_features_) {
+    for (std::size_t i = 0; i < feature_budget; ++i) {
+      const std::size_t j = i + rng.bounded(num_features_ - i);
+      std::swap(features[i], features[j]);
+    }
+    features.resize(feature_budget);
+  }
+
+  // Best split search: sort the node's rows by each candidate feature and
+  // scan boundaries with running sums (O(n log n + n t) per feature).
+  double best_gain = 0.0;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::uint32_t> sorted(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                                    indices.begin() + static_cast<std::ptrdiff_t>(end));
+  std::vector<double> left_sum(num_outputs_), left_sq(num_outputs_);
+  std::vector<double> total_sum(num_outputs_), total_sq(num_outputs_);
+
+  for (std::size_t f : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return x.at(a, f) < x.at(b, f);
+    });
+    std::fill(left_sum.begin(), left_sum.end(), 0.0);
+    std::fill(left_sq.begin(), left_sq.end(), 0.0);
+    std::fill(total_sum.begin(), total_sum.end(), 0.0);
+    std::fill(total_sq.begin(), total_sq.end(), 0.0);
+    for (std::uint32_t row : sorted) {
+      for (std::size_t out = 0; out < num_outputs_; ++out) {
+        const double v = y.at(row, out);
+        total_sum[out] += v;
+        total_sq[out] += v * v;
+      }
+    }
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      const std::uint32_t row = sorted[i];
+      for (std::size_t out = 0; out < num_outputs_; ++out) {
+        const double v = y.at(row, out);
+        left_sum[out] += v;
+        left_sq[out] += v * v;
+      }
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = count - n_left;
+      if (n_left < params.min_samples_leaf || n_right < params.min_samples_leaf) {
+        continue;
+      }
+      const double xv = x.at(row, f);
+      const double xn = x.at(sorted[i + 1], f);
+      if (xn <= xv) continue;  // can't split between equal values
+      double child_sse = 0.0;
+      for (std::size_t out = 0; out < num_outputs_; ++out) {
+        const double rs = total_sum[out] - left_sum[out];
+        const double rq = total_sq[out] - left_sq[out];
+        child_sse += left_sq[out] -
+                     left_sum[out] * left_sum[out] / static_cast<double>(n_left);
+        child_sse += rq - rs * rs / static_cast<double>(n_right);
+      }
+      const double gain = parent_sse - child_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (xv + xn);
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return make_leaf();
+
+  // Partition the node's index range in place.
+  auto middle = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::uint32_t row) { return x.at(row, best_feature) <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(middle - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // degenerate partition
+
+  {
+    Node& node = nodes_[static_cast<std::size_t>(node_id)];
+    node.feature = static_cast<int>(best_feature);
+    node.threshold = best_threshold;
+    node.gain = best_gain;
+  }
+  const std::int32_t left =
+      build(x, y, indices, begin, mid, depth + 1, params, rng);
+  const std::int32_t right =
+      build(x, y, indices, mid, end, depth + 1, params, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+std::vector<double> DecisionTreeRegressor::predict(const double* features) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTreeRegressor::predict: not trained");
+  }
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[node];
+    node = static_cast<std::size_t>(
+        features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                     : n.right);
+  }
+  const std::uint32_t start = nodes_[node].leaf_start;
+  return {leaf_values_.begin() + start,
+          leaf_values_.begin() + start + num_outputs_};
+}
+
+std::vector<double> DecisionTreeRegressor::feature_importance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  double total = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.feature >= 0) {
+      importance[static_cast<std::size_t>(node.feature)] += node.gain;
+      total += node.gain;
+    }
+  }
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace picasso::ml

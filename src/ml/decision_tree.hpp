@@ -1,0 +1,63 @@
+#pragma once
+// Multi-output CART regression tree: variance-reduction splits on the summed
+// per-output squared error, supporting feature subsampling per split (the
+// randomness injection random forests rely on).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace picasso::ml {
+
+struct TreeParams {
+  int max_depth = 20;
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  /// Features considered per split; 0 = all features.
+  std::size_t max_features = 0;
+};
+
+class DecisionTreeRegressor {
+ public:
+  /// Fits on X (n x d) and Y (n x t). `sample_indices` selects the training
+  /// rows (bootstrap support); empty = all rows.
+  void fit(const Matrix& x, const Matrix& y, const TreeParams& params,
+           util::Xoshiro256& rng,
+           const std::vector<std::uint32_t>& sample_indices = {});
+
+  /// Predicts the t outputs for one feature row.
+  std::vector<double> predict(const double* features) const;
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  std::size_t num_outputs() const noexcept { return num_outputs_; }
+  bool trained() const noexcept { return !nodes_.empty(); }
+
+  /// Total SSE decrease attributed to each feature (impurity importance).
+  std::vector<double> feature_importance() const;
+
+ private:
+  struct Node {
+    // Internal node: feature >= 0, threshold set, children indices.
+    // Leaf: feature == -1, leaf_start/leaf_count index into leaf_values_.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t leaf_start = 0;
+    double gain = 0.0;  // SSE decrease of this split (importance)
+  };
+
+  std::int32_t build(const Matrix& x, const Matrix& y,
+                     std::vector<std::uint32_t>& indices, std::size_t begin,
+                     std::size_t end, int depth, const TreeParams& params,
+                     util::Xoshiro256& rng);
+
+  std::size_t num_features_ = 0;
+  std::size_t num_outputs_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> leaf_values_;  // num_outputs_ per leaf
+};
+
+}  // namespace picasso::ml

@@ -1,0 +1,235 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace picasso::ml {
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-14) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> w(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= a.at(r, c) * w[c];
+    w[r] = acc / a.at(r, r);
+  }
+  return w;
+}
+
+namespace {
+
+struct Standardized {
+  std::vector<double> mean;
+  std::vector<double> scale;  // standard deviation, 1.0 where degenerate
+};
+
+Standardized feature_stats(const Matrix& x) {
+  const std::size_t n = x.rows(), d = x.cols();
+  Standardized s{std::vector<double>(d, 0.0), std::vector<double>(d, 1.0)};
+  for (std::size_t f = 0; f < d; ++f) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) sum += x.at(r, f);
+    s.mean[f] = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dlt = x.at(r, f) - s.mean[f];
+      var += dlt * dlt;
+    }
+    var /= static_cast<double>(n);
+    s.scale[f] = var > 1e-18 ? std::sqrt(var) : 1.0;
+  }
+  return s;
+}
+
+}  // namespace
+
+void RidgeRegressor::fit(const Matrix& x, const Matrix& y) {
+  const std::size_t n = x.rows(), d = x.cols(), t = y.cols();
+  if (n == 0 || y.rows() != n) {
+    throw std::invalid_argument("RidgeRegressor::fit: bad shapes");
+  }
+  num_features_ = d;
+  // Center both sides; the intercept absorbs the means.
+  const Standardized s = feature_stats(x);
+  std::vector<double> y_mean(t, 0.0);
+  for (std::size_t out = 0; out < t; ++out) {
+    for (std::size_t r = 0; r < n; ++r) y_mean[out] += y.at(r, out);
+    y_mean[out] /= static_cast<double>(n);
+  }
+
+  // Normal equations on centered data: (Xc^T Xc + lambda I) W = Xc^T Yc.
+  Matrix gram(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        acc += (x.at(r, i) - s.mean[i]) * (x.at(r, j) - s.mean[j]);
+      }
+      gram.at(i, j) = acc;
+      gram.at(j, i) = acc;
+    }
+    gram.at(i, i) += lambda_;
+  }
+
+  weights_ = Matrix(d, t);
+  intercept_.assign(t, 0.0);
+  for (std::size_t out = 0; out < t; ++out) {
+    std::vector<double> rhs(d, 0.0);
+    for (std::size_t f = 0; f < d; ++f) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        acc += (x.at(r, f) - s.mean[f]) * (y.at(r, out) - y_mean[out]);
+      }
+      rhs[f] = acc;
+    }
+    const std::vector<double> w = solve_linear_system(gram, rhs);
+    double b = y_mean[out];
+    for (std::size_t f = 0; f < d; ++f) {
+      weights_.at(f, out) = w[f];
+      b -= w[f] * s.mean[f];
+    }
+    intercept_[out] = b;
+  }
+}
+
+std::vector<double> RidgeRegressor::predict(const double* features) const {
+  if (!trained()) throw std::logic_error("RidgeRegressor::predict: not trained");
+  std::vector<double> out(intercept_);
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    for (std::size_t t = 0; t < out.size(); ++t) {
+      out[t] += features[f] * weights_.at(f, t);
+    }
+  }
+  return out;
+}
+
+Matrix RidgeRegressor::predict_all(const Matrix& x) const {
+  Matrix out(x.rows(), intercept_.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::vector<double> p = predict(x.row(r));
+    for (std::size_t c = 0; c < p.size(); ++c) out.at(r, c) = p[c];
+  }
+  return out;
+}
+
+void LassoRegressor::fit(const Matrix& x, const Matrix& y) {
+  const std::size_t n = x.rows(), d = x.cols(), t = y.cols();
+  if (n == 0 || y.rows() != n) {
+    throw std::invalid_argument("LassoRegressor::fit: bad shapes");
+  }
+  num_features_ = d;
+  const Standardized s = feature_stats(x);
+
+  // Standardised design matrix.
+  Matrix xs(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t f = 0; f < d; ++f) {
+      xs.at(r, f) = (x.at(r, f) - s.mean[f]) / s.scale[f];
+    }
+  }
+  std::vector<double> y_mean(t, 0.0);
+  for (std::size_t out = 0; out < t; ++out) {
+    for (std::size_t r = 0; r < n; ++r) y_mean[out] += y.at(r, out);
+    y_mean[out] /= static_cast<double>(n);
+  }
+  // Column norms (constant across outputs).
+  std::vector<double> col_sq(d, 0.0);
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t r = 0; r < n; ++r) col_sq[f] += xs.at(r, f) * xs.at(r, f);
+  }
+
+  weights_ = Matrix(d, t);
+  intercept_.assign(t, 0.0);
+  const double shrink = lambda_ * static_cast<double>(n);
+
+  for (std::size_t out = 0; out < t; ++out) {
+    std::vector<double> w(d, 0.0);
+    std::vector<double> residual(n);
+    for (std::size_t r = 0; r < n; ++r) residual[r] = y.at(r, out) - y_mean[out];
+
+    for (int it = 0; it < max_iterations_; ++it) {
+      double max_delta = 0.0;
+      for (std::size_t f = 0; f < d; ++f) {
+        if (col_sq[f] == 0.0) continue;
+        // rho = x_f . (residual + x_f w_f)
+        double rho = 0.0;
+        for (std::size_t r = 0; r < n; ++r) rho += xs.at(r, f) * residual[r];
+        rho += col_sq[f] * w[f];
+        // Soft threshold.
+        double w_new = 0.0;
+        if (rho > shrink) {
+          w_new = (rho - shrink) / col_sq[f];
+        } else if (rho < -shrink) {
+          w_new = (rho + shrink) / col_sq[f];
+        }
+        const double delta = w_new - w[f];
+        if (delta != 0.0) {
+          for (std::size_t r = 0; r < n; ++r) residual[r] -= delta * xs.at(r, f);
+          w[f] = w_new;
+          max_delta = std::max(max_delta, std::abs(delta));
+        }
+      }
+      if (max_delta < tolerance_) break;
+    }
+    // Fold the standardisation back into original-scale weights.
+    double b = y_mean[out];
+    for (std::size_t f = 0; f < d; ++f) {
+      const double w_orig = w[f] / s.scale[f];
+      weights_.at(f, out) = w_orig;
+      b -= w_orig * s.mean[f];
+    }
+    intercept_[out] = b;
+  }
+}
+
+std::vector<double> LassoRegressor::predict(const double* features) const {
+  if (!trained()) throw std::logic_error("LassoRegressor::predict: not trained");
+  std::vector<double> out(intercept_);
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    for (std::size_t t = 0; t < out.size(); ++t) {
+      out[t] += features[f] * weights_.at(f, t);
+    }
+  }
+  return out;
+}
+
+Matrix LassoRegressor::predict_all(const Matrix& x) const {
+  Matrix out(x.rows(), intercept_.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::vector<double> p = predict(x.row(r));
+    for (std::size_t c = 0; c < p.size(); ++c) out.at(r, c) = p[c];
+  }
+  return out;
+}
+
+std::size_t LassoRegressor::zero_count(double eps) const {
+  std::size_t zeros = 0;
+  for (double w : weights_.data()) zeros += std::abs(w) <= eps ? 1 : 0;
+  return zeros;
+}
+
+}  // namespace picasso::ml

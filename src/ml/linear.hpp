@@ -1,0 +1,60 @@
+#pragma once
+// Linear baselines for the parameter predictor: ridge (closed form) and
+// lasso (coordinate descent). §VI reports that the nonlinear models beat
+// these on the (beta, |V|, |E|) -> (P', alpha) task; the benchmark
+// reproduces that comparison.
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace picasso::ml {
+
+/// Multi-output ridge regression with intercept:
+/// minimizes ||Y - XW - b||^2 + lambda ||W||^2 (intercept unpenalised).
+class RidgeRegressor {
+ public:
+  explicit RidgeRegressor(double lambda = 1e-3) : lambda_(lambda) {}
+
+  void fit(const Matrix& x, const Matrix& y);
+  std::vector<double> predict(const double* features) const;
+  Matrix predict_all(const Matrix& x) const;
+  bool trained() const noexcept { return !weights_.data().empty(); }
+
+ private:
+  double lambda_;
+  Matrix weights_;               // d x t
+  std::vector<double> intercept_;  // t
+  std::size_t num_features_ = 0;
+};
+
+/// Multi-output lasso via cyclic coordinate descent on standardised
+/// features; each output fitted independently.
+class LassoRegressor {
+ public:
+  explicit LassoRegressor(double lambda = 1e-3, int max_iterations = 500,
+                          double tolerance = 1e-8)
+      : lambda_(lambda), max_iterations_(max_iterations), tolerance_(tolerance) {}
+
+  void fit(const Matrix& x, const Matrix& y);
+  std::vector<double> predict(const double* features) const;
+  Matrix predict_all(const Matrix& x) const;
+  bool trained() const noexcept { return !weights_.data().empty(); }
+
+  /// Number of exactly-zero coefficients (sparsity diagnostic).
+  std::size_t zero_count(double eps = 1e-12) const;
+
+ private:
+  double lambda_;
+  int max_iterations_;
+  double tolerance_;
+  Matrix weights_;                 // d x t (in original feature scale)
+  std::vector<double> intercept_;  // t
+  std::size_t num_features_ = 0;
+};
+
+/// Solves the symmetric positive-definite system A w = b by Gaussian
+/// elimination with partial pivoting (d is tiny here). Exposed for tests.
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
+
+}  // namespace picasso::ml

@@ -1,0 +1,62 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace picasso::ml {
+
+namespace {
+void check_sizes(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("metrics: size mismatch or empty input");
+  }
+}
+}  // namespace
+
+double mape(const std::vector<double>& y_true, const std::vector<double>& y_pred,
+            double eps) {
+  check_sizes(y_true, y_pred);
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (std::abs(y_true[i]) < eps) continue;
+    total += std::abs((y_true[i] - y_pred[i]) / y_true[i]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double r_squared(const std::vector<double>& y_true,
+                 const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double mean = 0.0;
+  for (double y : y_true) mean += y;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mae(const std::vector<double>& y_true, const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double total = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    total += std::abs(y_true[i] - y_pred[i]);
+  }
+  return total / static_cast<double>(y_true.size());
+}
+
+double rmse(const std::vector<double>& y_true, const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double total = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    total += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+  }
+  return std::sqrt(total / static_cast<double>(y_true.size()));
+}
+
+}  // namespace picasso::ml

@@ -1,0 +1,89 @@
+#include "ml/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace picasso::ml {
+
+const char* to_string(ModelKind m) noexcept {
+  switch (m) {
+    case ModelKind::RandomForest: return "random-forest";
+    case ModelKind::Ridge: return "ridge";
+    case ModelKind::Lasso: return "lasso";
+  }
+  return "?";
+}
+
+void ParameterPredictor::fit(const std::vector<TrainingSample>& samples,
+                             const ForestParams& forest_params) {
+  if (samples.empty()) {
+    throw std::invalid_argument("ParameterPredictor::fit: no samples");
+  }
+  Matrix x, y;
+  samples_to_matrices(samples, x, y);
+  switch (kind_) {
+    case ModelKind::RandomForest:
+      forest_.fit(x, y, forest_params);
+      break;
+    case ModelKind::Ridge:
+      ridge_.fit(x, y);
+      break;
+    case ModelKind::Lasso:
+      lasso_.fit(x, y);
+      break;
+  }
+  trained_ = true;
+}
+
+std::vector<double> ParameterPredictor::raw_predict(const double* features) const {
+  switch (kind_) {
+    case ModelKind::RandomForest: return forest_.predict(features);
+    case ModelKind::Ridge: return ridge_.predict(features);
+    case ModelKind::Lasso: return lasso_.predict(features);
+  }
+  return {};
+}
+
+PredictedParams ParameterPredictor::predict(double beta,
+                                            std::uint64_t num_vertices,
+                                            std::uint64_t num_edges) const {
+  if (!trained_) {
+    throw std::logic_error("ParameterPredictor::predict: not trained");
+  }
+  const double features[3] = {
+      beta,
+      std::log10(static_cast<double>(std::max<std::uint64_t>(num_vertices, 1))),
+      std::log10(static_cast<double>(std::max<std::uint64_t>(num_edges, 1)))};
+  const std::vector<double> out = raw_predict(features);
+  PredictedParams params;
+  // Clamp to the sweep grid hull (§VI grids).
+  params.palette_percent = std::clamp(out[0], 1.0, 20.0);
+  params.alpha = std::clamp(out[1], 0.5, 4.5);
+  return params;
+}
+
+EvalReport ParameterPredictor::evaluate(
+    const std::vector<TrainingSample>& test_samples) const {
+  if (!trained_ || test_samples.empty()) {
+    throw std::logic_error("ParameterPredictor::evaluate: not ready");
+  }
+  std::vector<double> true_percent, pred_percent, true_alpha, pred_alpha;
+  for (const TrainingSample& s : test_samples) {
+    const double features[3] = {s.beta, s.log_vertices, s.log_edges};
+    const std::vector<double> p = raw_predict(features);
+    true_percent.push_back(s.best_percent);
+    pred_percent.push_back(p[0]);
+    true_alpha.push_back(s.best_alpha);
+    pred_alpha.push_back(p[1]);
+  }
+  EvalReport report;
+  report.model = kind_;
+  report.mape_percent = mape(true_percent, pred_percent);
+  report.mape_alpha = mape(true_alpha, pred_alpha);
+  report.r2_percent = r_squared(true_percent, pred_percent);
+  report.r2_alpha = r_squared(true_alpha, pred_alpha);
+  return report;
+}
+
+}  // namespace picasso::ml

@@ -1,0 +1,71 @@
+#pragma once
+// §VI Steps 5-6: the trained (beta, |V|, |E|) -> (P', alpha) predictor that
+// front-ends Picasso, with model selection over random forest / ridge /
+// lasso and train/test evaluation by molecule (the paper trains on five
+// molecules and tests on two held-out ones).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/sweep.hpp"
+
+namespace picasso::ml {
+
+enum class ModelKind { RandomForest, Ridge, Lasso };
+
+const char* to_string(ModelKind m) noexcept;
+
+struct PredictedParams {
+  double palette_percent = 0.0;
+  double alpha = 0.0;
+};
+
+/// Evaluation of one model on held-out samples.
+struct EvalReport {
+  ModelKind model = ModelKind::RandomForest;
+  double mape_percent = 0.0;   // MAPE over P' targets
+  double mape_alpha = 0.0;     // MAPE over alpha targets
+  double r2_percent = 0.0;
+  double r2_alpha = 0.0;
+
+  double mape_overall() const { return 0.5 * (mape_percent + mape_alpha); }
+  double r2_overall() const { return 0.5 * (r2_percent + r2_alpha); }
+};
+
+class ParameterPredictor {
+ public:
+  explicit ParameterPredictor(ModelKind kind = ModelKind::RandomForest)
+      : kind_(kind) {}
+
+  ModelKind kind() const noexcept { return kind_; }
+
+  /// Trains on supervised samples (see sweep.hpp).
+  void fit(const std::vector<TrainingSample>& samples,
+           const ForestParams& forest_params = {});
+
+  /// Predicts (P', alpha) for a new graph and trade-off beta. Outputs are
+  /// clamped to the sweep grid's hull so downstream Picasso always receives
+  /// feasible parameters.
+  PredictedParams predict(double beta, std::uint64_t num_vertices,
+                          std::uint64_t num_edges) const;
+
+  /// Evaluates on held-out samples.
+  EvalReport evaluate(const std::vector<TrainingSample>& test_samples) const;
+
+  bool trained() const noexcept { return trained_; }
+
+ private:
+  std::vector<double> raw_predict(const double* features) const;
+
+  ModelKind kind_;
+  RandomForestRegressor forest_;
+  RidgeRegressor ridge_;
+  LassoRegressor lasso_;
+  bool trained_ = false;
+};
+
+}  // namespace picasso::ml

@@ -1,0 +1,100 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace picasso::ml {
+
+void RandomForestRegressor::fit(const Matrix& x, const Matrix& y,
+                                const ForestParams& params) {
+  if (x.rows() != y.rows() || x.rows() == 0) {
+    throw std::invalid_argument("RandomForestRegressor::fit: bad shapes");
+  }
+  num_outputs_ = y.cols();
+  num_rows_ = x.rows();
+  trees_.assign(params.num_trees, {});
+  in_bag_.assign(params.num_trees, {});
+
+  TreeParams tree_params = params.tree;
+  if (tree_params.max_features == 0) {
+    // Standard regression-forest default: d/3 features per split, >= 1.
+    tree_params.max_features = std::max<std::size_t>(1, x.cols() / 3);
+  }
+  const auto sample_size = static_cast<std::size_t>(
+      std::ceil(params.bootstrap_fraction * static_cast<double>(x.rows())));
+
+  for (std::size_t t = 0; t < params.num_trees; ++t) {
+    util::Xoshiro256 rng = util::keyed_rng(params.seed, 0xf0f0, t);
+    std::vector<std::uint32_t> sample(sample_size);
+    for (auto& idx : sample) {
+      idx = static_cast<std::uint32_t>(rng.bounded(x.rows()));
+    }
+    in_bag_[t] = sample;
+    trees_[t].fit(x, y, tree_params, rng, sample);
+  }
+}
+
+std::vector<double> RandomForestRegressor::predict(const double* features) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForestRegressor::predict: not trained");
+  }
+  std::vector<double> mean(num_outputs_, 0.0);
+  for (const auto& tree : trees_) {
+    const std::vector<double> p = tree.predict(features);
+    for (std::size_t out = 0; out < num_outputs_; ++out) mean[out] += p[out];
+  }
+  for (double& v : mean) v /= static_cast<double>(trees_.size());
+  return mean;
+}
+
+Matrix RandomForestRegressor::predict_all(const Matrix& x) const {
+  Matrix out(x.rows(), num_outputs_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const std::vector<double> p = predict(x.row(r));
+    for (std::size_t c = 0; c < num_outputs_; ++c) out.at(r, c) = p[c];
+  }
+  return out;
+}
+
+Matrix RandomForestRegressor::predict_oob(const Matrix& x) const {
+  if (x.rows() != num_rows_) {
+    throw std::invalid_argument("predict_oob: row count differs from training");
+  }
+  // Mark which rows each tree trained on.
+  std::vector<std::vector<char>> in_bag_mask(trees_.size(),
+                                             std::vector<char>(num_rows_, 0));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    for (std::uint32_t row : in_bag_[t]) in_bag_mask[t][row] = 1;
+  }
+  Matrix out(x.rows(), num_outputs_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    std::vector<double> mean(num_outputs_, 0.0);
+    std::size_t votes = 0;
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      if (in_bag_mask[t][r]) continue;
+      const std::vector<double> p = trees_[t].predict(x.row(r));
+      for (std::size_t c = 0; c < num_outputs_; ++c) mean[c] += p[c];
+      ++votes;
+    }
+    if (votes == 0) {
+      mean = predict(x.row(r));  // row sampled by every tree: fall back
+    } else {
+      for (double& v : mean) v /= static_cast<double>(votes);
+    }
+    for (std::size_t c = 0; c < num_outputs_; ++c) out.at(r, c) = mean[c];
+  }
+  return out;
+}
+
+std::vector<double> RandomForestRegressor::feature_importance() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total = trees_.front().feature_importance();
+  for (std::size_t t = 1; t < trees_.size(); ++t) {
+    const std::vector<double> imp = trees_[t].feature_importance();
+    for (std::size_t f = 0; f < total.size(); ++f) total[f] += imp[f];
+  }
+  for (double& v : total) v /= static_cast<double>(trees_.size());
+  return total;
+}
+
+}  // namespace picasso::ml

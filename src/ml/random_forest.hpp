@@ -1,0 +1,51 @@
+#pragma once
+// Random-forest regressor: bootstrap-aggregated CART trees with per-split
+// feature subsampling. §VI of the paper selects this model (100 trees,
+// depth 20) for predicting (P', alpha) from (beta, |V|, |E|).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace picasso::ml {
+
+struct ForestParams {
+  std::size_t num_trees = 100;
+  TreeParams tree;  // paper configuration: max_depth = 20
+  /// Bootstrap sample size as a fraction of the training set.
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 42;
+};
+
+class RandomForestRegressor {
+ public:
+  void fit(const Matrix& x, const Matrix& y, const ForestParams& params);
+
+  /// Mean prediction over all trees.
+  std::vector<double> predict(const double* features) const;
+  std::vector<double> predict(const std::vector<double>& features) const {
+    return predict(features.data());
+  }
+
+  /// Per-row predictions for a whole matrix, flattened row-major.
+  Matrix predict_all(const Matrix& x) const;
+
+  /// Out-of-bag predictions (rows never sampled by any tree fall back to
+  /// the full-forest prediction). A cheap internal generalisation check.
+  Matrix predict_oob(const Matrix& x) const;
+
+  /// Mean impurity importance over trees.
+  std::vector<double> feature_importance() const;
+
+  std::size_t num_trees() const noexcept { return trees_.size(); }
+  bool trained() const noexcept { return !trees_.empty(); }
+
+ private:
+  std::vector<DecisionTreeRegressor> trees_;
+  std::vector<std::vector<std::uint32_t>> in_bag_;  // per-tree sampled rows
+  std::size_t num_outputs_ = 0;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace picasso::ml

@@ -1,0 +1,102 @@
+#include "ml/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace picasso::ml {
+
+std::vector<double> default_percent_grid() {
+  return {1.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0};
+}
+
+std::vector<double> default_alpha_grid() {
+  return {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5};
+}
+
+std::vector<SweepPoint> parameter_sweep(const pauli::PauliSet& set,
+                                        const std::vector<double>& percents,
+                                        const std::vector<double>& alphas,
+                                        const core::PicassoParams& base) {
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(percents.size() * alphas.size());
+  for (double percent : percents) {
+    for (double alpha : alphas) {
+      core::PicassoParams params = base;
+      params.palette_percent = percent;
+      params.alpha = alpha;
+      const core::PicassoResult r = core::picasso_color_pauli(set, params);
+      sweep.push_back({percent, alpha, r.num_colors, r.max_conflict_edges,
+                       r.total_seconds});
+    }
+  }
+  return sweep;
+}
+
+std::vector<OptimalChoice> optimal_choices(const std::vector<SweepPoint>& sweep,
+                                           const std::vector<double>& betas) {
+  std::vector<OptimalChoice> out;
+  if (sweep.empty()) return out;
+
+  // Normalise both objectives to [0, 1] over the sweep.
+  double c_max = 0.0, e_max = 0.0;
+  for (const SweepPoint& p : sweep) {
+    c_max = std::max(c_max, static_cast<double>(p.colors));
+    e_max = std::max(e_max, static_cast<double>(p.max_conflict_edges));
+  }
+  if (c_max == 0.0) c_max = 1.0;
+  if (e_max == 0.0) e_max = 1.0;
+
+  out.reserve(betas.size());
+  for (double beta : betas) {
+    OptimalChoice best;
+    best.beta = beta;
+    best.objective = std::numeric_limits<double>::infinity();
+    for (const SweepPoint& p : sweep) {
+      const double objective =
+          beta * static_cast<double>(p.colors) / c_max +
+          (1.0 - beta) * static_cast<double>(p.max_conflict_edges) / e_max;
+      if (objective < best.objective) {
+        best.objective = objective;
+        best.palette_percent = p.palette_percent;
+        best.alpha = p.alpha;
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<TrainingSample> build_training_samples(
+    const pauli::PauliSet& set, std::uint64_t num_edges,
+    const std::vector<double>& betas, const std::vector<double>& percents,
+    const std::vector<double>& alphas, const core::PicassoParams& base) {
+  const std::vector<SweepPoint> sweep =
+      parameter_sweep(set, percents, alphas, base);
+  const std::vector<OptimalChoice> optima = optimal_choices(sweep, betas);
+
+  const double log_v = std::log10(static_cast<double>(std::max<std::size_t>(set.size(), 1)));
+  const double log_e = std::log10(static_cast<double>(std::max<std::uint64_t>(num_edges, 1)));
+  std::vector<TrainingSample> samples;
+  samples.reserve(optima.size());
+  for (const OptimalChoice& opt : optima) {
+    samples.push_back(
+        {opt.beta, log_v, log_e, opt.palette_percent, opt.alpha});
+  }
+  return samples;
+}
+
+void samples_to_matrices(const std::vector<TrainingSample>& samples, Matrix& x,
+                         Matrix& y) {
+  x = Matrix(samples.size(), 3);
+  y = Matrix(samples.size(), 2);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    x.at(i, 0) = samples[i].beta;
+    x.at(i, 1) = samples[i].log_vertices;
+    x.at(i, 2) = samples[i].log_edges;
+    y.at(i, 0) = samples[i].best_percent;
+    y.at(i, 1) = samples[i].best_alpha;
+  }
+}
+
+}  // namespace picasso::ml

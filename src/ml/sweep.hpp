@@ -1,0 +1,73 @@
+#pragma once
+// §VI Steps 1-4: parameter sweeps and training-set construction.
+//
+// For a graph (Pauli set), run Picasso over a (P', alpha) grid recording the
+// final color count C and the maximum conflict-edge count |Ec|; for each
+// trade-off weight beta select the grid point minimising
+//     beta * C_hat + (1 - beta) * Ec_hat            (Eq. (7))
+// where C_hat, Ec_hat are the objectives normalised to [0, 1] over the
+// sweep (the two raw scales differ by orders of magnitude; the paper mixes
+// them through beta, which only yields a meaningful trade-off curve after
+// normalisation — documented substitution).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/picasso.hpp"
+#include "ml/dataset.hpp"
+#include "pauli/pauli_set.hpp"
+
+namespace picasso::ml {
+
+struct SweepPoint {
+  double palette_percent = 0.0;
+  double alpha = 0.0;
+  std::uint32_t colors = 0;
+  std::uint64_t max_conflict_edges = 0;
+  double seconds = 0.0;
+};
+
+/// Default grids from the paper: P' in {1, 2.5, 5, ..., 20} percent and
+/// alpha in {0.5, 1.0, ..., 4.5}.
+std::vector<double> default_percent_grid();
+std::vector<double> default_alpha_grid();
+
+/// Step 1: run Picasso over the grid (single seed per point; the driver is
+/// deterministic given the seed).
+std::vector<SweepPoint> parameter_sweep(const pauli::PauliSet& set,
+                                        const std::vector<double>& percents,
+                                        const std::vector<double>& alphas,
+                                        const core::PicassoParams& base = {});
+
+/// Steps 2-3: for each beta pick argmin of Eq. (7) over the sweep.
+struct OptimalChoice {
+  double beta = 0.0;
+  double palette_percent = 0.0;
+  double alpha = 0.0;
+  double objective = 0.0;
+};
+std::vector<OptimalChoice> optimal_choices(const std::vector<SweepPoint>& sweep,
+                                           const std::vector<double>& betas);
+
+/// One supervised example: features (beta, log10 |V|, log10 |E|) ->
+/// targets (P', alpha).
+struct TrainingSample {
+  double beta = 0.0;
+  double log_vertices = 0.0;
+  double log_edges = 0.0;
+  double best_percent = 0.0;
+  double best_alpha = 0.0;
+};
+
+/// Step 4 for one graph: sweep + per-beta argmin, stamped with the graph's
+/// size features. `num_edges` is the complement-graph edge count.
+std::vector<TrainingSample> build_training_samples(
+    const pauli::PauliSet& set, std::uint64_t num_edges,
+    const std::vector<double>& betas, const std::vector<double>& percents,
+    const std::vector<double>& alphas, const core::PicassoParams& base = {});
+
+/// Packs samples into model-ready matrices (X: n x 3, Y: n x 2).
+void samples_to_matrices(const std::vector<TrainingSample>& samples, Matrix& x,
+                         Matrix& y);
+
+}  // namespace picasso::ml

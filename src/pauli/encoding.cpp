@@ -1,0 +1,83 @@
+#include "pauli/encoding.hpp"
+
+#include <bit>
+
+namespace picasso::pauli {
+
+std::uint64_t inverse_one_hot_code(PauliOp op) noexcept {
+  switch (op) {
+    case PauliOp::I: return 0b000;
+    case PauliOp::X: return 0b110;
+    case PauliOp::Y: return 0b101;
+    case PauliOp::Z: return 0b011;
+  }
+  return 0;
+}
+
+void encode3(const PauliString& s, std::uint64_t* out) {
+  const std::size_t words = words_per_string3(s.num_qubits());
+  for (std::size_t w = 0; w < words; ++w) out[w] = 0;
+  for (std::size_t q = 0; q < s.num_qubits(); ++q) {
+    const std::size_t word = q / kOpsPerWord3;
+    const std::size_t shift = (q % kOpsPerWord3) * 3;
+    out[word] |= inverse_one_hot_code(s.op(q)) << shift;
+  }
+}
+
+void encode2(const PauliString& s, std::uint64_t* x_out, std::uint64_t* z_out) {
+  const std::size_t words = words_per_string2(s.num_qubits());
+  for (std::size_t w = 0; w < words; ++w) x_out[w] = z_out[w] = 0;
+  for (std::size_t q = 0; q < s.num_qubits(); ++q) {
+    const std::size_t word = q / kOpsPerWord2;
+    const std::uint64_t bit = std::uint64_t{1} << (q % kOpsPerWord2);
+    switch (s.op(q)) {
+      case PauliOp::X: x_out[word] |= bit; break;
+      case PauliOp::Y: x_out[word] |= bit; z_out[word] |= bit; break;
+      case PauliOp::Z: z_out[word] |= bit; break;
+      case PauliOp::I: break;
+    }
+  }
+}
+
+PauliString decode3(const std::uint64_t* words, std::size_t num_qubits) {
+  PauliString s(num_qubits);
+  for (std::size_t q = 0; q < num_qubits; ++q) {
+    const std::size_t word = q / kOpsPerWord3;
+    const std::size_t shift = (q % kOpsPerWord3) * 3;
+    const std::uint64_t code = (words[word] >> shift) & 0b111u;
+    switch (code) {
+      case 0b000: s.set_op(q, PauliOp::I); break;
+      case 0b110: s.set_op(q, PauliOp::X); break;
+      case 0b101: s.set_op(q, PauliOp::Y); break;
+      case 0b011: s.set_op(q, PauliOp::Z); break;
+      default: throw std::invalid_argument("decode3: corrupt encoding");
+    }
+  }
+  return s;
+}
+
+bool anticommute3(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t words) noexcept {
+  unsigned total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<unsigned>(std::popcount(a[w] & b[w]));
+  }
+  return (total & 1u) != 0;
+}
+
+bool anticommute2(const std::uint64_t* ax, const std::uint64_t* az,
+                  const std::uint64_t* bx, const std::uint64_t* bz,
+                  std::size_t words) noexcept {
+  unsigned total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<unsigned>(std::popcount(ax[w] & bz[w]));
+    total += static_cast<unsigned>(std::popcount(az[w] & bx[w]));
+  }
+  return (total & 1u) != 0;
+}
+
+bool anticommute_chars(const PauliString& a, const PauliString& b) noexcept {
+  return a.anticommutes_with(b);
+}
+
+}  // namespace picasso::pauli

@@ -1,0 +1,30 @@
+#include "pauli/fermion.hpp"
+
+#include <cstdio>
+
+namespace picasso::pauli {
+
+std::string FermionTerm::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%+.6g)", coefficient);
+  std::string s = buf;
+  for (const auto& op : ops) {
+    std::snprintf(buf, sizeof(buf), " a%s_%u", op.creation ? "+" : "", op.mode);
+    s += buf;
+  }
+  return s;
+}
+
+FermionOp creation(std::uint32_t mode) { return {mode, true}; }
+FermionOp annihilation(std::uint32_t mode) { return {mode, false}; }
+
+FermionTerm one_body(double coefficient, std::uint32_t p, std::uint32_t q) {
+  return {coefficient, {creation(p), annihilation(q)}};
+}
+
+FermionTerm two_body(double coefficient, std::uint32_t p, std::uint32_t q,
+                     std::uint32_t r, std::uint32_t s) {
+  return {coefficient, {creation(p), creation(q), annihilation(r), annihilation(s)}};
+}
+
+}  // namespace picasso::pauli

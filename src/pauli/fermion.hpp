@@ -1,0 +1,56 @@
+#pragma once
+// Second-quantised fermionic operators.
+//
+// The quantum-chemistry inputs of the paper are molecular Hamiltonians in
+// second quantisation: sums of products of creation (a†_p) and annihilation
+// (a_p) operators over spin orbitals. This module represents such products
+// symbolically; jordan_wigner.hpp maps them to PauliOperators.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace picasso::pauli {
+
+/// One ladder operator acting on a spin-orbital mode.
+struct FermionOp {
+  std::uint32_t mode = 0;
+  bool creation = false;  // true: a†_mode, false: a_mode
+
+  bool operator==(const FermionOp&) const = default;
+};
+
+/// A scalar multiple of a product of ladder operators, applied left to
+/// right in the listed order (ops[0] acts last on a ket, as usual notation
+/// a†_p a_q means "first annihilate q, then create p").
+struct FermionTerm {
+  double coefficient = 0.0;
+  std::vector<FermionOp> ops;
+
+  /// "(-0.5) a+_3 a_1" style rendering, for diagnostics.
+  std::string to_string() const;
+};
+
+/// Convenience constructors.
+FermionOp creation(std::uint32_t mode);
+FermionOp annihilation(std::uint32_t mode);
+
+/// One-body excitation coefficient * a†_p a_q.
+FermionTerm one_body(double coefficient, std::uint32_t p, std::uint32_t q);
+
+/// Two-body term coefficient * a†_p a†_q a_r a_s.
+FermionTerm two_body(double coefficient, std::uint32_t p, std::uint32_t q,
+                     std::uint32_t r, std::uint32_t s);
+
+/// A sum of fermionic terms (e.g., a full molecular Hamiltonian before the
+/// qubit mapping). Kept as a flat list; like-term combination happens after
+/// the Jordan-Wigner transform where the representation is canonical.
+struct FermionOperator {
+  std::uint32_t num_modes = 0;
+  std::vector<FermionTerm> terms;
+
+  void add(FermionTerm term) { terms.push_back(std::move(term)); }
+  std::size_t size() const { return terms.size(); }
+};
+
+}  // namespace picasso::pauli

@@ -1,0 +1,62 @@
+#include "pauli/jordan_wigner.hpp"
+
+#include <stdexcept>
+
+namespace picasso::pauli {
+
+namespace {
+
+/// Builds Z_0..Z_{p-1} O_p on n qubits.
+PauliString z_prefix_string(std::uint32_t mode, std::size_t n, PauliOp op) {
+  PauliString s(n);
+  for (std::uint32_t k = 0; k < mode; ++k) s.set_op(k, PauliOp::Z);
+  s.set_op(mode, op);
+  return s;
+}
+
+PauliOperator jw_ladder_impl(std::uint32_t mode, std::size_t n, bool creation) {
+  if (mode >= n) {
+    throw std::invalid_argument("jordan_wigner: mode index out of range");
+  }
+  PauliOperator out(n);
+  out.add_term(z_prefix_string(mode, n, PauliOp::X), {0.5, 0.0});
+  // a_p carries +iY/2, a†_p carries -iY/2.
+  out.add_term(z_prefix_string(mode, n, PauliOp::Y),
+               {0.0, creation ? -0.5 : 0.5});
+  return out;
+}
+
+}  // namespace
+
+PauliOperator jw_annihilation(std::uint32_t mode, std::size_t num_qubits) {
+  return jw_ladder_impl(mode, num_qubits, /*creation=*/false);
+}
+
+PauliOperator jw_creation(std::uint32_t mode, std::size_t num_qubits) {
+  return jw_ladder_impl(mode, num_qubits, /*creation=*/true);
+}
+
+PauliOperator jw_ladder(const FermionOp& op, std::size_t num_qubits) {
+  return jw_ladder_impl(op.mode, num_qubits, op.creation);
+}
+
+PauliOperator jw_term(const FermionTerm& term, std::size_t num_qubits) {
+  PauliOperator out =
+      PauliOperator::identity(num_qubits, {term.coefficient, 0.0});
+  for (const auto& op : term.ops) {
+    out = out.multiply(jw_ladder(op, num_qubits));
+  }
+  return out;
+}
+
+PauliOperator jordan_wigner(const FermionOperator& op, double prune_tol) {
+  const std::size_t n = op.num_modes;
+  PauliOperator out(n);
+  for (const auto& term : op.terms) {
+    out += jw_term(term, n);
+  }
+  out.prune(prune_tol);
+  return out;
+}
+
+}  // namespace picasso::pauli

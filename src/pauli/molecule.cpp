@@ -1,0 +1,297 @@
+#include "pauli/molecule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "pauli/jordan_wigner.hpp"
+
+namespace picasso::pauli {
+
+const char* to_string(Geometry g) noexcept {
+  switch (g) {
+    case Geometry::Chain1D: return "1D";
+    case Geometry::Sheet2D: return "2D";
+    case Geometry::Cube3D: return "3D";
+  }
+  return "?";
+}
+
+const char* to_string(Basis b) noexcept {
+  switch (b) {
+    case Basis::STO3G: return "sto3g";
+    case Basis::B631G: return "631g";
+    case Basis::B6311G: return "6311g";
+  }
+  return "?";
+}
+
+std::string MoleculeSpec::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "H%d_%s_%s", num_atoms, to_string(geometry),
+                to_string(basis));
+  return buf;
+}
+
+double distance(const Vec3& a, const Vec3& b) noexcept {
+  const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+namespace {
+
+/// Places n atoms on a 1D chain, the squarest possible 2D grid, or the most
+/// cubical 3D lattice (mirrors the paper's 1D/2D/3D Hn configurations).
+std::vector<Vec3> place_atoms(int n, Geometry geom, double spacing) {
+  std::vector<Vec3> atoms;
+  atoms.reserve(static_cast<std::size_t>(n));
+  switch (geom) {
+    case Geometry::Chain1D: {
+      for (int i = 0; i < n; ++i) {
+        atoms.push_back({spacing * i, 0.0, 0.0});
+      }
+      break;
+    }
+    case Geometry::Sheet2D: {
+      const int cols = static_cast<int>(std::ceil(std::sqrt(double(n))));
+      for (int i = 0; i < n; ++i) {
+        atoms.push_back({spacing * (i % cols), spacing * (i / cols), 0.0});
+      }
+      break;
+    }
+    case Geometry::Cube3D: {
+      // Fill lattice sites in balanced (x+y+z) order so that even small n
+      // (e.g. a 4-atom tetrahedron-like cluster) genuinely extends into the
+      // third dimension instead of filling an x-y layer first.
+      const int side = static_cast<int>(std::ceil(std::cbrt(double(n))));
+      std::vector<std::array<int, 3>> sites;
+      sites.reserve(static_cast<std::size_t>(side) * side * side);
+      for (int x = 0; x < side; ++x) {
+        for (int y = 0; y < side; ++y) {
+          for (int z = 0; z < side; ++z) sites.push_back({x, y, z});
+        }
+      }
+      std::sort(sites.begin(), sites.end(),
+                [](const std::array<int, 3>& a, const std::array<int, 3>& b) {
+                  const int sa = a[0] + a[1] + a[2];
+                  const int sb = b[0] + b[1] + b[2];
+                  if (sa != sb) return sa < sb;
+                  return a < b;
+                });
+      for (int i = 0; i < n; ++i) {
+        atoms.push_back({spacing * sites[static_cast<std::size_t>(i)][0],
+                         spacing * sites[static_cast<std::size_t>(i)][1],
+                         spacing * sites[static_cast<std::size_t>(i)][2]});
+      }
+      break;
+    }
+  }
+  return atoms;
+}
+
+/// Width parameters per shell: the valence splits of 6-31g / 6-311g add
+/// progressively more diffuse functions.
+constexpr std::array<double, 3> kShellZetas = {1.24, 0.55, 0.28};
+
+}  // namespace
+
+Molecule::Molecule(const MoleculeSpec& spec) : spec_(spec) {
+  if (spec.num_atoms < 1) {
+    throw std::invalid_argument("Molecule: need at least one atom");
+  }
+  atoms_ = place_atoms(spec.num_atoms, spec.geometry, spec.spacing);
+  const int shells = static_cast<int>(spec.basis);
+  orbitals_.reserve(atoms_.size() * static_cast<std::size_t>(shells));
+  for (const Vec3& atom : atoms_) {
+    for (int s = 0; s < shells; ++s) {
+      orbitals_.push_back({atom, kShellZetas[static_cast<std::size_t>(s)]});
+    }
+  }
+}
+
+double Molecule::overlap(std::size_t i, std::size_t j) const {
+  const Orbital& a = orbitals_[i];
+  const Orbital& b = orbitals_[j];
+  const double mu = a.zeta * b.zeta / (a.zeta + b.zeta);
+  const double d = distance(a.center, b.center);
+  // Gaussian product theorem shape: prefactor normalised so S_ii = 1.
+  const double pre =
+      std::pow(4.0 * a.zeta * b.zeta / ((a.zeta + b.zeta) * (a.zeta + b.zeta)),
+               0.75);
+  return pre * std::exp(-mu * d * d);
+}
+
+double Molecule::core(std::size_t i, std::size_t j) const {
+  const Orbital& a = orbitals_[i];
+  const Orbital& b = orbitals_[j];
+  const double s = overlap(i, j);
+  // Kinetic-like part: grows with the orbitals' sharpness.
+  const double kinetic = 0.5 * (a.zeta + b.zeta) * s;
+  // Nuclear-attraction-like part: each nucleus pulls on the charge cloud
+  // centered at the bond midpoint; softened Coulomb kernel.
+  const Vec3 p = bond_center(i, j);
+  double attraction = 0.0;
+  for (const Vec3& nucleus : atoms_) {
+    attraction -= s / (distance(p, nucleus) + 0.5);
+  }
+  return kinetic + attraction;
+}
+
+double Molecule::eri(std::size_t i, std::size_t j, std::size_t k,
+                     std::size_t l) const {
+  const double s_ij = overlap(i, j);
+  const double s_kl = overlap(k, l);
+  const Vec3 p = bond_center(i, j);
+  const Vec3 q = bond_center(k, l);
+  // Mulliken approximation with a softened 1/R kernel; exactly symmetric in
+  // (i<->j), (k<->l) and (ij)<->(kl), which keeps H Hermitian.
+  return s_ij * s_kl / (distance(p, q) + 0.75);
+}
+
+Vec3 Molecule::bond_center(std::size_t i, std::size_t j) const {
+  const Vec3& a = orbitals_[i].center;
+  const Vec3& b = orbitals_[j].center;
+  return {0.5 * (a.x + b.x), 0.5 * (a.y + b.y), 0.5 * (a.z + b.z)};
+}
+
+FermionOperator molecular_fermion_hamiltonian(const Molecule& mol,
+                                              double integral_threshold) {
+  const std::size_t m = mol.num_spatial();
+  FermionOperator h;
+  h.num_modes = static_cast<std::uint32_t>(2 * m);
+
+  // Spin-orbital index: spatial orbital mu with spin sigma -> 2*mu + sigma.
+  auto so = [](std::size_t mu, int sigma) {
+    return static_cast<std::uint32_t>(2 * mu + static_cast<std::size_t>(sigma));
+  };
+
+  // One-body part: h_ij a†_{i sigma} a_{j sigma}.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double hij = mol.core(i, j);
+      if (std::abs(hij) <= integral_threshold) continue;
+      for (int sigma = 0; sigma < 2; ++sigma) {
+        h.add(one_body(hij, so(i, sigma), so(j, sigma)));
+      }
+    }
+  }
+
+  // Two-body part, chemist notation:
+  //   ½ Σ_{ijkl} (ij|kl) Σ_{σrole τ} a†_{iσ} a†_{kτ} a_{lτ} a_{jσ}.
+  // Terms where the two creations (or the two annihilations) hit the same
+  // spin orbital vanish identically and are skipped.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t k = 0; k < m; ++k) {
+        for (std::size_t l = 0; l < m; ++l) {
+          const double g = mol.eri(i, j, k, l);
+          if (std::abs(g) <= integral_threshold) continue;
+          for (int sigma = 0; sigma < 2; ++sigma) {
+            for (int tau = 0; tau < 2; ++tau) {
+              const std::uint32_t p = so(i, sigma);
+              const std::uint32_t q = so(k, tau);
+              const std::uint32_t r = so(l, tau);
+              const std::uint32_t s = so(j, sigma);
+              if (p == q || r == s) continue;
+              h.add(two_body(0.5 * g, p, q, r, s));
+            }
+          }
+        }
+      }
+    }
+  }
+  return h;
+}
+
+PauliOperator molecular_hamiltonian(const MoleculeSpec& spec,
+                                    double integral_threshold,
+                                    double prune_tol) {
+  const Molecule mol(spec);
+  const FermionOperator fop =
+      molecular_fermion_hamiltonian(mol, integral_threshold);
+  return jordan_wigner(fop, prune_tol);
+}
+
+FermionOperator cc_doubles_operator(const Molecule& mol,
+                                    double amp_threshold) {
+  const auto num_modes = static_cast<std::uint32_t>(mol.num_qubits());
+  const std::uint32_t num_occ =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(mol.spec().num_atoms),
+                              num_modes);
+  FermionOperator t;
+  t.num_modes = num_modes;
+
+  // Spin orbital p belongs to spatial orbital p/2.
+  auto spatial = [](std::uint32_t p) { return static_cast<std::size_t>(p / 2); };
+  // Synthetic doubles amplitude: product of excitation overlaps, damped by a
+  // denominator that grows with the virtual orbitals' diffuseness gap —
+  // qualitatively the MP2 shape t ~ (ai|bj) / Δε.
+  auto amplitude = [&](std::uint32_t a, std::uint32_t b, std::uint32_t i,
+                       std::uint32_t j) {
+    const double s_ai = mol.overlap(spatial(a), spatial(i));
+    const double s_bj = mol.overlap(spatial(b), spatial(j));
+    const double gap = 1.0 + 0.25 * static_cast<double>((a - i) + (b - j)) /
+                                 static_cast<double>(num_modes);
+    return 0.1 * s_ai * s_bj / gap;
+  };
+
+  for (std::uint32_t i = 0; i < num_occ; ++i) {
+    for (std::uint32_t j = i + 1; j < num_occ; ++j) {
+      for (std::uint32_t a = num_occ; a < num_modes; ++a) {
+        for (std::uint32_t b = a + 1; b < num_modes; ++b) {
+          const double amp = amplitude(a, b, i, j);
+          if (std::abs(amp) <= amp_threshold) continue;
+          // T term a†_a a†_b a_j a_i and its Hermitian conjugate.
+          t.add(two_body(amp, a, b, j, i));
+          t.add(two_body(amp, i, j, b, a));
+        }
+      }
+    }
+  }
+  return t;
+}
+
+PauliOperator ansatz_extended_operator(const MoleculeSpec& spec,
+                                       double integral_threshold,
+                                       double amp_threshold, double prune_tol) {
+  const Molecule mol(spec);
+  PauliOperator h = jordan_wigner(
+      molecular_fermion_hamiltonian(mol, integral_threshold), prune_tol);
+  const PauliOperator t_hat =
+      jordan_wigner(cc_doubles_operator(mol, amp_threshold), prune_tol);
+  PauliOperator t_sq = t_hat.multiply(t_hat);
+  t_sq.prune(prune_tol);
+  h += t_hat;
+  h += t_sq;
+  h.prune(prune_tol);
+  return h;
+}
+
+PauliSet pauli_set_from_operator(const PauliOperator& op, double drop_tol,
+                                 std::size_t max_terms) {
+  PauliOperator::FlatTerms flat = op.flattened(drop_tol);
+  if (max_terms != 0 && flat.strings.size() > max_terms) {
+    // Keep the max_terms largest coefficients (deterministic tie-break on
+    // the lexicographic string order established by flattened()).
+    std::vector<std::size_t> idx(flat.strings.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return std::abs(flat.coefficients[a]) > std::abs(flat.coefficients[b]);
+    });
+    idx.resize(max_terms);
+    std::sort(idx.begin(), idx.end());
+    PauliOperator::FlatTerms trimmed;
+    trimmed.strings.reserve(max_terms);
+    trimmed.coefficients.reserve(max_terms);
+    for (std::size_t id : idx) {
+      trimmed.strings.push_back(std::move(flat.strings[id]));
+      trimmed.coefficients.push_back(flat.coefficients[id]);
+    }
+    flat = std::move(trimmed);
+  }
+  return PauliSet(flat.strings, std::move(flat.coefficients));
+}
+
+}  // namespace picasso::pauli

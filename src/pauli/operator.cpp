@@ -1,0 +1,114 @@
+#include "pauli/operator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace picasso::pauli {
+
+namespace {
+constexpr double kAbsorbTol = 1e-14;
+}
+
+PauliOperator PauliOperator::identity(std::size_t n, Coefficient c) {
+  PauliOperator op(n);
+  op.add_term(PauliString(n), c);
+  return op;
+}
+
+void PauliOperator::add_term(const PauliString& s, Coefficient c) {
+  if (s.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("PauliOperator::add_term: qubit mismatch");
+  }
+  auto [it, inserted] = terms_.try_emplace(s, c);
+  if (!inserted) {
+    it->second += c;
+    if (std::abs(it->second) <= kAbsorbTol) terms_.erase(it);
+  }
+}
+
+PauliOperator::Coefficient PauliOperator::coefficient_of(
+    const PauliString& s) const {
+  auto it = terms_.find(s);
+  return it == terms_.end() ? Coefficient{0.0, 0.0} : it->second;
+}
+
+PauliOperator& PauliOperator::operator+=(const PauliOperator& other) {
+  if (num_qubits_ == 0 && terms_.empty()) num_qubits_ = other.num_qubits_;
+  for (const auto& [s, c] : other.terms_) add_term(s, c);
+  return *this;
+}
+
+PauliOperator& PauliOperator::operator-=(const PauliOperator& other) {
+  if (num_qubits_ == 0 && terms_.empty()) num_qubits_ = other.num_qubits_;
+  for (const auto& [s, c] : other.terms_) add_term(s, -c);
+  return *this;
+}
+
+PauliOperator& PauliOperator::operator*=(Coefficient scalar) {
+  if (scalar == Coefficient{0.0, 0.0}) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [s, c] : terms_) c *= scalar;
+  return *this;
+}
+
+PauliOperator PauliOperator::multiply(const PauliOperator& other) const {
+  if (num_qubits_ != other.num_qubits_ && !terms_.empty() &&
+      !other.terms_.empty()) {
+    throw std::invalid_argument("PauliOperator::multiply: qubit mismatch");
+  }
+  PauliOperator out(num_qubits_);
+  out.terms_.reserve(terms_.size() * other.terms_.size());
+  for (const auto& [sa, ca] : terms_) {
+    for (const auto& [sb, cb] : other.terms_) {
+      StringProduct p = pauli::multiply(sa, sb);
+      out.add_term(p.string, ca * cb * p.phase());
+    }
+  }
+  return out;
+}
+
+PauliOperator PauliOperator::dagger() const {
+  PauliOperator out(num_qubits_);
+  for (const auto& [s, c] : terms_) out.add_term(s, std::conj(c));
+  return out;
+}
+
+std::size_t PauliOperator::prune(double tol) {
+  std::size_t removed = 0;
+  for (auto it = terms_.begin(); it != terms_.end();) {
+    if (std::abs(it->second) <= tol) {
+      it = terms_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+double PauliOperator::max_imaginary_part() const {
+  double worst = 0.0;
+  for (const auto& [s, c] : terms_) {
+    worst = std::max(worst, std::abs(c.imag()));
+  }
+  return worst;
+}
+
+PauliOperator::FlatTerms PauliOperator::flattened(double drop_tol) const {
+  FlatTerms out;
+  out.strings.reserve(terms_.size());
+  for (const auto& [s, c] : terms_) {
+    if (std::abs(c) > drop_tol) out.strings.push_back(s);
+  }
+  std::sort(out.strings.begin(), out.strings.end());
+  out.coefficients.reserve(out.strings.size());
+  for (const auto& s : out.strings) {
+    out.coefficients.push_back(terms_.at(s).real());
+  }
+  return out;
+}
+
+}  // namespace picasso::pauli

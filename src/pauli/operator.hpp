@@ -1,0 +1,79 @@
+#pragma once
+// PauliOperator: a linear combination of Pauli strings with complex
+// coefficients — the qubit-side representation of Hamiltonians and other
+// observables. The Jordan-Wigner transform produces these; combining like
+// terms here is what turns O(q^4) raw fermionic terms into the distinct
+// Pauli-string vertex sets of Table II.
+
+#include <complex>
+#include <unordered_map>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace picasso::pauli {
+
+class PauliOperator {
+ public:
+  using Coefficient = std::complex<double>;
+  using TermMap = std::unordered_map<PauliString, Coefficient, PauliStringHash>;
+
+  PauliOperator() = default;
+  explicit PauliOperator(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  /// The zero operator on `n` qubits.
+  static PauliOperator zero(std::size_t n) { return PauliOperator(n); }
+
+  /// The identity operator scaled by `c`.
+  static PauliOperator identity(std::size_t n, Coefficient c = {1.0, 0.0});
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  std::size_t num_terms() const noexcept { return terms_.size(); }
+  bool is_zero() const noexcept { return terms_.empty(); }
+  const TermMap& terms() const noexcept { return terms_; }
+
+  /// Adds `c * s`, combining with an existing like term.
+  void add_term(const PauliString& s, Coefficient c);
+
+  Coefficient coefficient_of(const PauliString& s) const;
+
+  PauliOperator& operator+=(const PauliOperator& other);
+  PauliOperator& operator-=(const PauliOperator& other);
+  PauliOperator& operator*=(Coefficient scalar);
+
+  friend PauliOperator operator+(PauliOperator a, const PauliOperator& b) {
+    a += b;
+    return a;
+  }
+  friend PauliOperator operator-(PauliOperator a, const PauliOperator& b) {
+    a -= b;
+    return a;
+  }
+
+  /// Operator product with phase-tracked string multiplication.
+  PauliOperator multiply(const PauliOperator& other) const;
+
+  /// Hermitian conjugate (strings are self-adjoint; conjugates coefficients).
+  PauliOperator dagger() const;
+
+  /// Removes terms with |coefficient| <= tol. Returns #terms removed.
+  std::size_t prune(double tol);
+
+  /// Largest coefficient magnitude deviation from a real value; an exactly
+  /// Hermitian operator has 0 (up to floating-point) — used by tests.
+  double max_imaginary_part() const;
+
+  /// Deterministic term extraction: strings sorted lexicographically,
+  /// coefficients as the real part (callers verify Hermiticity first).
+  struct FlatTerms {
+    std::vector<PauliString> strings;
+    std::vector<double> coefficients;
+  };
+  FlatTerms flattened(double drop_tol = 0.0) const;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  TermMap terms_;
+};
+
+}  // namespace picasso::pauli

@@ -1,0 +1,118 @@
+#include "pauli/pauli_set.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace picasso::pauli {
+
+PauliSet::PauliSet(const std::vector<PauliString>& strings,
+                   std::vector<double> coefficients) {
+  size_ = strings.size();
+  if (size_ == 0) return;
+  num_qubits_ = strings.front().num_qubits();
+  for (const auto& s : strings) {
+    if (s.num_qubits() != num_qubits_) {
+      throw std::invalid_argument("PauliSet: inconsistent qubit counts");
+    }
+  }
+  words3_ = words_per_string3(num_qubits_);
+  words2_ = words_per_string2(num_qubits_);
+  words3_data_.assign(size_ * words3_, 0);
+  words2_data_.assign(size_ * 2 * words2_, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    encode3(strings[i], words3_data_.data() + i * words3_);
+    encode2(strings[i], words2_data_.data() + (2 * i) * words2_,
+            words2_data_.data() + (2 * i + 1) * words2_);
+  }
+  if (coefficients.empty()) {
+    coefficients_.assign(size_, 1.0);
+  } else {
+    if (coefficients.size() != size_) {
+      throw std::invalid_argument("PauliSet: coefficient count mismatch");
+    }
+    coefficients_ = std::move(coefficients);
+  }
+}
+
+PauliString PauliSet::string(std::size_t i) const {
+  return decode3(encoded3(i), num_qubits_);
+}
+
+std::uint64_t PauliSet::count_anticommuting_pairs() const {
+  std::uint64_t count = 0;
+#ifdef PICASSO_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : count)
+#endif
+  for (std::size_t i = 0; i < size_; ++i) {
+    for (std::size_t j = i + 1; j < size_; ++j) {
+      count += anticommute(i, j) ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+namespace {
+constexpr std::uint64_t kMagic = 0x5041554c49534554ULL;  // "PAULISET"
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("PauliSet::load_binary: truncated input");
+  return value;
+}
+}  // namespace
+
+void PauliSet::save_binary(std::ostream& out) const {
+  write_pod(out, kMagic);
+  write_pod(out, static_cast<std::uint64_t>(num_qubits_));
+  write_pod(out, static_cast<std::uint64_t>(size_));
+  out.write(reinterpret_cast<const char*>(words3_data_.data()),
+            static_cast<std::streamsize>(words3_data_.size() *
+                                         sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(coefficients_.data()),
+            static_cast<std::streamsize>(coefficients_.size() * sizeof(double)));
+}
+
+PauliSet PauliSet::load_binary(std::istream& in) {
+  if (read_pod<std::uint64_t>(in) != kMagic) {
+    throw std::runtime_error("PauliSet::load_binary: bad magic");
+  }
+  const auto num_qubits = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  const auto size = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  const std::size_t words3 = words_per_string3(num_qubits);
+  std::vector<std::uint64_t> packed(size * words3);
+  in.read(reinterpret_cast<char*>(packed.data()),
+          static_cast<std::streamsize>(packed.size() * sizeof(std::uint64_t)));
+  std::vector<double> coefs(size);
+  in.read(reinterpret_cast<char*>(coefs.data()),
+          static_cast<std::streamsize>(coefs.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("PauliSet::load_binary: truncated input");
+  // Reconstruct through the string constructor so both encodings are built.
+  std::vector<PauliString> strings;
+  strings.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    strings.push_back(decode3(packed.data() + i * words3, num_qubits));
+  }
+  return PauliSet(strings, std::move(coefs));
+}
+
+PauliSet PauliSet::subset(const std::vector<std::uint32_t>& ids) const {
+  std::vector<PauliString> strings;
+  std::vector<double> coefs;
+  strings.reserve(ids.size());
+  coefs.reserve(ids.size());
+  for (std::uint32_t id : ids) {
+    strings.push_back(string(id));
+    coefs.push_back(coefficients_[id]);
+  }
+  return PauliSet(strings, std::move(coefs));
+}
+
+}  // namespace picasso::pauli

@@ -1,0 +1,136 @@
+#include "pauli/pauli_string.hpp"
+
+#include <stdexcept>
+
+namespace picasso::pauli {
+
+char to_char(PauliOp op) noexcept {
+  switch (op) {
+    case PauliOp::I: return 'I';
+    case PauliOp::X: return 'X';
+    case PauliOp::Y: return 'Y';
+    case PauliOp::Z: return 'Z';
+  }
+  return '?';
+}
+
+PauliOp op_from_char(char c) {
+  switch (c) {
+    case 'I': case 'i': return PauliOp::I;
+    case 'X': case 'x': return PauliOp::X;
+    case 'Y': case 'y': return PauliOp::Y;
+    case 'Z': case 'z': return PauliOp::Z;
+    default:
+      throw std::invalid_argument(std::string("invalid Pauli character: ") + c);
+  }
+}
+
+OpProduct multiply(PauliOp a, PauliOp b) noexcept {
+  if (a == PauliOp::I) return {b, 0};
+  if (b == PauliOp::I) return {a, 0};
+  if (a == b) return {PauliOp::I, 0};
+  // Remaining cases are the cyclic products: XY = iZ, YZ = iX, ZX = iY and
+  // the reversed (anti-cyclic) ones with phase -i = i^3.
+  const auto ai = static_cast<int>(a);  // X=1, Y=2, Z=3
+  const auto bi = static_cast<int>(b);
+  // The "third" operator: indices {1,2,3} sum to 6.
+  const auto ci = 6 - ai - bi;
+  // Cyclic (1->2->3->1) iff b == a+1 mod 3 over {1,2,3}.
+  const bool cyclic = (bi - ai + 3) % 3 == 1;
+  return {static_cast<PauliOp>(ci), static_cast<std::uint8_t>(cyclic ? 1 : 3)};
+}
+
+PauliString PauliString::parse(std::string_view text) {
+  std::vector<PauliOp> ops;
+  ops.reserve(text.size());
+  for (char c : text) ops.push_back(op_from_char(c));
+  return PauliString(std::move(ops));
+}
+
+std::size_t PauliString::weight() const noexcept {
+  std::size_t w = 0;
+  for (PauliOp op : ops_) w += op != PauliOp::I ? 1 : 0;
+  return w;
+}
+
+std::string PauliString::to_string() const {
+  std::string s;
+  s.reserve(ops_.size());
+  for (PauliOp op : ops_) s.push_back(to_char(op));
+  return s;
+}
+
+bool PauliString::anticommutes_with(const PauliString& other) const {
+  std::size_t mismatches = 0;
+  const std::size_t n = std::min(ops_.size(), other.ops_.size());
+  for (std::size_t q = 0; q < n; ++q) {
+    mismatches += anticommutes(ops_[q], other.ops_[q]) ? 1 : 0;
+  }
+  return (mismatches & 1u) != 0;
+}
+
+StringProduct multiply(const PauliString& a, const PauliString& b) {
+  if (a.num_qubits() != b.num_qubits()) {
+    throw std::invalid_argument("PauliString product: qubit count mismatch");
+  }
+  std::vector<PauliOp> ops(a.num_qubits());
+  unsigned phase = 0;
+  for (std::size_t q = 0; q < a.num_qubits(); ++q) {
+    const OpProduct p = multiply(a.op(q), b.op(q));
+    ops[q] = p.op;
+    phase += p.phase_exp;
+  }
+  return {PauliString(std::move(ops)), static_cast<std::uint8_t>(phase & 3u)};
+}
+
+std::size_t PauliStringHash::operator()(const PauliString& s) const noexcept {
+  // FNV-1a over 2-bit op codes packed four per byte-step; cheap and stable.
+  std::size_t h = 1469598103934665603ULL;
+  for (PauliOp op : s.ops()) {
+    h ^= static_cast<std::size_t>(op);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<std::complex<double>> to_matrix(const PauliString& s) {
+  using C = std::complex<double>;
+  static constexpr std::size_t kMaxQubits = 12;
+  const std::size_t n = s.num_qubits();
+  if (n > kMaxQubits) {
+    throw std::invalid_argument("to_matrix: too many qubits for dense form");
+  }
+  // Single-qubit matrices, row-major.
+  auto cell = [](PauliOp op, int r, int c) -> C {
+    switch (op) {
+      case PauliOp::I: return r == c ? C{1, 0} : C{0, 0};
+      case PauliOp::X: return r != c ? C{1, 0} : C{0, 0};
+      case PauliOp::Y:
+        if (r == 0 && c == 1) return {0, -1};
+        if (r == 1 && c == 0) return {0, 1};
+        return {0, 0};
+      case PauliOp::Z:
+        if (r == c) return r == 0 ? C{1, 0} : C{-1, 0};
+        return {0, 0};
+    }
+    return {0, 0};
+  };
+  const std::size_t dim = std::size_t{1} << n;
+  std::vector<C> m(dim * dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      C v{1, 0};
+      for (std::size_t q = 0; q < n && v != C{0, 0}; ++q) {
+        // Qubit 0 is the leftmost factor in the tensor product.
+        const int shift = static_cast<int>(n - 1 - q);
+        const int rb = static_cast<int>((r >> shift) & 1u);
+        const int cb = static_cast<int>((c >> shift) & 1u);
+        v *= cell(s.op(q), rb, cb);
+      }
+      m[r * dim + c] = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace picasso::pauli

@@ -1,0 +1,97 @@
+#pragma once
+// Symbolic Pauli-string algebra.
+//
+// A Pauli string is a tensor product of single-qubit operators from
+// {I, X, Y, Z}. Strings multiply position-wise with a global phase i^k; the
+// Jordan-Wigner transform (jordan_wigner.hpp) is built on this algebra, and
+// the anticommutation relation between strings defines the edges of the
+// graphs Picasso colors (§II-B of the paper).
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace picasso::pauli {
+
+enum class PauliOp : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+char to_char(PauliOp op) noexcept;
+PauliOp op_from_char(char c);  // throws std::invalid_argument on bad input
+
+/// Result of a single-qubit product a*b = i^phase_exp * op.
+struct OpProduct {
+  PauliOp op;
+  std::uint8_t phase_exp;  // power of i, in {0,1,2,3}
+};
+
+/// Single-qubit multiplication with phase tracking (X*Y = iZ, Y*X = -iZ, ...).
+OpProduct multiply(PauliOp a, PauliOp b) noexcept;
+
+/// True iff the two single-qubit operators anticommute
+/// (both non-identity and distinct; Eq. (5) of the paper).
+constexpr bool anticommutes(PauliOp a, PauliOp b) noexcept {
+  return a != PauliOp::I && b != PauliOp::I && a != b;
+}
+
+/// A Pauli string over a fixed number of qubits.
+class PauliString {
+ public:
+  PauliString() = default;
+  explicit PauliString(std::size_t num_qubits) : ops_(num_qubits, PauliOp::I) {}
+  explicit PauliString(std::vector<PauliOp> ops) : ops_(std::move(ops)) {}
+
+  /// Parses e.g. "IXYZ". Throws std::invalid_argument on other characters.
+  static PauliString parse(std::string_view text);
+
+  std::size_t num_qubits() const noexcept { return ops_.size(); }
+  PauliOp op(std::size_t q) const { return ops_[q]; }
+  void set_op(std::size_t q, PauliOp op) { ops_[q] = op; }
+  const std::vector<PauliOp>& ops() const noexcept { return ops_; }
+
+  /// Number of non-identity positions.
+  std::size_t weight() const noexcept;
+
+  bool is_identity() const noexcept { return weight() == 0; }
+
+  std::string to_string() const;
+
+  /// True iff this string anticommutes with other: an odd number of
+  /// positions hold distinct non-identity operators (paper §IV-A).
+  bool anticommutes_with(const PauliString& other) const;
+
+  bool operator==(const PauliString&) const = default;
+  auto operator<=>(const PauliString&) const = default;
+
+ private:
+  std::vector<PauliOp> ops_;
+};
+
+/// Product of two equal-length strings: phase * string, phase = i^exp.
+struct StringProduct {
+  PauliString string;
+  std::uint8_t phase_exp;  // power of i, in {0,1,2,3}
+
+  std::complex<double> phase() const noexcept {
+    switch (phase_exp & 3u) {
+      case 0: return {1.0, 0.0};
+      case 1: return {0.0, 1.0};
+      case 2: return {-1.0, 0.0};
+      default: return {0.0, -1.0};
+    }
+  }
+};
+
+StringProduct multiply(const PauliString& a, const PauliString& b);
+
+struct PauliStringHash {
+  std::size_t operator()(const PauliString& s) const noexcept;
+};
+
+/// Dense complex matrix representation (2^n x 2^n, row-major) for small n.
+/// Exact but exponential: used only by tests to validate the fast
+/// anticommutation kernels against the ground-truth matrix algebra.
+std::vector<std::complex<double>> to_matrix(const PauliString& s);
+
+}  // namespace picasso::pauli

@@ -1,0 +1,30 @@
+#include "util/memory.hpp"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+
+namespace picasso::util {
+
+std::size_t peak_rss_bytes() noexcept {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is reported in kilobytes on Linux.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
+const char* format_bytes(std::size_t bytes, char* buf, std::size_t buflen) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, buflen, "%.2f GB", b / static_cast<double>(1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, buflen, "%.2f MB", b / static_cast<double>(1ULL << 20));
+  } else if (bytes >= (1ULL << 10)) {
+    std::snprintf(buf, buflen, "%.2f KB", b / static_cast<double>(1ULL << 10));
+  } else {
+    std::snprintf(buf, buflen, "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace picasso::util

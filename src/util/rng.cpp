@@ -1,0 +1,40 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace picasso::util {
+
+Xoshiro256 keyed_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 sm(seed ^ 0x6a09e667f3bcc909ULL);
+  std::uint64_t s = sm.next();
+  s ^= a * 0xff51afd7ed558ccdULL;
+  SplitMix64 sm2(s);
+  s = sm2.next() ^ (b * 0xc4ceb9fe1a85ec53ULL);
+  SplitMix64 sm3(s);
+  return Xoshiro256(sm3.next());
+}
+
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t k,
+                                                      Xoshiro256& rng) {
+  if (k > n) k = n;
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+
+  // Floyd's algorithm: for j = n-k .. n-1 pick t in [0, j]; insert t unless
+  // already present, in which case insert j. Guarantees uniformity over all
+  // k-subsets. Membership test on the (small, ≤ L) output via linear scan is
+  // faster than a hash set at these sizes.
+  auto contains = [&out](std::uint32_t x) {
+    return std::find(out.begin(), out.end(), x) != out.end();
+  };
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    auto t = static_cast<std::uint32_t>(rng.bounded(j + 1));
+    out.push_back(contains(t) ? j : t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace picasso::util

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace picasso::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;  // geometric mean undefined; signal with 0
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double min_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double RunningStats::mean() const { return util::mean(xs_); }
+double RunningStats::stddev() const { return util::stddev(xs_); }
+double RunningStats::geomean() const { return util::geomean(xs_); }
+
+}  // namespace picasso::util

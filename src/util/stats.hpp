@@ -1,0 +1,31 @@
+#pragma once
+// Summary statistics for multi-seed benchmark runs (the paper averages every
+// reported number over five runs; Table V reports geometric-mean speedups).
+
+#include <cstddef>
+#include <vector>
+
+namespace picasso::util {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);  // sample standard deviation
+double geomean(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Accumulates observations; convenient for per-phase timing.
+class RunningStats {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double stddev() const;
+  double geomean() const;
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace picasso::util

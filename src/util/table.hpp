@@ -1,0 +1,40 @@
+#pragma once
+// Console table / CSV emission for the benchmark harnesses. Each bench binary
+// prints the same rows the corresponding paper table or figure reports.
+
+#include <string>
+#include <vector>
+
+namespace picasso::util {
+
+/// Column-aligned console table with an optional CSV dump.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; cells are already formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Comma-separated form (no alignment padding).
+  std::string to_csv() const;
+
+  /// Prints to stdout with a title banner.
+  void print(const std::string& title) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_bytes(std::size_t bytes);
+  static std::string fmt_pct(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace picasso::util

@@ -1,0 +1,48 @@
+#pragma once
+// Wall-clock timing helpers used by the per-phase instrumentation in the
+// Picasso driver and by the benchmark harnesses.
+
+#include <chrono>
+#include <string>
+
+namespace picasso::util {
+
+/// Simple monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on scope exit; used to attribute
+/// time to the "assignment / conflict graph / conflict coloring" phases that
+/// Fig. 3 of the paper breaks down.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) noexcept : sink_(sink) {}
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+/// Formats a duration with a sensible unit (ns/us/ms/s).
+std::string format_duration(double seconds);
+
+}  // namespace picasso::util

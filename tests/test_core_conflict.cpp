@@ -1,0 +1,204 @@
+// Tests for conflict-graph construction (Algorithm 1 Line 7 / §V): the
+// defining property (edge ⇔ lists intersect AND oracle edge), exact
+// agreement between the reference and indexed kernels, and the device
+// pipeline's equivalence with the host path.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "core/conflict_graph.hpp"
+#include "core/palette.hpp"
+#include "device/device_context.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/oracles.hpp"
+#include "pauli/datasets.hpp"
+
+namespace pcore = picasso::core;
+namespace pg = picasso::graph;
+
+namespace {
+
+std::vector<std::uint32_t> identity_active(std::uint32_t n) {
+  std::vector<std::uint32_t> active(n);
+  for (std::uint32_t v = 0; v < n; ++v) active[v] = v;
+  return active;
+}
+
+/// Brute-force conflict edge set from the definition.
+std::set<std::pair<std::uint32_t, std::uint32_t>> brute_force_conflicts(
+    const pg::DenseOracle& oracle, const std::vector<std::uint32_t>& active,
+    const pcore::ColorLists& lists) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const auto n = static_cast<std::uint32_t>(active.size());
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (lists.share_color(u, v) && oracle.edge(active[u], active[v])) {
+        edges.emplace(u, v);
+      }
+    }
+  }
+  return edges;
+}
+
+std::set<std::pair<std::uint32_t, std::uint32_t>> edges_of(
+    const pg::CsrGraph& g) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < g.num_vertices(); ++u) {
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (u < v) edges.emplace(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+class ConflictKernelSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double, std::uint64_t>> {};
+
+TEST_P(ConflictKernelSweep, KernelsMatchBruteForceDefinition) {
+  const auto [n, density, seed] = GetParam();
+  const auto graph = pg::erdos_renyi_dense(n, density, seed);
+  const pg::DenseOracle oracle(graph);
+  const auto active = identity_active(n);
+  const auto palette = pcore::compute_palette(n, 12.5, 2.0, 0);
+  const auto lists = pcore::assign_random_lists(n, palette, seed, 0);
+
+  const auto expected = brute_force_conflicts(oracle, active, lists);
+
+  for (auto kernel :
+       {pcore::ConflictKernel::Reference, pcore::ConflictKernel::Indexed}) {
+    const auto result = pcore::build_conflict_graph(
+        oracle, active, lists, palette.palette_size, kernel);
+    EXPECT_TRUE(result.graph.validate().empty());
+    EXPECT_EQ(result.num_edges, expected.size()) << to_string(kernel);
+    EXPECT_EQ(edges_of(result.graph), expected) << to_string(kernel);
+    // |Vc| = vertices touched by at least one conflict edge.
+    std::set<std::uint32_t> conflicted;
+    for (const auto& [u, v] : expected) {
+      conflicted.insert(u);
+      conflicted.insert(v);
+    }
+    EXPECT_EQ(result.num_conflicted_vertices, conflicted.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesDensitiesSeeds, ConflictKernelSweep,
+    ::testing::Combine(::testing::Values(30u, 100u, 300u),
+                       ::testing::Values(0.2, 0.5, 0.9),
+                       ::testing::Values(1u, 17u)));
+
+TEST(ConflictGraph, ActiveSubsetMapsLocalIndices) {
+  // Build over a strict subset and check that indices refer to positions in
+  // `active`, not original vertex ids.
+  const auto graph = pg::erdos_renyi_dense(60, 0.8, 3);
+  const pg::DenseOracle oracle(graph);
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t v = 0; v < 60; v += 2) active.push_back(v);  // evens
+  const auto palette =
+      pcore::compute_palette(static_cast<std::uint32_t>(active.size()), 20.0, 3.0, 0);
+  const auto lists = pcore::assign_random_lists(
+      static_cast<std::uint32_t>(active.size()), palette, 5, 0);
+  const auto result = pcore::build_conflict_graph(
+      oracle, active, lists, palette.palette_size, pcore::ConflictKernel::Indexed);
+  EXPECT_EQ(result.graph.num_vertices(), active.size());
+  for (const auto& [u, v] : edges_of(result.graph)) {
+    EXPECT_TRUE(lists.share_color(u, v));
+    EXPECT_TRUE(oracle.edge(active[u], active[v]));
+  }
+}
+
+TEST(ConflictGraph, EmptyAndSingletonInputs) {
+  const auto graph = pg::erdos_renyi_dense(4, 0.5, 1);
+  const pg::DenseOracle oracle(graph);
+  const pcore::ColorLists empty_lists(0, 1);
+  const auto r0 = pcore::build_conflict_graph(
+      oracle, std::vector<std::uint32_t>{}, empty_lists, 1,
+      pcore::ConflictKernel::Indexed);
+  EXPECT_EQ(r0.num_edges, 0u);
+  const auto palette = pcore::compute_palette(1, 50.0, 1.0, 0);
+  const auto one = pcore::assign_random_lists(1, palette, 1, 0);
+  const auto r1 = pcore::build_conflict_graph(
+      oracle, std::vector<std::uint32_t>{2}, one, palette.palette_size,
+      pcore::ConflictKernel::Reference);
+  EXPECT_EQ(r1.num_edges, 0u);
+  EXPECT_EQ(r1.graph.num_vertices(), 1u);
+}
+
+TEST(ConflictGraph, DevicePipelineMatchesHost) {
+  const auto graph = pg::erdos_renyi_dense(120, 0.6, 9);
+  const pg::DenseOracle oracle(graph);
+  const auto active = identity_active(120);
+  const auto palette = pcore::compute_palette(120, 15.0, 2.5, 0);
+  const auto lists = pcore::assign_random_lists(120, palette, 2, 0);
+
+  const auto host = pcore::build_conflict_graph(
+      oracle, active, lists, palette.palette_size, pcore::ConflictKernel::Indexed);
+
+  picasso::device::DeviceContext ctx(64u << 20);
+  const auto device = pcore::build_conflict_graph_device(
+      ctx, oracle, active, lists, palette.palette_size,
+      pcore::ConflictKernel::Indexed);
+  EXPECT_EQ(edges_of(device.graph), edges_of(host.graph));
+  EXPECT_TRUE(device.csr_built_on_device);  // plenty of budget
+  EXPECT_GT(device.logical_bytes, 0u);
+  EXPECT_EQ(ctx.used_bytes(), 0u);  // everything refunded after build
+}
+
+TEST(ConflictGraph, DeviceFallsBackToHostCsrWhenTight) {
+  // Budget large enough for counters + COO but too small to also hold the
+  // CSR neighbor array on device -> host fallback path (Algorithm 3 Line 7).
+  const auto graph = pg::erdos_renyi_dense(200, 0.9, 4);
+  const pg::DenseOracle oracle(graph);
+  const auto active = identity_active(200);
+  const auto palette = pcore::compute_palette(200, 10.0, 4.0, 0);
+  const auto lists = pcore::assign_random_lists(200, palette, 8, 0);
+
+  const auto host = pcore::build_conflict_graph(
+      oracle, active, lists, palette.palette_size, pcore::ConflictKernel::Indexed);
+  ASSERT_GT(host.num_edges, 100u);
+
+  // counters: 200*8 bytes; COO: 8 bytes per edge. Size the budget so that
+  // the final 2|Ec|*4-byte CSR does NOT fit in what remains.
+  const std::size_t counters = 200 * sizeof(std::uint64_t);
+  const std::size_t coo = static_cast<std::size_t>(host.num_edges) * 8;
+  picasso::device::DeviceContext ctx(counters + coo + coo / 4);
+  const auto device = pcore::build_conflict_graph_device(
+      ctx, oracle, active, lists, palette.palette_size,
+      pcore::ConflictKernel::Indexed);
+  EXPECT_FALSE(device.csr_built_on_device);
+  EXPECT_EQ(edges_of(device.graph), edges_of(host.graph));
+}
+
+TEST(ConflictGraph, DeviceOutOfMemoryWhenCooOverflows) {
+  const auto graph = pg::erdos_renyi_dense(300, 0.9, 6);
+  const pg::DenseOracle oracle(graph);
+  const auto active = identity_active(300);
+  const auto palette = pcore::compute_palette(300, 5.0, 4.5, 0);
+  const auto lists = pcore::assign_random_lists(300, palette, 3, 0);
+  // Tiny budget: the COO buffer cannot hold the conflict edges.
+  picasso::device::DeviceContext ctx(300 * sizeof(std::uint64_t) + 1024);
+  EXPECT_THROW(pcore::build_conflict_graph_device(
+                   ctx, oracle, active, lists, palette.palette_size,
+                   pcore::ConflictKernel::Reference),
+               picasso::device::DeviceOutOfMemory);
+  EXPECT_GE(ctx.oom_count(), 1u);
+}
+
+TEST(ConflictGraph, WorksOnRealPauliOracle) {
+  const auto set = picasso::pauli::fig1_h2_set();
+  const pg::ComplementOracle oracle(set);
+  const auto n = static_cast<std::uint32_t>(set.size());
+  const auto active = identity_active(n);
+  const auto palette = pcore::compute_palette(n, 30.0, 4.0, 0);
+  const auto lists = pcore::assign_random_lists(n, palette, 4, 0);
+  const auto ref = pcore::build_conflict_graph(
+      oracle, active, lists, palette.palette_size, pcore::ConflictKernel::Reference);
+  const auto idx = pcore::build_conflict_graph(
+      oracle, active, lists, palette.palette_size, pcore::ConflictKernel::Indexed);
+  EXPECT_EQ(edges_of(ref.graph), edges_of(idx.graph));
+}

@@ -1,0 +1,137 @@
+// Tests for palette geometry and random list assignment (Algorithm 1,
+// Lines 5-6): clamping rules, sampling invariants, determinism, and the
+// sorted-list intersection primitive.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/palette.hpp"
+
+namespace pcore = picasso::core;
+
+TEST(ComputePalette, PaletteSizeIsPercentOfActive) {
+  const auto p = pcore::compute_palette(1000, 12.5, 2.0, 0);
+  EXPECT_EQ(p.palette_size, 125u);
+  EXPECT_EQ(p.base_color, 0u);
+}
+
+TEST(ComputePalette, ListSizeUsesLog10Rule) {
+  // L = ceil(2 * log10(1000)) = 6.
+  const auto p = pcore::compute_palette(1000, 12.5, 2.0, 0);
+  EXPECT_EQ(p.list_size, 6u);
+}
+
+TEST(ComputePalette, ListClampsToPaletteInAggressiveMode) {
+  // Aggressive (P'=3, alpha=30): L would be 30*log10(n) >> P for small n.
+  const auto p = pcore::compute_palette(1000, 3.0, 30.0, 0);
+  EXPECT_EQ(p.palette_size, 30u);
+  EXPECT_EQ(p.list_size, 30u);  // clamped to P
+}
+
+TEST(ComputePalette, MinimaAndEdgeCases) {
+  const auto tiny = pcore::compute_palette(1, 1.0, 0.5, 7);
+  EXPECT_EQ(tiny.palette_size, 1u);
+  EXPECT_EQ(tiny.list_size, 1u);
+  EXPECT_EQ(tiny.base_color, 7u);
+  const auto zero = pcore::compute_palette(0, 12.5, 2.0, 3);
+  EXPECT_EQ(zero.palette_size, 0u);
+  const auto all = pcore::compute_palette(10, 100.0, 1.0, 0);
+  EXPECT_EQ(all.palette_size, 10u);
+  // Palette never exceeds the number of active vertices.
+  const auto over = pcore::compute_palette(10, 500.0, 1.0, 0);
+  EXPECT_EQ(over.palette_size, 10u);
+}
+
+TEST(ComputePalette, BaseColorCarriesThrough) {
+  const auto p = pcore::compute_palette(100, 10.0, 1.0, 4200);
+  EXPECT_EQ(p.base_color, 4200u);
+}
+
+TEST(AssignRandomLists, ListsAreSortedDistinctAndInPalette) {
+  const pcore::IterationPalette palette{50, 8, 0};
+  const auto lists = pcore::assign_random_lists(200, palette, 1, 0);
+  ASSERT_EQ(lists.num_vertices(), 200u);
+  ASSERT_EQ(lists.list_size(), 8u);
+  for (std::uint32_t v = 0; v < 200; ++v) {
+    const auto list = lists.list(v);
+    std::set<std::uint32_t> unique(list.begin(), list.end());
+    EXPECT_EQ(unique.size(), list.size()) << "v=" << v;
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+    for (auto c : list) EXPECT_LT(c, palette.palette_size);
+  }
+}
+
+TEST(AssignRandomLists, DeterministicPerSeedAndIteration) {
+  const pcore::IterationPalette palette{40, 6, 0};
+  const auto a = pcore::assign_random_lists(64, palette, 9, 2);
+  const auto b = pcore::assign_random_lists(64, palette, 9, 2);
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    const auto la = a.list(v);
+    const auto lb = b.list(v);
+    EXPECT_TRUE(std::equal(la.begin(), la.end(), lb.begin()));
+  }
+  // A different iteration (or seed) produces different lists somewhere.
+  const auto c = pcore::assign_random_lists(64, palette, 9, 3);
+  const auto d = pcore::assign_random_lists(64, palette, 10, 2);
+  int diff_c = 0, diff_d = 0;
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    const auto la = a.list(v);
+    const auto lc = c.list(v);
+    const auto ld = d.list(v);
+    diff_c += std::equal(la.begin(), la.end(), lc.begin()) ? 0 : 1;
+    diff_d += std::equal(la.begin(), la.end(), ld.begin()) ? 0 : 1;
+  }
+  EXPECT_GT(diff_c, 0);
+  EXPECT_GT(diff_d, 0);
+}
+
+TEST(AssignRandomLists, CoversPaletteApproximatelyUniformly) {
+  // With n*L = 6000 draws over 60 colors, each color should appear about
+  // 100 times; allow generous slack.
+  const pcore::IterationPalette palette{60, 6, 0};
+  const auto lists = pcore::assign_random_lists(1000, palette, 123, 0);
+  std::vector<int> histogram(60, 0);
+  for (std::uint32_t v = 0; v < 1000; ++v) {
+    for (auto c : lists.list(v)) ++histogram[c];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 50);
+    EXPECT_LT(count, 170);
+  }
+}
+
+TEST(ColorLists, FirstSharedColorAgainstBruteForce) {
+  const pcore::IterationPalette palette{30, 5, 0};
+  const auto lists = pcore::assign_random_lists(80, palette, 77, 1);
+  for (std::uint32_t u = 0; u < 80; ++u) {
+    for (std::uint32_t v = 0; v < 80; ++v) {
+      const auto lu = lists.list(u);
+      const auto lv = lists.list(v);
+      std::uint32_t expected = pcore::ColorLists::kNoShared;
+      for (auto cu : lu) {
+        if (std::find(lv.begin(), lv.end(), cu) != lv.end()) {
+          expected = cu;
+          break;
+        }
+      }
+      EXPECT_EQ(lists.first_shared_color(u, v), expected);
+      EXPECT_EQ(lists.share_color(u, v),
+                expected != pcore::ColorLists::kNoShared);
+    }
+  }
+}
+
+TEST(ColorLists, SelfAlwaysShares) {
+  const pcore::IterationPalette palette{20, 4, 0};
+  const auto lists = pcore::assign_random_lists(10, palette, 5, 0);
+  for (std::uint32_t v = 0; v < 10; ++v) {
+    EXPECT_EQ(lists.first_shared_color(v, v), lists.list(v)[0]);
+  }
+}
+
+TEST(ColorLists, LogicalBytesNonZero) {
+  const pcore::IterationPalette palette{20, 4, 0};
+  const auto lists = pcore::assign_random_lists(10, palette, 5, 0);
+  EXPECT_GE(lists.logical_bytes(), 10u * 4u * sizeof(std::uint32_t));
+}

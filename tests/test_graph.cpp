@@ -1,0 +1,226 @@
+// Tests for the graph substrate: CSR and dense-bitset representations,
+// generators, text I/O, and the oracle layer (including the central
+// complement/anticommute duality the coloring pipeline relies on).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/csr_graph.hpp"
+#include "graph/dense_graph.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/oracles.hpp"
+#include "pauli/pauli_set.hpp"
+#include "util/rng.hpp"
+
+namespace pg = picasso::graph;
+namespace pp = picasso::pauli;
+
+TEST(CsrGraph, FromEdgesBuildsSortedSymmetricRows) {
+  auto g = pg::CsrGraph::from_edges(4, {{1, 0}, {2, 3}, {0, 2}, {1, 0}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);  // duplicate (1,0) deduplicated
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(CsrGraph, RejectsBadInput) {
+  EXPECT_THROW(pg::CsrGraph::from_edges(2, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(pg::CsrGraph::from_edges(2, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(pg::CsrGraph::from_csr({0, 5}, {0}), std::invalid_argument);
+}
+
+TEST(CsrGraph, DegreeStatistics) {
+  const auto g = pg::path_graph(5);  // degrees 1,2,2,2,1
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 8.0 / 5.0);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const pg::CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DenseGraph, BasicAdjacency) {
+  pg::DenseGraph g(70);  // crosses the 64-bit word boundary
+  g.add_edge(0, 69);
+  g.add_edge(63, 64);
+  EXPECT_TRUE(g.has_edge(69, 0));
+  EXPECT_TRUE(g.has_edge(64, 63));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(63), 1u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(DenseGraph, NeighborIterationIsSortedAndComplete) {
+  pg::DenseGraph g(100);
+  g.add_edge(5, 99);
+  g.add_edge(5, 63);
+  g.add_edge(5, 64);
+  g.add_edge(5, 0);
+  std::vector<std::uint32_t> seen;
+  g.for_each_neighbor(5, [&](std::uint32_t u) { seen.push_back(u); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 63, 64, 99}));
+}
+
+TEST(DenseGraph, MaxDegree) {
+  auto g = pg::complete_graph(8);
+  EXPECT_EQ(g.max_degree(), 7u);
+  EXPECT_EQ(g.num_edges(), 28u);
+}
+
+TEST(Generators, PathCycleBipartiteCliques) {
+  EXPECT_EQ(pg::path_graph(6).num_edges(), 5u);
+  EXPECT_EQ(pg::cycle_graph(6).num_edges(), 6u);
+  const auto kb = pg::complete_bipartite(3, 4);
+  EXPECT_EQ(kb.num_vertices(), 7u);
+  EXPECT_EQ(kb.num_edges(), 12u);
+  EXPECT_TRUE(kb.validate().empty());
+  const auto cliques = pg::disjoint_cliques(3, 4);
+  EXPECT_EQ(cliques.num_vertices(), 12u);
+  EXPECT_EQ(cliques.num_edges(), 3u * 6u);
+  EXPECT_FALSE(cliques.has_edge(0, 4));  // across cliques
+  EXPECT_TRUE(cliques.has_edge(4, 7));   // inside second clique
+}
+
+TEST(Generators, RingLattice) {
+  const auto g = pg::ring_lattice(10, 4);
+  EXPECT_TRUE(g.validate().empty());
+  for (pg::VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, ErdosRenyiDensityIsCloseToP) {
+  for (double p : {0.1, 0.5}) {
+    const auto g = pg::erdos_renyi(400, p, 7);
+    EXPECT_TRUE(g.validate().empty());
+    const double total = 400.0 * 399.0 / 2.0;
+    const double density = static_cast<double>(g.num_edges()) / total;
+    EXPECT_NEAR(density, p, 0.04) << "p=" << p;
+  }
+}
+
+TEST(Generators, ErdosRenyiEdgeCases) {
+  EXPECT_EQ(pg::erdos_renyi(50, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(pg::erdos_renyi(10, 1.0, 1).num_edges(), 45u);
+  // Deterministic per seed.
+  EXPECT_EQ(pg::erdos_renyi(100, 0.3, 5).num_edges(),
+            pg::erdos_renyi(100, 0.3, 5).num_edges());
+}
+
+TEST(Generators, DenseErdosRenyiMatchesDensity) {
+  const auto g = pg::erdos_renyi_dense(300, 0.5, 3);
+  EXPECT_TRUE(g.validate().empty());
+  const double total = 300.0 * 299.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) / total, 0.5, 0.04);
+}
+
+TEST(Generators, RandomGeometricIsValid) {
+  const auto g = pg::random_geometric(200, 0.15, 11);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(GraphIo, WriteReadRoundTrip) {
+  const auto g = pg::erdos_renyi(60, 0.2, 9);
+  std::stringstream buffer;
+  pg::write_edge_list(buffer, g);
+  const auto back = pg::read_edge_list(buffer);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (pg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(back.degree(v), g.degree(v));
+  }
+}
+
+TEST(GraphIo, SkipsCommentsAndRejectsGarbage) {
+  std::stringstream ok("% comment\n3 2\n0 1\n# another\n1 2\n");
+  const auto g = pg::read_edge_list(ok);
+  EXPECT_EQ(g.num_edges(), 2u);
+  std::stringstream bad("not a header\n");
+  EXPECT_THROW(pg::read_edge_list(bad), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(pg::read_edge_list(empty), std::runtime_error);
+}
+
+TEST(Oracles, CsrAndDenseOraclesMatchTheirGraphs) {
+  const auto csr = pg::erdos_renyi(80, 0.3, 21);
+  const pg::CsrOracle co(csr);
+  EXPECT_EQ(co.num_vertices(), 80u);
+  auto dense = pg::erdos_renyi_dense(80, 0.3, 21);
+  const pg::DenseOracle dor(dense);
+  for (pg::VertexId u = 0; u < 80; ++u) {
+    for (pg::VertexId v = 0; v < 80; ++v) {
+      EXPECT_EQ(co.edge(u, v), csr.has_edge(u, v));
+      EXPECT_EQ(dor.edge(u, v), dense.has_edge(u, v));
+    }
+  }
+}
+
+TEST(Oracles, ComplementAndAnticommuteAreExactDuals) {
+  // For u != v exactly one of the two oracles reports an edge.
+  picasso::util::Xoshiro256 rng(13);
+  std::vector<pp::PauliString> strings;
+  for (int i = 0; i < 60; ++i) {
+    pp::PauliString s(6);
+    for (std::size_t q = 0; q < 6; ++q) {
+      s.set_op(q, static_cast<pp::PauliOp>(rng.bounded(4)));
+    }
+    strings.push_back(s);
+  }
+  const pp::PauliSet set(strings);
+  const pg::AnticommuteOracle anti(set);
+  const pg::ComplementOracle compl_oracle(set);
+  for (pg::VertexId u = 0; u < set.size(); ++u) {
+    EXPECT_FALSE(compl_oracle.edge(u, u));
+    EXPECT_FALSE(anti.edge(u, u));
+    for (pg::VertexId v = 0; v < set.size(); ++v) {
+      if (u == v) continue;
+      EXPECT_NE(anti.edge(u, v), compl_oracle.edge(u, v));
+    }
+  }
+}
+
+TEST(Oracles, MaterialiseDenseAndCsrAgree) {
+  const auto set = pp::PauliSet([] {
+    std::vector<pp::PauliString> s;
+    picasso::util::Xoshiro256 rng(3);
+    for (int i = 0; i < 40; ++i) {
+      pp::PauliString str(5);
+      for (std::size_t q = 0; q < 5; ++q) {
+        str.set_op(q, static_cast<pp::PauliOp>(rng.bounded(4)));
+      }
+      s.push_back(str);
+    }
+    return s;
+  }());
+  const pg::ComplementOracle oracle(set);
+  const auto dense = pg::materialize_dense(oracle);
+  const auto csr = pg::materialize_csr(oracle);
+  EXPECT_TRUE(csr.validate().empty());
+  EXPECT_EQ(dense.num_edges(), csr.num_edges());
+  EXPECT_EQ(dense.num_edges(), pg::count_edges(oracle));
+  for (pg::VertexId u = 0; u < oracle.num_vertices(); ++u) {
+    for (pg::VertexId v = 0; v < oracle.num_vertices(); ++v) {
+      EXPECT_EQ(dense.has_edge(u, v), csr.has_edge(u, v));
+      if (u != v) {
+        EXPECT_EQ(dense.has_edge(u, v), oracle.edge(u, v));
+      }
+    }
+  }
+}
+
+TEST(Oracles, LogicalBytesScaleWithRepresentation) {
+  const auto csr = pg::erdos_renyi(100, 0.5, 2);
+  pg::DenseGraph dense(100);
+  EXPECT_GT(csr.logical_bytes(), 0u);
+  EXPECT_GT(dense.logical_bytes(), 0u);
+  // At 50% density CSR spends far more than n^2/8 bits.
+  EXPECT_GT(csr.logical_bytes(), dense.logical_bytes());
+}

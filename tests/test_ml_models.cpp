@@ -1,0 +1,276 @@
+// Tests for the regression models behind the §VI parameter predictor:
+// CART trees, random forests, ridge/lasso, the linear solver, and metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/decision_tree.hpp"
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace ml = picasso::ml;
+
+namespace {
+
+/// y = [step(x0), 2*x1] with mild noise on a grid — separable structure a
+/// tree should capture and a forest should smooth.
+void make_synthetic(std::size_t n, std::uint64_t seed, ml::Matrix& x,
+                    ml::Matrix& y, bool noisy = true) {
+  picasso::util::Xoshiro256 rng(seed);
+  x = ml::Matrix(n, 2);
+  y = ml::Matrix(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    x.at(i, 0) = x0;
+    x.at(i, 1) = x1;
+    const double noise = noisy ? 0.01 * (rng.uniform() - 0.5) : 0.0;
+    y.at(i, 0) = (x0 > 0.5 ? 1.0 : 0.0) + noise;
+    y.at(i, 1) = 2.0 * x1 + noise;
+  }
+}
+
+}  // namespace
+
+TEST(Metrics, HandComputedValues) {
+  const std::vector<double> yt{1.0, 2.0, 4.0};
+  const std::vector<double> yp{1.1, 1.8, 4.4};
+  EXPECT_NEAR(ml::mape(yt, yp), (0.1 + 0.1 + 0.1) / 3.0, 1e-12);
+  EXPECT_NEAR(ml::mae(yt, yp), (0.1 + 0.2 + 0.4) / 3.0, 1e-12);
+  EXPECT_NEAR(ml::rmse(yt, yp), std::sqrt((0.01 + 0.04 + 0.16) / 3.0), 1e-12);
+  // R^2: mean = 7/3; ss_tot = (16+1+25)/9*... compute directly:
+  double mean = 7.0 / 3.0;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ss_tot += (yt[i] - mean) * (yt[i] - mean);
+    ss_res += (yt[i] - yp[i]) * (yt[i] - yp[i]);
+  }
+  EXPECT_NEAR(ml::r_squared(yt, yp), 1.0 - ss_res / ss_tot, 1e-12);
+}
+
+TEST(Metrics, PerfectPredictionScores) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ml::mape(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(ml::r_squared(y, y), 1.0);
+}
+
+TEST(Metrics, MapeSkipsZeroTargets) {
+  EXPECT_NEAR(ml::mape({0.0, 2.0}, {5.0, 1.0}), 0.5, 1e-12);
+}
+
+TEST(Metrics, RejectsBadInput) {
+  EXPECT_THROW(ml::mape({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(ml::r_squared({}, {}), std::invalid_argument);
+}
+
+TEST(Matrix, PushRowAndAccess) {
+  ml::Matrix m;
+  m.push_row({1.0, 2.0});
+  m.push_row({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_THROW(m.push_row({1.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  ml::Matrix x, y;
+  make_synthetic(200, 1, x, y, /*noisy=*/false);
+  ml::DecisionTreeRegressor tree;
+  picasso::util::Xoshiro256 rng(1);
+  tree.fit(x, y, {.max_depth = 10, .min_samples_leaf = 1}, rng);
+  EXPECT_TRUE(tree.trained());
+  const double lo[] = {0.2, 0.5};
+  const double hi[] = {0.9, 0.5};
+  EXPECT_NEAR(tree.predict(lo)[0], 0.0, 1e-9);
+  EXPECT_NEAR(tree.predict(hi)[0], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, MultiOutputPredictions) {
+  ml::Matrix x, y;
+  make_synthetic(400, 2, x, y);
+  ml::DecisionTreeRegressor tree;
+  picasso::util::Xoshiro256 rng(2);
+  tree.fit(x, y, {.max_depth = 12}, rng);
+  double total_err = 0.0;
+  for (double x1 : {0.1, 0.4, 0.8}) {
+    const double features[] = {0.3, x1};
+    total_err += std::abs(tree.predict(features)[1] - 2.0 * x1);
+  }
+  EXPECT_LT(total_err / 3.0, 0.15);
+}
+
+TEST(DecisionTree, DepthZeroGivesGlobalMeanLeaf) {
+  ml::Matrix x(4, 1), y(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    y.at(i, 0) = static_cast<double>(i);
+  }
+  ml::DecisionTreeRegressor tree;
+  picasso::util::Xoshiro256 rng(3);
+  tree.fit(x, y, {.max_depth = 0}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  const double f[] = {2.0};
+  EXPECT_DOUBLE_EQ(tree.predict(f)[0], 1.5);
+}
+
+TEST(DecisionTree, MinSamplesLeafIsRespected) {
+  ml::Matrix x(10, 1), y(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    y.at(i, 0) = i < 5 ? 0.0 : 1.0;
+  }
+  ml::DecisionTreeRegressor tree;
+  picasso::util::Xoshiro256 rng(4);
+  tree.fit(x, y, {.max_depth = 20, .min_samples_leaf = 5}, rng);
+  // The only admissible split is at the 5/5 boundary: 3 nodes total.
+  EXPECT_EQ(tree.num_nodes(), 3u);
+}
+
+TEST(DecisionTree, FeatureImportanceFindsTheSignal) {
+  // Output depends only on feature 0; importance must concentrate there.
+  ml::Matrix x(300, 3), y(300, 1);
+  picasso::util::Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) x.at(i, f) = rng.uniform();
+    y.at(i, 0) = 3.0 * x.at(i, 0);
+  }
+  ml::DecisionTreeRegressor tree;
+  tree.fit(x, y, {.max_depth = 8}, rng);
+  const auto importance = tree.feature_importance();
+  EXPECT_GT(importance[0], 0.9);
+}
+
+TEST(DecisionTree, RejectsBadShapesAndUntrainedPredict) {
+  ml::DecisionTreeRegressor tree;
+  picasso::util::Xoshiro256 rng(6);
+  ml::Matrix x(2, 1), y(3, 1);
+  EXPECT_THROW(tree.fit(x, y, {}, rng), std::invalid_argument);
+  const double f[] = {0.0};
+  EXPECT_THROW(tree.predict(f), std::logic_error);
+}
+
+TEST(RandomForest, BeatsGlobalMeanOnSmoothFunction) {
+  ml::Matrix x, y;
+  make_synthetic(500, 7, x, y);
+  ml::RandomForestRegressor forest;
+  forest.fit(x, y, {.num_trees = 40, .tree = {}, .seed = 7});
+  EXPECT_EQ(forest.num_trees(), 40u);
+  // Evaluate on fresh data.
+  ml::Matrix xt, yt;
+  make_synthetic(200, 8, xt, yt);
+  const auto pred = forest.predict_all(xt);
+  std::vector<double> truth, predicted;
+  for (std::size_t i = 0; i < xt.rows(); ++i) {
+    truth.push_back(yt.at(i, 1));
+    predicted.push_back(pred.at(i, 1));
+  }
+  EXPECT_GT(ml::r_squared(truth, predicted), 0.9);
+}
+
+TEST(RandomForest, OobPredictionsAreReasonable) {
+  ml::Matrix x, y;
+  make_synthetic(300, 9, x, y);
+  ml::RandomForestRegressor forest;
+  forest.fit(x, y, {.num_trees = 30, .tree = {}, .seed = 9});
+  const auto oob = forest.predict_oob(x);
+  std::vector<double> truth, predicted;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    truth.push_back(y.at(i, 1));
+    predicted.push_back(oob.at(i, 1));
+  }
+  EXPECT_GT(ml::r_squared(truth, predicted), 0.7);
+  ml::Matrix wrong(10, 2);
+  EXPECT_THROW(forest.predict_oob(wrong), std::invalid_argument);
+}
+
+TEST(RandomForest, DeterministicPerSeed) {
+  ml::Matrix x, y;
+  make_synthetic(200, 11, x, y);
+  ml::RandomForestRegressor a, b;
+  a.fit(x, y, {.num_trees = 10, .tree = {}, .seed = 5});
+  b.fit(x, y, {.num_trees = 10, .tree = {}, .seed = 5});
+  const double f[] = {0.42, 0.77};
+  EXPECT_EQ(a.predict(f), b.predict(f));
+}
+
+TEST(SolveLinearSystem, KnownSolution) {
+  // [2 1; 1 3] w = [5; 10] -> w = (1, 3).
+  ml::Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto w = ml::solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RejectsSingular) {
+  ml::Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW(ml::solve_linear_system(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Ridge, RecoversLinearRelationship) {
+  // y = 2 x0 - x1 + 3.
+  picasso::util::Xoshiro256 rng(13);
+  ml::Matrix x(200, 2), y(200, 1);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x.at(i, 0) = rng.uniform() * 10;
+    x.at(i, 1) = rng.uniform() * 10;
+    y.at(i, 0) = 2.0 * x.at(i, 0) - x.at(i, 1) + 3.0;
+  }
+  ml::RidgeRegressor ridge(1e-6);
+  ridge.fit(x, y);
+  const double f[] = {4.0, 1.0};
+  EXPECT_NEAR(ridge.predict(f)[0], 2.0 * 4.0 - 1.0 + 3.0, 1e-3);
+}
+
+TEST(Ridge, MultiOutput) {
+  picasso::util::Xoshiro256 rng(17);
+  ml::Matrix x(100, 1), y(100, 2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x.at(i, 0) = rng.uniform();
+    y.at(i, 0) = 5.0 * x.at(i, 0);
+    y.at(i, 1) = 1.0 - x.at(i, 0);
+  }
+  ml::RidgeRegressor ridge(1e-6);
+  ridge.fit(x, y);
+  const double f[] = {0.5};
+  const auto p = ridge.predict(f);
+  EXPECT_NEAR(p[0], 2.5, 1e-3);
+  EXPECT_NEAR(p[1], 0.5, 1e-3);
+}
+
+TEST(Lasso, ZeroesOutIrrelevantFeatures) {
+  // y depends on x0 only; x1, x2 are noise. Lasso should null their weights.
+  picasso::util::Xoshiro256 rng(19);
+  ml::Matrix x(300, 3), y(300, 1);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) x.at(i, f) = rng.uniform();
+    y.at(i, 0) = 4.0 * x.at(i, 0) + 0.001 * (rng.uniform() - 0.5);
+  }
+  ml::LassoRegressor lasso(0.05);
+  lasso.fit(x, y);
+  EXPECT_GE(lasso.zero_count(1e-6), 2u);
+  const double f[] = {0.5, 0.9, 0.1};
+  EXPECT_NEAR(lasso.predict(f)[0], 2.0, 0.25);
+}
+
+TEST(LinearModels, RejectUntrainedPredictAndBadShapes) {
+  ml::RidgeRegressor ridge;
+  ml::LassoRegressor lasso;
+  const double f[] = {0.0};
+  EXPECT_THROW(ridge.predict(f), std::logic_error);
+  EXPECT_THROW(lasso.predict(f), std::logic_error);
+  ml::Matrix x(2, 1), y(3, 1);
+  EXPECT_THROW(ridge.fit(x, y), std::invalid_argument);
+  EXPECT_THROW(lasso.fit(x, y), std::invalid_argument);
+}

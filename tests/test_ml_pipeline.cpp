@@ -1,0 +1,193 @@
+// Tests for the §VI pipeline: parameter sweeps, the beta-weighted
+// bi-objective selection (Eq. 7), training-set assembly, and the end-to-end
+// (beta, |V|, |E|) -> (P', alpha) predictor.
+
+#include <gtest/gtest.h>
+
+#include "graph/oracles.hpp"
+#include "ml/predictor.hpp"
+#include "ml/sweep.hpp"
+#include "pauli/datasets.hpp"
+
+namespace ml = picasso::ml;
+namespace pp = picasso::pauli;
+
+namespace {
+
+const pp::PauliSet& tiny_set() {
+  static const pp::PauliSet set = [] {
+    picasso::util::Xoshiro256 rng(8);
+    std::vector<pp::PauliString> strings;
+    for (int i = 0; i < 120; ++i) {
+      pp::PauliString s(6);
+      for (std::size_t q = 0; q < 6; ++q) {
+        s.set_op(q, static_cast<pp::PauliOp>(rng.bounded(4)));
+      }
+      strings.push_back(s);
+    }
+    return pp::PauliSet(strings);
+  }();
+  return set;
+}
+
+}  // namespace
+
+TEST(Sweep, GridsMatchThePaper) {
+  const auto percents = ml::default_percent_grid();
+  const auto alphas = ml::default_alpha_grid();
+  EXPECT_EQ(percents.size(), 9u);
+  EXPECT_DOUBLE_EQ(percents.front(), 1.0);
+  EXPECT_DOUBLE_EQ(percents.back(), 20.0);
+  EXPECT_EQ(alphas.size(), 9u);
+  EXPECT_DOUBLE_EQ(alphas.front(), 0.5);
+  EXPECT_DOUBLE_EQ(alphas.back(), 4.5);
+}
+
+TEST(Sweep, RunsEveryGridPoint) {
+  const auto sweep =
+      ml::parameter_sweep(tiny_set(), {5.0, 15.0}, {1.0, 2.0, 3.0});
+  ASSERT_EQ(sweep.size(), 6u);
+  for (const auto& p : sweep) {
+    EXPECT_GT(p.colors, 0u);
+    EXPECT_GE(p.seconds, 0.0);
+  }
+}
+
+TEST(Sweep, SmallerPaletteGivesFewerColorsMoreConflicts) {
+  // The fundamental trade-off of Fig. 5, on a controlled input.
+  const auto sweep = ml::parameter_sweep(tiny_set(), {2.0, 20.0}, {3.0});
+  ASSERT_EQ(sweep.size(), 2u);
+  const auto& small_p = sweep[0];
+  const auto& large_p = sweep[1];
+  EXPECT_LE(small_p.colors, large_p.colors);
+  EXPECT_GE(small_p.max_conflict_edges, large_p.max_conflict_edges);
+}
+
+TEST(OptimalChoices, ExtremeBetasPickExtremeObjectives) {
+  std::vector<ml::SweepPoint> sweep{
+      {1.0, 4.0, /*colors=*/10, /*Ec=*/1000, 0.0},   // few colors, many Ec
+      {20.0, 0.5, /*colors=*/100, /*Ec=*/10, 0.0},   // many colors, few Ec
+  };
+  // beta = 1: only colors matter -> first point.
+  const auto colors_first = ml::optimal_choices(sweep, {1.0});
+  EXPECT_DOUBLE_EQ(colors_first[0].palette_percent, 1.0);
+  EXPECT_DOUBLE_EQ(colors_first[0].alpha, 4.0);
+  // beta = 0: only conflict edges matter -> second point.
+  const auto edges_first = ml::optimal_choices(sweep, {0.0});
+  EXPECT_DOUBLE_EQ(edges_first[0].palette_percent, 20.0);
+  EXPECT_DOUBLE_EQ(edges_first[0].alpha, 0.5);
+}
+
+TEST(OptimalChoices, NormalisationMakesBetaMeaningful) {
+  // Without normalisation Ec (~10^3) would swamp colors (~10^1) for any
+  // beta; with it, beta=0.5 weighs both. Construct a case where the
+  // normalised objective flips the winner vs the raw sum.
+  std::vector<ml::SweepPoint> sweep{
+      {1.0, 1.0, /*colors=*/10, /*Ec=*/900, 0.0},
+      {2.0, 2.0, /*colors=*/90, /*Ec=*/100, 0.0},
+  };
+  // Raw sum at beta=0.5: 455 vs 95 -> picks #2. Normalised: 0.5*(10/90 +
+  // 900/900)=0.55 vs 0.5*(90/90+100/900)=0.556 -> picks #1 (barely).
+  const auto choice = ml::optimal_choices(sweep, {0.5});
+  EXPECT_DOUBLE_EQ(choice[0].palette_percent, 1.0);
+}
+
+TEST(OptimalChoices, EmptySweepYieldsNothing) {
+  EXPECT_TRUE(ml::optimal_choices({}, {0.5}).empty());
+}
+
+TEST(TrainingSamples, CarryGraphFeatures) {
+  const auto samples = ml::build_training_samples(
+      tiny_set(), /*num_edges=*/5000, {0.2, 0.8}, {5.0, 15.0}, {1.0, 2.0});
+  ASSERT_EQ(samples.size(), 2u);
+  for (const auto& s : samples) {
+    EXPECT_NEAR(s.log_vertices, std::log10(120.0), 1e-9);
+    EXPECT_NEAR(s.log_edges, std::log10(5000.0), 1e-9);
+    EXPECT_GE(s.best_percent, 5.0);
+    EXPECT_LE(s.best_percent, 15.0);
+  }
+  EXPECT_DOUBLE_EQ(samples[0].beta, 0.2);
+  EXPECT_DOUBLE_EQ(samples[1].beta, 0.8);
+}
+
+TEST(TrainingSamples, MatrixConversion) {
+  std::vector<ml::TrainingSample> samples{
+      {0.3, 2.0, 5.0, 12.5, 2.0},
+      {0.7, 3.0, 6.0, 5.0, 4.0},
+  };
+  ml::Matrix x, y;
+  ml::samples_to_matrices(samples, x, y);
+  ASSERT_EQ(x.rows(), 2u);
+  ASSERT_EQ(x.cols(), 3u);
+  ASSERT_EQ(y.cols(), 2u);
+  EXPECT_DOUBLE_EQ(x.at(1, 0), 0.7);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 12.5);
+  EXPECT_DOUBLE_EQ(y.at(1, 1), 4.0);
+}
+
+TEST(Predictor, FitPredictEvaluateRoundTrip) {
+  // Synthetic supervised task with learnable structure: best P' rises with
+  // beta, alpha falls with log V.
+  std::vector<ml::TrainingSample> train, test;
+  for (int b = 1; b <= 9; ++b) {
+    for (double lv : {2.0, 3.0, 4.0, 5.0}) {
+      ml::TrainingSample s;
+      s.beta = 0.1 * b;
+      s.log_vertices = lv;
+      s.log_edges = 2 * lv - 1;
+      s.best_percent = 2.0 + 18.0 * s.beta;
+      s.best_alpha = 4.5 - 0.5 * lv;
+      // Hold out interior betas (0.2, 0.5, 0.8): forests interpolate but do
+      // not extrapolate beyond the training hull.
+      (b % 3 == 2 ? test : train).push_back(s);
+    }
+  }
+  ml::ParameterPredictor predictor(ml::ModelKind::RandomForest);
+  EXPECT_FALSE(predictor.trained());
+  predictor.fit(train, {.num_trees = 30, .tree = {}, .seed = 3});
+  EXPECT_TRUE(predictor.trained());
+
+  const auto report = predictor.evaluate(test);
+  EXPECT_LT(report.mape_overall(), 0.35);
+  EXPECT_GT(report.r2_percent, 0.7);
+
+  const auto p = predictor.predict(0.5, 10000, 40000000);
+  EXPECT_GE(p.palette_percent, 1.0);
+  EXPECT_LE(p.palette_percent, 20.0);
+  EXPECT_GE(p.alpha, 0.5);
+  EXPECT_LE(p.alpha, 4.5);
+}
+
+TEST(Predictor, AllModelKindsTrainAndPredict) {
+  std::vector<ml::TrainingSample> train;
+  for (int i = 0; i < 40; ++i) {
+    ml::TrainingSample s;
+    s.beta = 0.1 + 0.02 * i;
+    s.log_vertices = 2.0 + 0.05 * i;
+    s.log_edges = 4.0 + 0.1 * i;
+    s.best_percent = 1.0 + 0.4 * i;
+    s.best_alpha = 0.5 + 0.08 * i;
+    train.push_back(s);
+  }
+  for (auto kind : {ml::ModelKind::RandomForest, ml::ModelKind::Ridge,
+                    ml::ModelKind::Lasso}) {
+    ml::ParameterPredictor predictor(kind);
+    predictor.fit(train, {.num_trees = 10, .tree = {}, .seed = 1});
+    const auto p = predictor.predict(0.4, 5000, 1000000);
+    EXPECT_GE(p.palette_percent, 1.0) << to_string(kind);
+    EXPECT_LE(p.palette_percent, 20.0) << to_string(kind);
+  }
+}
+
+TEST(Predictor, GuardsAgainstMisuse) {
+  ml::ParameterPredictor predictor;
+  EXPECT_THROW(predictor.fit({}), std::invalid_argument);
+  EXPECT_THROW(predictor.predict(0.5, 10, 10), std::logic_error);
+  EXPECT_THROW(predictor.evaluate({}), std::logic_error);
+}
+
+TEST(Predictor, ModelKindNames) {
+  EXPECT_STREQ(ml::to_string(ml::ModelKind::RandomForest), "random-forest");
+  EXPECT_STREQ(ml::to_string(ml::ModelKind::Ridge), "ridge");
+  EXPECT_STREQ(ml::to_string(ml::ModelKind::Lasso), "lasso");
+}

@@ -1,0 +1,177 @@
+// Tests for the bit encodings of §IV-A: the inverse-one-hot 3-bit packing
+// (X=110, Y=101, Z=011, I=000) and the symplectic 2-bit alternative. The
+// central property: both encoded anticommutation kernels agree with the
+// character-comparison reference on every input, across word boundaries.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "pauli/encoding.hpp"
+#include "pauli/pauli_set.hpp"
+#include "util/rng.hpp"
+
+namespace pp = picasso::pauli;
+
+namespace {
+pp::PauliString random_string(std::size_t n, picasso::util::Xoshiro256& rng) {
+  pp::PauliString s(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    s.set_op(q, static_cast<pp::PauliOp>(rng.bounded(4)));
+  }
+  return s;
+}
+}  // namespace
+
+TEST(Encoding, InverseOneHotCodes) {
+  EXPECT_EQ(pp::inverse_one_hot_code(pp::PauliOp::I), 0b000u);
+  EXPECT_EQ(pp::inverse_one_hot_code(pp::PauliOp::X), 0b110u);
+  EXPECT_EQ(pp::inverse_one_hot_code(pp::PauliOp::Y), 0b101u);
+  EXPECT_EQ(pp::inverse_one_hot_code(pp::PauliOp::Z), 0b011u);
+}
+
+TEST(Encoding, PairwiseAndPopcountParityMatchesAnticommutation) {
+  // The defining property of the encoding: popcount(code(a) & code(b)) is
+  // odd exactly when a and b anticommute (distinct non-identity operators).
+  using Op = pp::PauliOp;
+  for (Op a : {Op::I, Op::X, Op::Y, Op::Z}) {
+    for (Op b : {Op::I, Op::X, Op::Y, Op::Z}) {
+      const auto both =
+          pp::inverse_one_hot_code(a) & pp::inverse_one_hot_code(b);
+      const bool odd = (__builtin_popcountll(both) & 1) != 0;
+      EXPECT_EQ(odd, pp::anticommutes(a, b))
+          << pp::to_char(a) << " vs " << pp::to_char(b);
+    }
+  }
+}
+
+TEST(Encoding, WordsPerString) {
+  EXPECT_EQ(pp::words_per_string3(1), 1u);
+  EXPECT_EQ(pp::words_per_string3(21), 1u);
+  EXPECT_EQ(pp::words_per_string3(22), 2u);
+  EXPECT_EQ(pp::words_per_string3(42), 2u);
+  EXPECT_EQ(pp::words_per_string3(43), 3u);
+  EXPECT_EQ(pp::words_per_string2(64), 1u);
+  EXPECT_EQ(pp::words_per_string2(65), 2u);
+}
+
+TEST(Encoding, EncodeDecodeRoundTrip) {
+  picasso::util::Xoshiro256 rng(7);
+  for (std::size_t n : {1u, 4u, 20u, 21u, 22u, 40u, 63u, 64u, 65u, 100u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto s = random_string(n, rng);
+      std::vector<std::uint64_t> words(pp::words_per_string3(n));
+      pp::encode3(s, words.data());
+      EXPECT_EQ(pp::decode3(words.data(), n), s) << "n=" << n;
+    }
+  }
+}
+
+TEST(Encoding, DecodeRejectsCorruptWords) {
+  std::vector<std::uint64_t> words{0b111};  // not a valid op code
+  EXPECT_THROW(pp::decode3(words.data(), 1), std::invalid_argument);
+}
+
+// The key cross-kernel agreement property, swept over qubit counts that
+// stress word boundaries of both encodings.
+class EncodingAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(EncodingAgreement, AllKernelsAgree) {
+  const auto [n, seed] = GetParam();
+  picasso::util::Xoshiro256 rng(seed);
+  std::vector<pp::PauliString> strings;
+  for (int i = 0; i < 24; ++i) strings.push_back(random_string(n, rng));
+  const pp::PauliSet set(strings);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      const bool reference = strings[i].anticommutes_with(strings[j]);
+      EXPECT_EQ(set.anticommute(i, j), reference) << "n=" << n;
+      EXPECT_EQ(set.anticommute_symplectic(i, j), reference) << "n=" << n;
+      EXPECT_EQ(set.anticommute_naive(i, j), reference) << "n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QubitCountsAndSeeds, EncodingAgreement,
+    ::testing::Combine(::testing::Values(1, 2, 8, 21, 22, 42, 43, 64, 65, 70),
+                       ::testing::Values(1u, 99u)));
+
+TEST(PauliSet, ConstructionAndAccessors) {
+  const std::vector<pp::PauliString> strings{pp::PauliString::parse("XX"),
+                                             pp::PauliString::parse("YZ")};
+  const pp::PauliSet set(strings, {0.5, -1.5});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.num_qubits(), 2u);
+  EXPECT_EQ(set.string(0).to_string(), "XX");
+  EXPECT_EQ(set.string(1).to_string(), "YZ");
+  EXPECT_DOUBLE_EQ(set.coefficient(1), -1.5);
+  EXPECT_GT(set.logical_bytes(), 0u);
+}
+
+TEST(PauliSet, DefaultCoefficientsAreOne) {
+  const pp::PauliSet set({pp::PauliString::parse("X")});
+  EXPECT_DOUBLE_EQ(set.coefficient(0), 1.0);
+}
+
+TEST(PauliSet, RejectsMixedWidthsAndBadCoefficients) {
+  const std::vector<pp::PauliString> mixed{pp::PauliString::parse("X"),
+                                           pp::PauliString::parse("XY")};
+  EXPECT_THROW(pp::PauliSet{mixed}, std::invalid_argument);
+  const std::vector<pp::PauliString> ok{pp::PauliString::parse("X")};
+  EXPECT_THROW(pp::PauliSet(ok, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(PauliSet, CountAnticommutingPairsMatchesBruteForce) {
+  picasso::util::Xoshiro256 rng(5);
+  std::vector<pp::PauliString> strings;
+  for (int i = 0; i < 40; ++i) strings.push_back(random_string(6, rng));
+  const pp::PauliSet set(strings);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    for (std::size_t j = i + 1; j < strings.size(); ++j) {
+      expected += strings[i].anticommutes_with(strings[j]) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(set.count_anticommuting_pairs(), expected);
+}
+
+TEST(PauliSet, SubsetPreservesStringsAndCoefficients) {
+  std::vector<pp::PauliString> strings{
+      pp::PauliString::parse("XI"), pp::PauliString::parse("YI"),
+      pp::PauliString::parse("ZI"), pp::PauliString::parse("IZ")};
+  const pp::PauliSet set(strings, {1, 2, 3, 4});
+  const pp::PauliSet sub = set.subset({1, 3});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.string(0).to_string(), "YI");
+  EXPECT_EQ(sub.string(1).to_string(), "IZ");
+  EXPECT_DOUBLE_EQ(sub.coefficient(0), 2.0);
+  EXPECT_DOUBLE_EQ(sub.coefficient(1), 4.0);
+}
+
+TEST(PauliSet, BinarySaveLoadRoundTrip) {
+  picasso::util::Xoshiro256 rng(77);
+  std::vector<pp::PauliString> strings;
+  std::vector<double> coefs;
+  for (int i = 0; i < 33; ++i) {
+    strings.push_back(random_string(25, rng));  // crosses a 3-bit word boundary
+    coefs.push_back(rng.uniform() - 0.5);
+  }
+  const pp::PauliSet original(strings, coefs);
+  std::stringstream buffer;
+  original.save_binary(buffer);
+  const pp::PauliSet loaded = pp::PauliSet::load_binary(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.num_qubits(), original.num_qubits());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.string(i), original.string(i));
+    EXPECT_DOUBLE_EQ(loaded.coefficient(i), original.coefficient(i));
+  }
+}
+
+TEST(PauliSet, LoadRejectsGarbage) {
+  std::stringstream buffer("definitely not a pauli set");
+  EXPECT_THROW(pp::PauliSet::load_binary(buffer), std::runtime_error);
+}

@@ -1,0 +1,234 @@
+// Tests for the synthetic molecule generator and the dataset registry:
+// geometry placement, integral symmetries, Hamiltonian Hermiticity, the
+// ansatz extension, and the Table II-mirroring dataset catalogue.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "pauli/datasets.hpp"
+#include "pauli/molecule.hpp"
+
+namespace pp = picasso::pauli;
+
+TEST(MoleculeSpec, NameMatchesPaperConvention) {
+  pp::MoleculeSpec spec{6, pp::Geometry::Sheet2D, pp::Basis::STO3G, 1.4};
+  EXPECT_EQ(spec.name(), "H6_2D_sto3g");
+  spec.basis = pp::Basis::B6311G;
+  spec.geometry = pp::Geometry::Cube3D;
+  EXPECT_EQ(spec.name(), "H6_3D_6311g");
+}
+
+TEST(Molecule, AtomAndOrbitalCounts) {
+  const pp::Molecule m({4, pp::Geometry::Chain1D, pp::Basis::B631G, 1.4});
+  EXPECT_EQ(m.atoms().size(), 4u);
+  EXPECT_EQ(m.num_spatial(), 8u);  // 2 shells per atom
+  EXPECT_EQ(m.num_qubits(), 16u);  // 2 spins per spatial orbital
+}
+
+TEST(Molecule, GeometriesAreGenuinelyDistinct) {
+  // 4 atoms: the chain spans 3 spacings, the sheet is a 2x2 square, and the
+  // balanced 3D fill must leave the z=0 plane.
+  auto span = [](const pp::Molecule& m, double pp::Vec3::* axis) {
+    double lo = 1e9, hi = -1e9;
+    for (const auto& a : m.atoms()) {
+      lo = std::min(lo, a.*axis);
+      hi = std::max(hi, a.*axis);
+    }
+    return hi - lo;
+  };
+  const pp::Molecule chain({4, pp::Geometry::Chain1D, pp::Basis::STO3G, 1.0});
+  EXPECT_DOUBLE_EQ(span(chain, &pp::Vec3::x), 3.0);
+  EXPECT_DOUBLE_EQ(span(chain, &pp::Vec3::y), 0.0);
+  const pp::Molecule sheet({4, pp::Geometry::Sheet2D, pp::Basis::STO3G, 1.0});
+  EXPECT_DOUBLE_EQ(span(sheet, &pp::Vec3::x), 1.0);
+  EXPECT_DOUBLE_EQ(span(sheet, &pp::Vec3::y), 1.0);
+  EXPECT_DOUBLE_EQ(span(sheet, &pp::Vec3::z), 0.0);
+  const pp::Molecule cube({4, pp::Geometry::Cube3D, pp::Basis::STO3G, 1.0});
+  EXPECT_GT(span(cube, &pp::Vec3::z), 0.0);
+}
+
+TEST(Molecule, AtomPositionsAreDistinct) {
+  for (auto geom : {pp::Geometry::Chain1D, pp::Geometry::Sheet2D,
+                    pp::Geometry::Cube3D}) {
+    const pp::Molecule m({10, geom, pp::Basis::STO3G, 1.4});
+    std::set<std::tuple<double, double, double>> seen;
+    for (const auto& a : m.atoms()) seen.insert({a.x, a.y, a.z});
+    EXPECT_EQ(seen.size(), 10u) << to_string(geom);
+  }
+}
+
+TEST(Molecule, OverlapIsSymmetricNormalisedAndDecaying) {
+  const pp::Molecule m({6, pp::Geometry::Chain1D, pp::Basis::B631G, 1.4});
+  const std::size_t ns = m.num_spatial();
+  for (std::size_t i = 0; i < ns; ++i) {
+    EXPECT_NEAR(m.overlap(i, i), 1.0, 1e-12);
+    for (std::size_t j = 0; j < ns; ++j) {
+      EXPECT_NEAR(m.overlap(i, j), m.overlap(j, i), 1e-14);
+      EXPECT_LE(m.overlap(i, j), 1.0 + 1e-12);
+      EXPECT_GT(m.overlap(i, j), 0.0);
+    }
+  }
+  // Same-shell overlap decays with distance along the chain.
+  EXPECT_GT(m.overlap(0, 2), m.overlap(0, 4));
+  EXPECT_GT(m.overlap(0, 4), m.overlap(0, 10));
+}
+
+TEST(Molecule, CoreIntegralsAreSymmetric) {
+  const pp::Molecule m({4, pp::Geometry::Sheet2D, pp::Basis::STO3G, 1.4});
+  for (std::size_t i = 0; i < m.num_spatial(); ++i) {
+    for (std::size_t j = 0; j < m.num_spatial(); ++j) {
+      EXPECT_NEAR(m.core(i, j), m.core(j, i), 1e-14);
+    }
+  }
+}
+
+TEST(Molecule, EriHasRequiredSymmetries) {
+  const pp::Molecule m({4, pp::Geometry::Chain1D, pp::Basis::STO3G, 1.4});
+  const std::size_t ns = m.num_spatial();
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      for (std::size_t k = 0; k < ns; ++k) {
+        for (std::size_t l = 0; l < ns; ++l) {
+          const double v = m.eri(i, j, k, l);
+          EXPECT_NEAR(v, m.eri(j, i, k, l), 1e-14);
+          EXPECT_NEAR(v, m.eri(i, j, l, k), 1e-14);
+          EXPECT_NEAR(v, m.eri(k, l, i, j), 1e-14);
+          EXPECT_GT(v, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Molecule, RejectsNonPositiveAtomCount) {
+  EXPECT_THROW(pp::Molecule({0, pp::Geometry::Chain1D, pp::Basis::STO3G, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Hamiltonian, JordanWignerImageIsHermitian) {
+  for (auto basis : {pp::Basis::STO3G, pp::Basis::B631G}) {
+    const auto h = pp::molecular_hamiltonian(
+        {4, pp::Geometry::Chain1D, basis, 1.4});
+    EXPECT_LT(h.max_imaginary_part(), 1e-9) << to_string(basis);
+    EXPECT_GT(h.num_terms(), 10u);
+  }
+}
+
+TEST(Hamiltonian, TermCountGrowsWithBasisSize) {
+  const auto sto = pp::molecular_hamiltonian(
+      {4, pp::Geometry::Chain1D, pp::Basis::STO3G, 1.4});
+  const auto dz = pp::molecular_hamiltonian(
+      {4, pp::Geometry::Chain1D, pp::Basis::B631G, 1.4});
+  EXPECT_GT(dz.num_terms(), 2 * sto.num_terms());
+}
+
+TEST(Ansatz, CcDoublesOperatorShape) {
+  const pp::Molecule m({4, pp::Geometry::Chain1D, pp::Basis::STO3G, 1.4});
+  const auto t = pp::cc_doubles_operator(m);
+  EXPECT_EQ(t.num_modes, 8u);
+  EXPECT_GT(t.terms.size(), 0u);
+  // Terms come in (excitation, conjugate) pairs.
+  EXPECT_EQ(t.terms.size() % 2, 0u);
+  // Every excitation annihilates occupied (< 4) and creates virtual (>= 4).
+  for (std::size_t i = 0; i < t.terms.size(); i += 2) {
+    const auto& ops = t.terms[i].ops;
+    ASSERT_EQ(ops.size(), 4u);
+    EXPECT_GE(ops[0].mode, 4u);
+    EXPECT_GE(ops[1].mode, 4u);
+    EXPECT_LT(ops[2].mode, 4u);
+    EXPECT_LT(ops[3].mode, 4u);
+  }
+}
+
+TEST(Ansatz, ExtendedOperatorIsHermitianAndBigger) {
+  const pp::MoleculeSpec spec{4, pp::Geometry::Chain1D, pp::Basis::STO3G, 1.4};
+  const auto h_only = pp::molecular_hamiltonian(spec);
+  const auto extended = pp::ansatz_extended_operator(spec);
+  EXPECT_LT(extended.max_imaginary_part(), 1e-9);
+  EXPECT_GT(extended.num_terms(), h_only.num_terms());
+}
+
+TEST(PauliSetFromOperator, DeterministicOrderAndCap) {
+  const auto h = pp::molecular_hamiltonian(
+      {4, pp::Geometry::Chain1D, pp::Basis::STO3G, 1.4});
+  const auto full_a = pp::pauli_set_from_operator(h);
+  const auto full_b = pp::pauli_set_from_operator(h);
+  ASSERT_EQ(full_a.size(), full_b.size());
+  for (std::size_t i = 0; i < full_a.size(); ++i) {
+    EXPECT_EQ(full_a.string(i), full_b.string(i));
+  }
+  const auto capped = pp::pauli_set_from_operator(h, 0.0, 50);
+  EXPECT_EQ(capped.size(), 50u);
+  // Capping keeps the largest coefficients: the smallest kept magnitude must
+  // be >= the largest dropped one. Verify against the full set.
+  double min_kept = 1e300;
+  for (std::size_t i = 0; i < capped.size(); ++i) {
+    min_kept = std::min(min_kept, std::abs(capped.coefficient(i)));
+  }
+  std::vector<double> magnitudes;
+  for (std::size_t i = 0; i < full_a.size(); ++i) {
+    magnitudes.push_back(std::abs(full_a.coefficient(i)));
+  }
+  std::sort(magnitudes.rbegin(), magnitudes.rend());
+  EXPECT_NEAR(min_kept, magnitudes[49], 1e-12);
+}
+
+TEST(Datasets, RegistryIsWellFormed) {
+  const auto& all = pp::all_datasets();
+  EXPECT_GE(all.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& d : all) names.insert(d.name);
+  EXPECT_EQ(names.size(), all.size()) << "duplicate dataset names";
+  EXPECT_FALSE(pp::datasets_in_class(pp::SizeClass::Small).empty());
+  EXPECT_FALSE(pp::datasets_in_class(pp::SizeClass::Medium).empty());
+  EXPECT_FALSE(pp::datasets_in_class(pp::SizeClass::Large).empty());
+}
+
+TEST(Datasets, LookupByName) {
+  const auto& d = pp::dataset_by_name("H4_1D_sto3g");
+  EXPECT_EQ(d.molecule.num_atoms, 4);
+  EXPECT_THROW(pp::dataset_by_name("H99_9D_nope"), std::out_of_range);
+}
+
+TEST(Datasets, LoadIsMemoised) {
+  const auto& spec = pp::dataset_by_name("H4_1D_sto3g");
+  const auto& a = pp::load_dataset(spec);
+  const auto& b = pp::load_dataset(spec);
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.size(), 100u);
+}
+
+TEST(Datasets, DiskCacheRoundTrip) {
+  // Point the cache at a temp dir, generate, then verify a second process-
+  // like load (cache cleared) reads the identical set back from disk.
+  const auto dir = std::filesystem::temp_directory_path() / "picasso_test_cache";
+  std::filesystem::remove_all(dir);
+  setenv("PICASSO_DATA_DIR", dir.c_str(), 1);
+  pp::clear_dataset_cache();
+  const auto& spec = pp::dataset_by_name("H4_1D_sto3g");
+  const auto first_size = pp::load_dataset(spec).size();
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+  pp::clear_dataset_cache();
+  const auto& reloaded = pp::load_dataset(spec);
+  EXPECT_EQ(reloaded.size(), first_size);
+  unsetenv("PICASSO_DATA_DIR");
+  pp::clear_dataset_cache();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fig1, SetMatchesThePaperFigure) {
+  const auto set = pp::fig1_h2_set();
+  EXPECT_EQ(set.size(), 17u);
+  EXPECT_EQ(set.num_qubits(), 4u);
+  EXPECT_EQ(set.string(0).to_string(), "IIII");
+  // All strings distinct.
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    seen.insert(set.string(i).to_string());
+  }
+  EXPECT_EQ(seen.size(), 17u);
+}

@@ -1,0 +1,209 @@
+// Tests for PauliOperator arithmetic and the Jordan-Wigner transform,
+// including the canonical anticommutation relations — the algebraic
+// foundation the whole dataset generator rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "pauli/fermion.hpp"
+#include "pauli/jordan_wigner.hpp"
+#include "pauli/operator.hpp"
+
+namespace pp = picasso::pauli;
+using C = std::complex<double>;
+
+namespace {
+
+/// ||A - B|| in the term-wise max norm.
+double operator_distance(const pp::PauliOperator& a, const pp::PauliOperator& b) {
+  pp::PauliOperator d = a;
+  d -= b;
+  double worst = 0.0;
+  for (const auto& [s, c] : d.terms()) worst = std::max(worst, std::abs(c));
+  return worst;
+}
+
+}  // namespace
+
+TEST(PauliOperator, AddCombinesLikeTerms) {
+  pp::PauliOperator op(2);
+  const auto xy = pp::PauliString::parse("XY");
+  op.add_term(xy, {1.0, 0.0});
+  op.add_term(xy, {2.0, 0.5});
+  EXPECT_EQ(op.num_terms(), 1u);
+  EXPECT_EQ(op.coefficient_of(xy), (C{3.0, 0.5}));
+}
+
+TEST(PauliOperator, CancellingTermsVanish) {
+  pp::PauliOperator op(1);
+  op.add_term(pp::PauliString::parse("Z"), {1.0, 0.0});
+  op.add_term(pp::PauliString::parse("Z"), {-1.0, 0.0});
+  EXPECT_TRUE(op.is_zero());
+}
+
+TEST(PauliOperator, AddTermRejectsWrongWidth) {
+  pp::PauliOperator op(2);
+  EXPECT_THROW(op.add_term(pp::PauliString::parse("X"), {1, 0}),
+               std::invalid_argument);
+}
+
+TEST(PauliOperator, ScalarMultiplication) {
+  pp::PauliOperator op(1);
+  op.add_term(pp::PauliString::parse("X"), {2.0, 0.0});
+  op *= C{0.0, 1.0};
+  EXPECT_EQ(op.coefficient_of(pp::PauliString::parse("X")), (C{0.0, 2.0}));
+  op *= C{0.0, 0.0};
+  EXPECT_TRUE(op.is_zero());
+}
+
+TEST(PauliOperator, MultiplyDistributesWithPhases) {
+  // (X + Z)(X - Z) = XX - XZ + ZX - ZZ = I - (iY) + (-iY)... on one qubit:
+  // X*X = I, X*Z = -iY, Z*X = iY, Z*Z = I => product = (I - (-iY)?) compute:
+  // (X+Z)(X-Z) = XX - XZ + ZX - ZZ = I + iY + iY - I = 2iY.
+  pp::PauliOperator a(1), b(1);
+  a.add_term(pp::PauliString::parse("X"), {1, 0});
+  a.add_term(pp::PauliString::parse("Z"), {1, 0});
+  b.add_term(pp::PauliString::parse("X"), {1, 0});
+  b.add_term(pp::PauliString::parse("Z"), {-1, 0});
+  const auto p = a.multiply(b);
+  EXPECT_EQ(p.num_terms(), 1u);
+  EXPECT_EQ(p.coefficient_of(pp::PauliString::parse("Y")), (C{0.0, 2.0}));
+}
+
+TEST(PauliOperator, IdentityIsMultiplicativeNeutral) {
+  pp::PauliOperator a(3);
+  a.add_term(pp::PauliString::parse("XYZ"), {0.5, -0.5});
+  a.add_term(pp::PauliString::parse("ZIX"), {1.5, 0.0});
+  const auto id = pp::PauliOperator::identity(3);
+  EXPECT_NEAR(operator_distance(a.multiply(id), a), 0.0, 1e-14);
+  EXPECT_NEAR(operator_distance(id.multiply(a), a), 0.0, 1e-14);
+}
+
+TEST(PauliOperator, DaggerConjugatesCoefficients) {
+  pp::PauliOperator a(1);
+  a.add_term(pp::PauliString::parse("Y"), {1.0, 2.0});
+  const auto d = a.dagger();
+  EXPECT_EQ(d.coefficient_of(pp::PauliString::parse("Y")), (C{1.0, -2.0}));
+}
+
+TEST(PauliOperator, PruneDropsSmallTerms) {
+  pp::PauliOperator a(1);
+  a.add_term(pp::PauliString::parse("X"), {1e-13, 0.0});
+  a.add_term(pp::PauliString::parse("Z"), {1.0, 0.0});
+  EXPECT_EQ(a.prune(1e-10), 1u);
+  EXPECT_EQ(a.num_terms(), 1u);
+}
+
+TEST(PauliOperator, FlattenedIsSortedAndFiltered) {
+  pp::PauliOperator a(2);
+  a.add_term(pp::PauliString::parse("ZI"), {3.0, 0.0});
+  a.add_term(pp::PauliString::parse("IX"), {1.0, 0.0});
+  a.add_term(pp::PauliString::parse("XI"), {1e-15, 0.0});
+  const auto flat = a.flattened(1e-12);
+  ASSERT_EQ(flat.strings.size(), 2u);
+  EXPECT_EQ(flat.strings[0].to_string(), "IX");
+  EXPECT_EQ(flat.strings[1].to_string(), "ZI");
+  EXPECT_DOUBLE_EQ(flat.coefficients[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat.coefficients[1], 3.0);
+}
+
+// --- Jordan-Wigner ---------------------------------------------------------
+
+TEST(JordanWigner, LadderOperatorImages) {
+  // a_0 on 2 qubits = (X + iY)/2 ⊗ I.
+  const auto a0 = pp::jw_annihilation(0, 2);
+  EXPECT_EQ(a0.coefficient_of(pp::PauliString::parse("XI")), (C{0.5, 0.0}));
+  EXPECT_EQ(a0.coefficient_of(pp::PauliString::parse("YI")), (C{0.0, 0.5}));
+  // a†_1 = Z ⊗ (X - iY)/2.
+  const auto c1 = pp::jw_creation(1, 2);
+  EXPECT_EQ(c1.coefficient_of(pp::PauliString::parse("ZX")), (C{0.5, 0.0}));
+  EXPECT_EQ(c1.coefficient_of(pp::PauliString::parse("ZY")), (C{0.0, -0.5}));
+  EXPECT_THROW(pp::jw_annihilation(2, 2), std::invalid_argument);
+}
+
+TEST(JordanWigner, AnnihilatorSquaresToZero) {
+  for (std::uint32_t mode = 0; mode < 3; ++mode) {
+    const auto a = pp::jw_annihilation(mode, 3);
+    auto sq = a.multiply(a);
+    sq.prune(1e-14);
+    EXPECT_TRUE(sq.is_zero()) << "mode " << mode;
+  }
+}
+
+TEST(JordanWigner, CanonicalAnticommutationRelations) {
+  // {a_p, a†_q} = delta_pq * I and {a_p, a_q} = 0, verified symbolically.
+  constexpr std::size_t n = 4;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    for (std::uint32_t q = 0; q < n; ++q) {
+      const auto ap = pp::jw_annihilation(p, n);
+      const auto cq = pp::jw_creation(q, n);
+      auto anti = ap.multiply(cq) + cq.multiply(ap);
+      anti.prune(1e-14);
+      if (p == q) {
+        EXPECT_NEAR(operator_distance(anti, pp::PauliOperator::identity(n)),
+                    0.0, 1e-12)
+            << "p=q=" << p;
+      } else {
+        EXPECT_TRUE(anti.is_zero()) << "p=" << p << " q=" << q;
+      }
+      const auto aq = pp::jw_annihilation(q, n);
+      auto anti2 = ap.multiply(aq) + aq.multiply(ap);
+      anti2.prune(1e-14);
+      EXPECT_TRUE(anti2.is_zero()) << "{a_p, a_q} p=" << p << " q=" << q;
+    }
+  }
+}
+
+TEST(JordanWigner, NumberOperatorIsHalfOneMinusZ) {
+  // n_p = a†_p a_p = (I - Z_p)/2.
+  constexpr std::size_t n = 3;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const auto num = pp::jw_creation(p, n).multiply(pp::jw_annihilation(p, n));
+    pp::PauliOperator expected(n);
+    expected.add_term(pp::PauliString(n), {0.5, 0.0});
+    pp::PauliString z(n);
+    z.set_op(p, pp::PauliOp::Z);
+    expected.add_term(z, {-0.5, 0.0});
+    EXPECT_NEAR(operator_distance(num, expected), 0.0, 1e-14) << "p=" << p;
+  }
+}
+
+TEST(JordanWigner, OneBodyTermIsHermitianWhenSymmetrised) {
+  // h (a†_p a_q + a†_q a_p) must map to a purely real Pauli combination.
+  pp::FermionOperator op;
+  op.num_modes = 4;
+  op.add(pp::one_body(0.7, 1, 3));
+  op.add(pp::one_body(0.7, 3, 1));
+  const auto qubit = pp::jordan_wigner(op);
+  EXPECT_LT(qubit.max_imaginary_part(), 1e-12);
+  EXPECT_GT(qubit.num_terms(), 0u);
+}
+
+TEST(JordanWigner, TwoBodyTermWithConjugateIsHermitian) {
+  pp::FermionOperator op;
+  op.num_modes = 6;
+  op.add(pp::two_body(0.3, 4, 5, 1, 0));
+  op.add(pp::two_body(0.3, 0, 1, 5, 4));  // Hermitian conjugate
+  const auto qubit = pp::jordan_wigner(op);
+  EXPECT_LT(qubit.max_imaginary_part(), 1e-12);
+}
+
+TEST(JordanWigner, JwTermAppliesCoefficient) {
+  const auto one = pp::jw_term(pp::one_body(2.0, 0, 0), 2);
+  // 2 * n_0 = I - Z_0.
+  EXPECT_EQ(one.coefficient_of(pp::PauliString::parse("II")), (C{1.0, 0.0}));
+  EXPECT_EQ(one.coefficient_of(pp::PauliString::parse("ZI")), (C{-1.0, 0.0}));
+}
+
+TEST(FermionTerm, Constructors) {
+  const auto t = pp::two_body(0.25, 3, 2, 1, 0);
+  ASSERT_EQ(t.ops.size(), 4u);
+  EXPECT_TRUE(t.ops[0].creation);
+  EXPECT_TRUE(t.ops[1].creation);
+  EXPECT_FALSE(t.ops[2].creation);
+  EXPECT_FALSE(t.ops[3].creation);
+  EXPECT_EQ(t.ops[0].mode, 3u);
+  EXPECT_NE(t.to_string().find("a+_3"), std::string::npos);
+}

@@ -1,0 +1,203 @@
+// Tests for the symbolic Pauli algebra: the single-qubit multiplication
+// table, phase-tracked string products, and the anticommutation relation —
+// all cross-validated against dense matrix ground truth for small systems.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+#include "util/rng.hpp"
+
+namespace pp = picasso::pauli;
+using C = std::complex<double>;
+
+namespace {
+
+std::vector<C> mat_multiply(const std::vector<C>& a, const std::vector<C>& b,
+                            std::size_t dim) {
+  std::vector<C> out(dim * dim, C{0, 0});
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      const C aik = a[i * dim + k];
+      if (aik == C{0, 0}) continue;
+      for (std::size_t j = 0; j < dim; ++j) {
+        out[i * dim + j] += aik * b[k * dim + j];
+      }
+    }
+  }
+  return out;
+}
+
+bool mat_near(const std::vector<C>& a, const std::vector<C>& b,
+              double tol = 1e-12) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+pp::PauliString random_string(std::size_t n, picasso::util::Xoshiro256& rng) {
+  pp::PauliString s(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    s.set_op(q, static_cast<pp::PauliOp>(rng.bounded(4)));
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(PauliOp, CharRoundTrip) {
+  for (char c : {'I', 'X', 'Y', 'Z'}) {
+    EXPECT_EQ(pp::to_char(pp::op_from_char(c)), c);
+  }
+  EXPECT_THROW(pp::op_from_char('Q'), std::invalid_argument);
+}
+
+TEST(PauliOp, MultiplicationTableMatchesAlgebra) {
+  // X*Y = iZ, Y*Z = iX, Z*X = iY; reversed order flips the phase sign;
+  // squares are I; identity is neutral.
+  using Op = pp::PauliOp;
+  struct Case {
+    Op a, b, expect;
+    unsigned phase;
+  };
+  const Case cases[] = {
+      {Op::X, Op::Y, Op::Z, 1}, {Op::Y, Op::Z, Op::X, 1},
+      {Op::Z, Op::X, Op::Y, 1}, {Op::Y, Op::X, Op::Z, 3},
+      {Op::Z, Op::Y, Op::X, 3}, {Op::X, Op::Z, Op::Y, 3},
+      {Op::X, Op::X, Op::I, 0}, {Op::Y, Op::Y, Op::I, 0},
+      {Op::Z, Op::Z, Op::I, 0}, {Op::I, Op::I, Op::I, 0},
+      {Op::I, Op::X, Op::X, 0}, {Op::Z, Op::I, Op::Z, 0},
+  };
+  for (const auto& c : cases) {
+    const auto p = pp::multiply(c.a, c.b);
+    EXPECT_EQ(p.op, c.expect) << pp::to_char(c.a) << "*" << pp::to_char(c.b);
+    EXPECT_EQ(p.phase_exp, c.phase) << pp::to_char(c.a) << "*" << pp::to_char(c.b);
+  }
+}
+
+TEST(PauliOp, SingleQubitAnticommutation) {
+  using Op = pp::PauliOp;
+  EXPECT_TRUE(pp::anticommutes(Op::X, Op::Y));
+  EXPECT_TRUE(pp::anticommutes(Op::Y, Op::Z));
+  EXPECT_FALSE(pp::anticommutes(Op::X, Op::X));
+  EXPECT_FALSE(pp::anticommutes(Op::I, Op::X));
+  EXPECT_FALSE(pp::anticommutes(Op::I, Op::I));
+}
+
+TEST(PauliString, ParseAndPrintRoundTrip) {
+  const auto s = pp::PauliString::parse("IXYZ");
+  EXPECT_EQ(s.num_qubits(), 4u);
+  EXPECT_EQ(s.to_string(), "IXYZ");
+  EXPECT_EQ(s.op(0), pp::PauliOp::I);
+  EXPECT_EQ(s.op(3), pp::PauliOp::Z);
+  EXPECT_THROW(pp::PauliString::parse("AXYZ"), std::invalid_argument);
+}
+
+TEST(PauliString, WeightCountsNonIdentity) {
+  EXPECT_EQ(pp::PauliString::parse("IIII").weight(), 0u);
+  EXPECT_TRUE(pp::PauliString::parse("IIII").is_identity());
+  EXPECT_EQ(pp::PauliString::parse("IXIZ").weight(), 2u);
+  EXPECT_EQ(pp::PauliString(7).weight(), 0u);
+}
+
+TEST(PauliString, ProductAgainstHandComputedExample) {
+  // (X ⊗ Y) * (Y ⊗ Y) = (XY) ⊗ (YY) = iZ ⊗ I.
+  const auto a = pp::PauliString::parse("XY");
+  const auto b = pp::PauliString::parse("YY");
+  const auto p = pp::multiply(a, b);
+  EXPECT_EQ(p.string.to_string(), "ZI");
+  EXPECT_EQ(p.phase(), (C{0, 1}));
+}
+
+TEST(PauliString, ProductRequiresEqualWidth) {
+  EXPECT_THROW(
+      pp::multiply(pp::PauliString::parse("XX"), pp::PauliString::parse("X")),
+      std::invalid_argument);
+}
+
+TEST(PauliString, ProductMatchesMatrixAlgebra) {
+  // Property check: the symbolic product (phase and string) equals the
+  // literal matrix product for random strings on up to 4 qubits.
+  picasso::util::Xoshiro256 rng(17);
+  for (std::size_t n = 1; n <= 4; ++n) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto a = random_string(n, rng);
+      const auto b = random_string(n, rng);
+      const auto symbolic = pp::multiply(a, b);
+      auto expected = mat_multiply(pp::to_matrix(a), pp::to_matrix(b),
+                                   std::size_t{1} << n);
+      auto got = pp::to_matrix(symbolic.string);
+      for (auto& v : got) v *= symbolic.phase();
+      EXPECT_TRUE(mat_near(expected, got))
+          << a.to_string() << " * " << b.to_string();
+    }
+  }
+}
+
+TEST(PauliString, AnticommutationMatchesMatrixAnticommutator) {
+  // anticommutes_with(a, b) must equal {A, B} == 0 on dense matrices.
+  picasso::util::Xoshiro256 rng(29);
+  for (std::size_t n = 1; n <= 4; ++n) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const auto a = random_string(n, rng);
+      const auto b = random_string(n, rng);
+      const std::size_t dim = std::size_t{1} << n;
+      const auto ab = mat_multiply(pp::to_matrix(a), pp::to_matrix(b), dim);
+      const auto ba = mat_multiply(pp::to_matrix(b), pp::to_matrix(a), dim);
+      double norm = 0.0;
+      for (std::size_t i = 0; i < ab.size(); ++i) norm += std::abs(ab[i] + ba[i]);
+      const bool matrix_anticommute = norm < 1e-12;
+      EXPECT_EQ(a.anticommutes_with(b), matrix_anticommute)
+          << a.to_string() << " vs " << b.to_string();
+    }
+  }
+}
+
+TEST(PauliString, AnticommutationIsSymmetric) {
+  picasso::util::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_string(6, rng);
+    const auto b = random_string(6, rng);
+    EXPECT_EQ(a.anticommutes_with(b), b.anticommutes_with(a));
+  }
+}
+
+TEST(PauliString, NothingAnticommutesWithIdentityOrItself) {
+  picasso::util::Xoshiro256 rng(37);
+  const pp::PauliString identity(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = random_string(5, rng);
+    EXPECT_FALSE(s.anticommutes_with(identity));
+    EXPECT_FALSE(s.anticommutes_with(s));
+  }
+}
+
+TEST(PauliString, HashIsConsistentWithEquality) {
+  const pp::PauliStringHash hash;
+  const auto a = pp::PauliString::parse("XYZI");
+  const auto b = pp::PauliString::parse("XYZI");
+  const auto c = pp::PauliString::parse("XYZX");
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PauliString, ToMatrixKnownValues) {
+  // Z = diag(1, -1); X flips; Y has the ±i off-diagonals.
+  const auto z = pp::to_matrix(pp::PauliString::parse("Z"));
+  EXPECT_EQ(z[0], (C{1, 0}));
+  EXPECT_EQ(z[3], (C{-1, 0}));
+  const auto y = pp::to_matrix(pp::PauliString::parse("Y"));
+  EXPECT_EQ(y[1], (C{0, -1}));
+  EXPECT_EQ(y[2], (C{0, 1}));
+  EXPECT_THROW(pp::to_matrix(pp::PauliString(20)), std::invalid_argument);
+}
+
+TEST(PauliString, OrderingIsLexicographic) {
+  EXPECT_LT(pp::PauliString::parse("II"), pp::PauliString::parse("IX"));
+  EXPECT_LT(pp::PauliString::parse("IX"), pp::PauliString::parse("XI"));
+}
