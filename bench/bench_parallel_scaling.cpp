@@ -1,0 +1,188 @@
+// Strong scaling of the parallel execution runtime (src/runtime/) on the
+// three layers it powers, at 1/2/4/8 worker threads:
+//
+//   1. conflict-graph build — chunk-parallel enumeration over a 100k-vertex
+//      R-MAT oracle (the paper's device-resident phase, §V);
+//   2. Jones-Plassmann — round-parallel frontier coloring (the comparator
+//      family of Tables III/IV);
+//   3. multi-device Picasso — D simulated device shards ingested
+//      concurrently (§VIII future work).
+//
+// Every configuration is checked bit-identical to the serial reference
+// before its time is reported (RuntimeConfig::deterministic is on), so the
+// speedup column never trades correctness: this is the same CSR and the
+// same coloring, faster. Acceptance gate from the runtime work: >1.5x on
+// the conflict build at 4 threads — enforced only when the hardware has at
+// least 4 threads; on the single-core benchmark container (see
+// bench_table5's note) the bench still measures every configuration and
+// gates on bit-identity instead, the part of the claim one core can check.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "coloring/jones_plassmann.hpp"
+#include "core/multi_device.hpp"
+#include "core/picasso.hpp"
+#include "graph/graph_gen.hpp"
+#include "runtime/runtime_config.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace picasso;
+
+constexpr unsigned kThreadSteps[] = {1, 2, 4, 8};
+
+double median_of_three(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+/// Times one conflict build; returns seconds and (out) the CSR for
+/// equivalence checking.
+double time_conflict_build(const graph::CsrOracle& oracle,
+                           const std::vector<std::uint32_t>& active,
+                           const core::ColorLists& lists,
+                           std::uint32_t palette_size,
+                           const runtime::RuntimeConfig& rt,
+                           graph::CsrGraph* out) {
+  double best[3];
+  for (double& t : best) {
+    auto r = core::build_conflict_graph(oracle, active, lists, palette_size,
+                                        core::ConflictKernel::Indexed, rt);
+    t = r.seconds;
+    if (out != nullptr) *out = std::move(r.graph);
+  }
+  return median_of_three(best[0], best[1], best[2]);
+}
+
+}  // namespace
+
+int main() {
+  using util::Table;
+  bench::print_banner("runtime scaling",
+                      "strong scaling of the thread-pool runtime");
+  const bool quick = bench::quick_mode();
+
+  // ---------------------------------------------------------------- layer 1
+  const std::uint32_t n = quick ? 20000 : 100000;
+  const auto g = graph::rmat(n, std::uint64_t{8} * n, 0.57, 0.19, 0.19, 42);
+  const graph::CsrOracle oracle(g);
+  std::vector<std::uint32_t> active(n);
+  for (std::uint32_t v = 0; v < n; ++v) active[v] = v;
+  const auto palette = core::compute_palette(n, 12.5, 2.0, 0);
+  const auto lists = core::assign_random_lists(n, palette, 1, 0);
+
+  std::printf("input: RMAT |V|=%u |E|=%llu, palette P=%u L=%u\n\n", n,
+              static_cast<unsigned long long>(g.num_edges()),
+              palette.palette_size, palette.list_size);
+
+  runtime::RuntimeConfig serial_rt;
+  serial_rt.num_threads = 1;
+  graph::CsrGraph serial_csr;
+  const double serial_s = time_conflict_build(
+      oracle, active, lists, palette.palette_size, serial_rt, &serial_csr);
+
+  Table conflict_table({"threads", "build(s)", "speedup", "identical"});
+  conflict_table.add_row({"1", Table::fmt(serial_s, 3), "1.00x", "ref"});
+  double speedup_at_4 = 0.0;
+  for (unsigned t : kThreadSteps) {
+    if (t == 1) continue;
+    runtime::RuntimeConfig rt;
+    rt.num_threads = t;
+    graph::CsrGraph csr;
+    const double s = time_conflict_build(oracle, active, lists,
+                                         palette.palette_size, rt, &csr);
+    const bool same = csr.offsets() == serial_csr.offsets() &&
+                      csr.neighbor_array() == serial_csr.neighbor_array();
+    const double speedup = serial_s / s;
+    if (t == 4) speedup_at_4 = speedup;
+    conflict_table.add_row({Table::fmt_int(t), Table::fmt(s, 3),
+                            Table::fmt(speedup, 2) + "x",
+                            same ? "yes" : "NO"});
+    if (!same) {
+      std::printf("ERROR: parallel conflict CSR diverged at %u threads\n", t);
+      return 1;
+    }
+  }
+  conflict_table.print("conflict-graph build (indexed kernel, RMAT)");
+
+  // ---------------------------------------------------------------- layer 2
+  const auto jp_graph = graph::rmat(n, std::uint64_t{16} * n, 0.45, 0.22,
+                                    0.22, 7);
+  runtime::RuntimeConfig jp_serial;
+  jp_serial.num_threads = 1;
+  const auto jp_ref = coloring::jones_plassmann(
+      jp_graph, coloring::JpPriority::LargestDegreeFirst, 1, jp_serial);
+
+  Table jp_table({"threads", "color(s)", "speedup", "colors", "identical"});
+  jp_table.add_row({"1", Table::fmt(jp_ref.seconds, 3), "1.00x",
+                    Table::fmt_int(jp_ref.num_colors), "ref"});
+  for (unsigned t : kThreadSteps) {
+    if (t == 1) continue;
+    runtime::RuntimeConfig rt;
+    rt.num_threads = t;
+    const auto r = coloring::jones_plassmann(
+        jp_graph, coloring::JpPriority::LargestDegreeFirst, 1, rt);
+    const bool same = r.colors == jp_ref.colors;
+    jp_table.add_row({Table::fmt_int(t), Table::fmt(r.seconds, 3),
+                      Table::fmt(jp_ref.seconds / r.seconds, 2) + "x",
+                      Table::fmt_int(r.num_colors), same ? "yes" : "NO"});
+    if (!same) {
+      std::printf("ERROR: parallel JP coloring diverged at %u threads\n", t);
+      return 1;
+    }
+  }
+  jp_table.print("Jones-Plassmann rounds (JP-LDF, RMAT)");
+
+  // ---------------------------------------------------------------- layer 3
+  const std::uint32_t md_n = quick ? 2000 : 6000;
+  const auto md_graph = graph::erdos_renyi(md_n, 0.02, 11);
+  const graph::CsrOracle md_oracle(md_graph);
+  core::PicassoParams md_params;
+  md_params.seed = 1;
+  core::MultiDeviceConfig md_config;
+  md_config.num_devices = 4;
+  md_config.device_capacity_bytes = 256u << 20;
+
+  md_params.runtime.num_threads = 1;
+  util::WallTimer md_timer;
+  const auto md_ref =
+      core::picasso_color_multi_device(md_oracle, md_params, md_config);
+  const double md_serial_s = md_timer.seconds();
+  Table md_table({"threads", "total(s)", "speedup", "identical"});
+  md_table.add_row({"1", Table::fmt(md_serial_s, 3), "1.00x", "ref"});
+  for (unsigned t : kThreadSteps) {
+    if (t == 1) continue;
+    md_params.runtime.num_threads = t;
+    util::WallTimer timer;
+    const auto r =
+        core::picasso_color_multi_device(md_oracle, md_params, md_config);
+    const double s = timer.seconds();
+    const bool same = r.coloring.colors == md_ref.coloring.colors;
+    md_table.add_row({Table::fmt_int(t), Table::fmt(s, 3),
+                      Table::fmt(md_serial_s / s, 2) + "x",
+                      same ? "yes" : "NO"});
+    if (!same) {
+      std::printf("ERROR: multi-device coloring diverged at %u threads\n", t);
+      return 1;
+    }
+  }
+  md_table.print("multi-device Picasso (4 simulated devices)");
+
+  const unsigned hw = runtime::ThreadPool::hardware_threads();
+  std::printf("\nhardware threads: %u\n", hw);
+  std::printf("conflict-build speedup at 4 threads: %.2fx (gate: 1.5x, "
+              "enforced when hardware >= 4 threads)\n", speedup_at_4);
+  if (hw >= 4 && speedup_at_4 < 1.5) {
+    std::printf("FAIL: hardware has %u threads but the 4-thread build "
+                "managed only %.2fx\n", hw, speedup_at_4);
+    return 2;
+  }
+  if (hw < 4) {
+    std::printf("single/low-core container: scaling shape unavailable; all "
+                "thread counts verified bit-identical to serial instead.\n");
+  }
+  return 0;
+}

@@ -2,10 +2,11 @@
 
 namespace picasso::coloring {
 
-template ColoringResult jones_plassmann<graph::CsrGraph>(const graph::CsrGraph&,
-                                                         JpPriority,
-                                                         std::uint64_t);
+template ColoringResult jones_plassmann<graph::CsrGraph>(
+    const graph::CsrGraph&, JpPriority, std::uint64_t,
+    const runtime::RuntimeConfig&);
 template ColoringResult jones_plassmann<graph::DenseGraph>(
-    const graph::DenseGraph&, JpPriority, std::uint64_t);
+    const graph::DenseGraph&, JpPriority, std::uint64_t,
+    const runtime::RuntimeConfig&);
 
 }  // namespace picasso::coloring

@@ -26,6 +26,10 @@
 #include "device/device_conflict.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/oracles.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/runtime_config.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/prefix_sum.hpp"
 #include "util/timer.hpp"
 
 namespace picasso::core {
@@ -66,20 +70,33 @@ struct ConflictBuildResult {
 
 namespace detail {
 
-/// Emits every conflicted edge exactly once (u < v, local ids), by scanning
-/// all pairs. Emit must accept (u32, u32).
+/// Emits the conflicted edges with first endpoint in [u_lo, u_hi) — one slab
+/// of the all-pairs scan. The full scan and every parallel chunk run this
+/// same loop body, so the partitioned build cannot drift from the serial one.
 template <graph::GraphOracle Oracle, typename Emit>
-void enumerate_reference(const Oracle& oracle,
-                         std::span<const std::uint32_t> active,
-                         const ColorLists& lists, Emit&& emit) {
+void enumerate_reference_range(const Oracle& oracle,
+                               std::span<const std::uint32_t> active,
+                               const ColorLists& lists, std::uint32_t u_lo,
+                               std::uint32_t u_hi, Emit&& emit) {
   const auto n = static_cast<std::uint32_t>(active.size());
-  for (std::uint32_t u = 0; u < n; ++u) {
+  for (std::uint32_t u = u_lo; u < u_hi; ++u) {
     for (std::uint32_t v = u + 1; v < n; ++v) {
       if (lists.share_color(u, v) && oracle.edge(active[u], active[v])) {
         emit(u, v);
       }
     }
   }
+}
+
+/// Emits every conflicted edge exactly once (u < v, local ids), by scanning
+/// all pairs. Emit must accept (u32, u32).
+template <graph::GraphOracle Oracle, typename Emit>
+void enumerate_reference(const Oracle& oracle,
+                         std::span<const std::uint32_t> active,
+                         const ColorLists& lists, Emit&& emit) {
+  enumerate_reference_range(oracle, active, lists, 0,
+                            static_cast<std::uint32_t>(active.size()),
+                            std::forward<Emit>(emit));
 }
 
 /// Inverted index: bucket vertices by each color in their list.
@@ -91,16 +108,17 @@ struct ColorIndex {
 ColorIndex build_color_index(const ColorLists& lists,
                              std::uint32_t palette_size);
 
-/// Emits every conflicted edge exactly once using the inverted index: a
-/// pair is examined within each shared color's bucket but emitted only at
-/// its smallest shared color.
+/// Emits the conflicted edges owned by color buckets [c_lo, c_hi) of a
+/// prebuilt index. Ownership (dedup at the smallest shared color) is a
+/// per-color property, so disjoint color ranges emit disjoint edge sets and
+/// any partition of [0, P) covers every edge exactly once.
 template <graph::GraphOracle Oracle, typename Emit>
-void enumerate_indexed(const Oracle& oracle,
-                       std::span<const std::uint32_t> active,
-                       const ColorLists& lists, std::uint32_t palette_size,
-                       Emit&& emit) {
-  const ColorIndex index = build_color_index(lists, palette_size);
-  for (std::uint32_t c = 0; c < palette_size; ++c) {
+void enumerate_indexed_range(const Oracle& oracle,
+                             std::span<const std::uint32_t> active,
+                             const ColorLists& lists, const ColorIndex& index,
+                             std::uint32_t c_lo, std::uint32_t c_hi,
+                             Emit&& emit) {
+  for (std::uint32_t c = c_lo; c < c_hi; ++c) {
     const std::uint32_t lo = index.offsets[c];
     const std::uint32_t hi = index.offsets[c + 1];
     for (std::uint32_t a = lo; a < hi; ++a) {
@@ -117,24 +135,55 @@ void enumerate_indexed(const Oracle& oracle,
   }
 }
 
-/// Builds a CSR conflict graph on the host from an edge enumerator.
-template <typename EnumerateFn>
-graph::CsrGraph csr_from_enumerator(std::uint32_t n, EnumerateFn&& enumerate) {
-  std::vector<std::uint32_t> coo;
-  enumerate([&coo](std::uint32_t u, std::uint32_t v) {
-    coo.push_back(u);
-    coo.push_back(v);
-  });
-  const std::uint64_t num_edges = coo.size() / 2;
-  std::vector<std::uint64_t> offsets(n + 1, 0);
-  for (std::uint64_t e = 0; e < num_edges; ++e) {
-    ++offsets[coo[2 * e] + 1];
-    ++offsets[coo[2 * e + 1] + 1];
+/// Emits every conflicted edge exactly once using the inverted index: a
+/// pair is examined within each shared color's bucket but emitted only at
+/// its smallest shared color.
+template <graph::GraphOracle Oracle, typename Emit>
+void enumerate_indexed(const Oracle& oracle,
+                       std::span<const std::uint32_t> active,
+                       const ColorLists& lists, std::uint32_t palette_size,
+                       Emit&& emit) {
+  const ColorIndex index = build_color_index(lists, palette_size);
+  enumerate_indexed_range(oracle, active, lists, index, 0, palette_size,
+                          std::forward<Emit>(emit));
+}
+
+/// Merges COO partitions into the conflict CSR: per-vertex degree counts,
+/// offsets via the existing util prefix sum, then the same sorted-row
+/// scatter the device path uses. This is the *only* COO -> CSR assembly in
+/// the host build — serial and parallel paths both land here, so their
+/// bit-identity cannot drift.
+inline graph::CsrGraph csr_from_partitions(
+    std::uint32_t n, std::vector<std::vector<std::uint32_t>> parts) {
+  std::vector<std::uint64_t> counts(n, 0);
+  std::uint64_t num_edges = 0;
+  for (const auto& part : parts) {
+    num_edges += part.size() / 2;
+    for (std::size_t i = 0; i < part.size(); ++i) ++counts[part[i]];
   }
-  for (std::uint32_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<std::uint64_t> offsets = util::offsets_from_counts(counts);
+  std::vector<std::uint32_t> coo;
+  coo.reserve(2 * num_edges);
+  for (auto& part : parts) {
+    coo.insert(coo.end(), part.begin(), part.end());
+    part = {};  // free each partition as it is folded in: peak stays ~one
+                // COO copy plus the CSR, not two copies plus the CSR
+  }
   std::vector<std::uint32_t> neighbors(2 * num_edges);
   device::fill_csr(offsets, coo.data(), num_edges, neighbors.data());
   return graph::CsrGraph::from_csr(std::move(offsets), std::move(neighbors));
+}
+
+/// Builds a CSR conflict graph on the host from an edge enumerator (the
+/// serial path: one partition holding the whole emission order).
+template <typename EnumerateFn>
+graph::CsrGraph csr_from_enumerator(std::uint32_t n, EnumerateFn&& enumerate) {
+  std::vector<std::vector<std::uint32_t>> parts(1);
+  enumerate([&parts](std::uint32_t u, std::uint32_t v) {
+    parts[0].push_back(u);
+    parts[0].push_back(v);
+  });
+  return csr_from_partitions(n, std::move(parts));
 }
 
 inline std::uint32_t count_conflicted(const graph::CsrGraph& g) {
@@ -145,33 +194,130 @@ inline std::uint32_t count_conflicted(const graph::CsrGraph& g) {
   return count;
 }
 
+/// Work-balanced chunk plan for a kernel: slabs of the triangular u-loop for
+/// Reference (weight of u is its pair count n-1-u), color-bucket ranges for
+/// Indexed (weight of c is |S_c|^2, the bucket's pair slots). An explicit
+/// RuntimeConfig::chunk_size overrides the balancer with uniform ranges.
+inline std::vector<runtime::ChunkRange> plan_conflict_chunks(
+    ConflictKernel kernel, std::uint32_t n, const ColorIndex* index,
+    std::uint32_t palette_size, const runtime::RuntimeConfig& rt,
+    unsigned workers) {
+  const std::uint32_t domain =
+      kernel == ConflictKernel::Reference ? n : palette_size;
+  if (rt.chunk_size > 0) {
+    return runtime::uniform_chunks(0, domain, rt.chunk_size, workers);
+  }
+  std::vector<std::uint64_t> weights(domain);
+  if (kernel == ConflictKernel::Reference) {
+    for (std::uint32_t u = 0; u < n; ++u) weights[u] = n - 1 - u;
+  } else {
+    for (std::uint32_t c = 0; c < palette_size; ++c) {
+      const std::uint64_t bucket = index->offsets[c + 1] - index->offsets[c];
+      weights[c] = bucket * bucket;
+    }
+  }
+  return runtime::balanced_chunks(weights, std::size_t{workers} * 4);
+}
+
+/// Runs the enumeration chunked over the pool. `init(num_chunks)` is called
+/// once (before any chunk runs) so the caller can size per-chunk output
+/// slots; `make_emit(chunk)` then produces each chunk's emit callback. Each
+/// chunk's emissions are the exact restriction of the serial enumeration to
+/// its domain, so replaying chunk outputs in chunk order reproduces the
+/// serial emission order — the parallel build's determinism rests on this
+/// plus the canonical (sorted-row) CSR assembly.
+template <graph::GraphOracle Oracle, typename Init, typename MakeEmit>
+void enumerate_conflicts_chunked(runtime::ThreadPool* pool,
+                                 const Oracle& oracle,
+                                 std::span<const std::uint32_t> active,
+                                 const ColorLists& lists,
+                                 std::uint32_t palette_size,
+                                 ConflictKernel kernel,
+                                 const runtime::RuntimeConfig& rt, Init&& init,
+                                 MakeEmit&& make_emit) {
+  const auto n = static_cast<std::uint32_t>(active.size());
+  const unsigned workers = pool != nullptr ? pool->num_workers() : 1;
+  ColorIndex index;
+  if (kernel == ConflictKernel::Indexed) {
+    index = build_color_index(lists, palette_size);
+  }
+  const auto chunks =
+      plan_conflict_chunks(kernel, n, &index, palette_size, rt, workers);
+  init(chunks.size());
+  runtime::run_chunks(pool, chunks, [&](const runtime::ChunkRange& chunk) {
+    auto emit = make_emit(chunk);
+    if (kernel == ConflictKernel::Reference) {
+      enumerate_reference_range(oracle, active, lists,
+                                static_cast<std::uint32_t>(chunk.begin),
+                                static_cast<std::uint32_t>(chunk.end), emit);
+    } else {
+      enumerate_indexed_range(oracle, active, lists, index,
+                              static_cast<std::uint32_t>(chunk.begin),
+                              static_cast<std::uint32_t>(chunk.end), emit);
+    }
+  });
+}
+
+/// Chunked enumeration into one COO partition per chunk.
+template <graph::GraphOracle Oracle>
+std::vector<std::vector<std::uint32_t>> enumerate_conflicts_partitioned(
+    runtime::ThreadPool* pool, const Oracle& oracle,
+    std::span<const std::uint32_t> active, const ColorLists& lists,
+    std::uint32_t palette_size, ConflictKernel kernel,
+    const runtime::RuntimeConfig& rt) {
+  std::vector<std::vector<std::uint32_t>> parts;
+  enumerate_conflicts_chunked(
+      pool, oracle, active, lists, palette_size, kernel, rt,
+      [&parts](std::size_t num_chunks) { parts.resize(num_chunks); },
+      [&parts](const runtime::ChunkRange& chunk) {
+        std::vector<std::uint32_t>* coo = &parts[chunk.index];
+        return [coo](std::uint32_t u, std::uint32_t v) {
+          coo->push_back(u);
+          coo->push_back(v);
+        };
+      });
+  return parts;
+}
+
 }  // namespace detail
 
-/// Host conflict-graph construction with the selected kernel.
+/// Host conflict-graph construction with the selected kernel. The runtime
+/// config picks serial vs pool-parallel; with `deterministic = true` (the
+/// default) the two produce bit-identical CSRs — partitions restrict the
+/// serial loops, merge order is fixed, and row assembly is canonical.
 template <graph::GraphOracle Oracle>
-ConflictBuildResult build_conflict_graph(const Oracle& oracle,
-                                         std::span<const std::uint32_t> active,
-                                         const ColorLists& lists,
-                                         std::uint32_t palette_size,
-                                         ConflictKernel kernel) {
+ConflictBuildResult build_conflict_graph(
+    const Oracle& oracle, std::span<const std::uint32_t> active,
+    const ColorLists& lists, std::uint32_t palette_size, ConflictKernel kernel,
+    const runtime::RuntimeConfig& rt = {}) {
   util::WallTimer timer;
   ConflictBuildResult result;
   const auto n = static_cast<std::uint32_t>(active.size());
   kernel = resolve_kernel(kernel, palette_size, lists.list_size());
-  auto run = [&](auto&& enumerate) {
-    result.graph = detail::csr_from_enumerator(
-        n, std::forward<decltype(enumerate)>(enumerate));
-  };
-  if (kernel == ConflictKernel::Reference) {
-    run([&](auto&& emit) {
-      detail::enumerate_reference(oracle, active, lists,
-                                  std::forward<decltype(emit)>(emit));
-    });
+  // Gate on size before touching the pool: small inputs must not pay
+  // (or trigger) shared-pool construction.
+  runtime::ThreadPool* pool =
+      n >= rt.serial_cutoff ? resolve_pool(rt) : nullptr;
+  if (pool != nullptr) {
+    auto parts = detail::enumerate_conflicts_partitioned(
+        pool, oracle, active, lists, palette_size, kernel, rt);
+    result.graph = detail::csr_from_partitions(n, std::move(parts));
   } else {
-    run([&](auto&& emit) {
-      detail::enumerate_indexed(oracle, active, lists, palette_size,
-                                std::forward<decltype(emit)>(emit));
-    });
+    auto run = [&](auto&& enumerate) {
+      result.graph = detail::csr_from_enumerator(
+          n, std::forward<decltype(enumerate)>(enumerate));
+    };
+    if (kernel == ConflictKernel::Reference) {
+      run([&](auto&& emit) {
+        detail::enumerate_reference(oracle, active, lists,
+                                    std::forward<decltype(emit)>(emit));
+      });
+    } else {
+      run([&](auto&& emit) {
+        detail::enumerate_indexed(oracle, active, lists, palette_size,
+                                  std::forward<decltype(emit)>(emit));
+      });
+    }
   }
   result.num_edges = result.graph.num_edges();
   result.num_conflicted_vertices = detail::count_conflicted(result.graph);

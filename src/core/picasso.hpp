@@ -20,6 +20,7 @@
 #include "core/palette.hpp"
 #include "device/device_context.hpp"
 #include "graph/oracles.hpp"
+#include "runtime/runtime_config.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -39,8 +40,14 @@ struct PicassoParams {
   int max_iterations = 64;
   ConflictKernel kernel = ConflictKernel::Auto;
   ConflictColoringScheme conflict_scheme = ConflictColoringScheme::DynamicBucket;
+  /// Parallel execution runtime for the conflict-graph build (and, in the
+  /// multi-device driver, the concurrent shard builds). Defaults to one
+  /// worker per hardware thread with deterministic merging, so results are
+  /// bit-identical to `runtime.num_threads = 1`.
+  runtime::RuntimeConfig runtime;
   /// When set, conflict graphs are built through the simulated device
-  /// (Algorithm 3) against its memory budget.
+  /// (Algorithm 3) against its memory budget. The device pipeline charges a
+  /// single sequential ledger, so it always runs serially.
   device::DeviceContext* device = nullptr;
 };
 
@@ -139,7 +146,8 @@ PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
                                                params.kernel);
       } else {
         conflict = build_conflict_graph(oracle, active, lists,
-                                        palette.palette_size, params.kernel);
+                                        palette.palette_size, params.kernel,
+                                        params.runtime);
       }
     }
     stats.conflict_edges = conflict.num_edges;

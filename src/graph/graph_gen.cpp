@@ -77,6 +77,36 @@ CsrGraph random_geometric(VertexId n, double radius, std::uint64_t seed) {
   return CsrGraph::from_edges(n, std::move(edges));
 }
 
+CsrGraph rmat(VertexId n, std::uint64_t num_edges, double a, double b,
+              double c, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  if (n < 2) return CsrGraph::from_edges(n, {});
+  int scale = 0;
+  while ((std::uint64_t{1} << scale) < n) ++scale;  // 64-bit: safe past 2^31
+  const double ab = a + b;
+  const double abc = a + b + c;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    // Resample an edge slot until it lands on a valid off-diagonal pair
+    // inside [0, n)^2 (the matrix is padded to 2^scale).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      for (int level = 0; level < scale; ++level) {
+        const double r = rng.uniform();
+        u = (u << 1) | (r >= ab ? 1u : 0u);
+        v = (v << 1) | ((r >= a && r < ab) || r >= abc ? 1u : 0u);
+      }
+      if (u == v || u >= n || v >= n) continue;
+      if (u > v) std::swap(u, v);
+      edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      break;
+    }
+  }
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
 DenseGraph complete_graph(VertexId n) {
   DenseGraph g(n);
   for (VertexId u = 0; u < n; ++u) {

@@ -20,6 +20,17 @@ DenseGraph erdos_renyi_dense(VertexId n, double p, std::uint64_t seed);
 /// distance <= radius. Produces the clustered structure typical of meshes.
 CsrGraph random_geometric(VertexId n, double radius, std::uint64_t seed);
 
+/// R-MAT power-law graph (Chakrabarti-Zhan-Faloutsos): `num_edges` edge
+/// slots drawn by recursively descending a 2x2 probability grid (a, b, c,
+/// implicit d = 1 - a - b - c) over an adjacency matrix padded to the next
+/// power of two. Self-loops and out-of-range endpoints are resampled;
+/// duplicates are deduplicated, so the realised edge count can come in a
+/// little under `num_edges`. The skewed degree distribution is the standard
+/// strong-scaling input for parallel graph kernels (Graph500 uses
+/// a=0.57, b=c=0.19).
+CsrGraph rmat(VertexId n, std::uint64_t num_edges, double a, double b,
+              double c, std::uint64_t seed);
+
 /// Complete graph K_n.
 DenseGraph complete_graph(VertexId n);
 

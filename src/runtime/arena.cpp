@@ -1,0 +1,124 @@
+#include "runtime/arena.hpp"
+
+#include <mutex>
+
+namespace picasso::runtime {
+
+namespace {
+
+/// Registry of live thread arenas, for cross-thread peak aggregation.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<const Arena*>& registry() {
+  static std::vector<const Arena*>* r = new std::vector<const Arena*>();
+  return *r;
+}
+
+void register_arena(const Arena* arena) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back(arena);
+}
+
+void unregister_arena(const Arena* arena) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& r = registry();
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (r[i] == arena) {
+      r[i] = r.back();
+      r.pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Arena::Arena() { register_arena(this); }
+
+Arena::~Arena() { unregister_arena(this); }
+
+void* Arena::alloc_bytes(std::size_t bytes) {
+  bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+  if (bytes == 0) bytes = kAlign;
+  // Advance through existing blocks first (they stay reserved across
+  // reset()/Scope rewinds precisely so reuse is allocation-free).
+  while (current_block_ < blocks_.size() &&
+         block_used_ + bytes > blocks_[current_block_].capacity) {
+    ++current_block_;
+    block_used_ = 0;
+  }
+  if (current_block_ == blocks_.size()) {
+    std::size_t capacity = std::max(bytes, kMinBlockBytes);
+    if (!blocks_.empty()) {
+      capacity = std::max(capacity, blocks_.back().capacity * 2);
+    }
+    Block block;
+    // Aligned allocation: plain new[] only guarantees max_align_t, but
+    // alloc<T>() promises kAlign (and the bump offsets are kAlign multiples,
+    // so alignment of the base carries to every span).
+    block.data.reset(static_cast<std::byte*>(
+        ::operator new[](capacity, std::align_val_t{kAlign})));
+    block.capacity = capacity;
+    blocks_.push_back(std::move(block));
+    block_used_ = 0;
+    note_reserved(capacity);
+  }
+  std::byte* p = blocks_[current_block_].data.get() + block_used_;
+  block_used_ += bytes;
+  used_total_ += bytes;
+  return p;
+}
+
+void Arena::rewind(std::size_t block, std::size_t block_used,
+                   std::size_t used_total) noexcept {
+  current_block_ = block;
+  block_used_ = block_used;
+  used_total_ = used_total;
+}
+
+void Arena::reset() noexcept {
+  if (blocks_.size() > 1) {
+    // Keep only the largest block; geometric growth makes that the last one.
+    Block keep = std::move(blocks_.back());
+    std::size_t freed = 0;
+    for (std::size_t i = 0; i + 1 < blocks_.size(); ++i) {
+      freed += blocks_[i].capacity;
+    }
+    blocks_.clear();
+    blocks_.push_back(std::move(keep));
+    reserved_ -= freed;
+  }
+  current_block_ = 0;
+  block_used_ = 0;
+  used_total_ = 0;
+}
+
+void Arena::note_reserved(std::size_t delta) noexcept {
+  reserved_ += delta;
+  if (reserved_ > peak_.load(std::memory_order_relaxed)) {
+    peak_.store(reserved_, std::memory_order_relaxed);
+  }
+}
+
+Arena& this_thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+std::size_t thread_arena_peak_total() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::size_t total = 0;
+  for (const Arena* a : registry()) total += a->peak_bytes();
+  return total;
+}
+
+void absorb_thread_arena_peaks(util::MemoryTracker& tracker) {
+  const std::size_t total = thread_arena_peak_total();
+  tracker.allocate(total);
+  tracker.release(total);
+}
+
+}  // namespace picasso::runtime

@@ -1,0 +1,133 @@
+#pragma once
+// Thread-local scratch arenas for parallel kernels.
+//
+// Hot parallel loops need per-task scratch (forbidden-color marks in
+// Jones-Plassmann, per-chunk degree counters in the conflict build). Heap
+// allocation inside a chunk serialises on the allocator lock and fragments;
+// instead every thread owns a bump arena whose blocks are reused across
+// chunks and algorithms. Arena::Scope gives cheap stack-discipline rewind:
+// a chunk takes a scope, allocates what it needs, and the memory is handed
+// back (not freed) when the chunk ends.
+//
+// The arenas plug into the existing util::memory accounting: each arena
+// tracks its reserved-byte high-water mark (block-granular — an arena
+// reserves at least kMinBlockBytes once touched), and
+// absorb_thread_arena_peaks() folds the total across all live threads into
+// a MemoryTracker for callers that keep one. Algorithms that report a flat
+// aux-bytes estimate instead (e.g. Jones-Plassmann) charge their scratch at
+// the same block granularity so parallel scratch is not invisible to the
+// paper's memory story.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "util/memory.hpp"
+
+namespace picasso::runtime {
+
+class Arena {
+ public:
+  Arena();
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates storage for `count` T slots, 64-byte aligned (one cache
+  /// line, so adjacent chunk scratch never false-shares). Contents are
+  /// uninitialised.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    static_assert(alignof(T) <= kAlign);
+    void* p = alloc_bytes(count * sizeof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Bump-allocates `count` zero-initialised T slots.
+  template <typename T>
+  std::span<T> alloc_zeroed(std::size_t count) {
+    auto s = alloc<T>(count);
+    std::fill(s.begin(), s.end(), T{});
+    return s;
+  }
+
+  /// Rewinds to empty, keeping the single largest block for reuse.
+  void reset() noexcept;
+
+  std::size_t used_bytes() const noexcept { return used_total_; }
+  std::size_t reserved_bytes() const noexcept { return reserved_; }
+  /// High-water mark of reserved bytes over the arena's lifetime. Safe to
+  /// read from other threads (peak aggregation), hence atomic.
+  std::size_t peak_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII rewind point: allocations made after construction are handed back
+  /// on destruction (blocks grown in between stay reserved for reuse).
+  class Scope {
+   public:
+    explicit Scope(Arena& arena) noexcept
+        : arena_(arena),
+          block_(arena.current_block_),
+          block_used_(arena.block_used_),
+          used_total_(arena.used_total_) {}
+    ~Scope() { arena_.rewind(block_, block_used_, used_total_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena& arena_;
+    std::size_t block_;
+    std::size_t block_used_;
+    std::size_t used_total_;
+  };
+
+ public:
+  static constexpr std::size_t kAlign = 64;
+  /// Smallest block an arena reserves once touched; scratch-size estimates
+  /// should charge at least this much per participating thread.
+  static constexpr std::size_t kMinBlockBytes = 1u << 16;
+
+ private:
+
+  struct AlignedDelete {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{kAlign});
+    }
+  };
+  struct Block {
+    std::unique_ptr<std::byte[], AlignedDelete> data;
+    std::size_t capacity = 0;
+  };
+
+  void* alloc_bytes(std::size_t bytes);
+  void rewind(std::size_t block, std::size_t block_used,
+              std::size_t used_total) noexcept;
+  void note_reserved(std::size_t delta) noexcept;
+
+  std::vector<Block> blocks_;
+  std::size_t current_block_ = 0;  // index into blocks_ (== size() when empty)
+  std::size_t block_used_ = 0;     // bytes used in the current block
+  std::size_t used_total_ = 0;
+  std::size_t reserved_ = 0;
+  std::atomic<std::size_t> peak_{0};
+};
+
+/// The calling thread's arena (workers and the main thread each get one,
+/// created on first use and registered for peak aggregation).
+Arena& this_thread_arena();
+
+/// Sum of peak_bytes() across every thread arena currently alive.
+std::size_t thread_arena_peak_total();
+
+/// Folds the all-thread arena peak into `tracker` as a concurrent-peak upper
+/// bound (allocate + release leaves the tracker's peak raised, its current
+/// level untouched).
+void absorb_thread_arena_peaks(util::MemoryTracker& tracker);
+
+}  // namespace picasso::runtime

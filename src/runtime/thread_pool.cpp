@@ -1,0 +1,131 @@
+#include "runtime/thread_pool.hpp"
+
+#include <map>
+#include <utility>
+
+namespace picasso::runtime {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = hardware_threads();
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  drain();
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_all();
+  }
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::uint64_t slot =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+namespace {
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return tls_worker_pool == this;
+}
+
+bool ThreadPool::try_pop_own(unsigned self, std::function<void()>& out) {
+  WorkerQueue& q = *queues_[self];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(unsigned self, std::function<void()>& out) {
+  const unsigned n = num_workers();
+  for (unsigned step = 1; step < n; ++step) {
+    WorkerQueue& victim = *queues_[(self + step) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    out = std::move(victim.tasks.back());
+    victim.tasks.pop_back();
+    stolen_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  tls_worker_pool = this;
+  std::function<void()> task;
+  while (true) {
+    if (try_pop_own(index, task) || try_steal(index, task)) {
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      task = nullptr;
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+        drain_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool& ThreadPool::shared(unsigned num_threads) {
+  if (num_threads == 0) num_threads = hardware_threads();
+  static std::mutex registry_mutex;
+  static std::map<unsigned, std::unique_ptr<ThreadPool>>* registry =
+      new std::map<unsigned, std::unique_ptr<ThreadPool>>();  // leaked: pools
+  // must outlive static destructors of arbitrary client code.
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  auto it = registry->find(num_threads);
+  if (it == registry->end()) {
+    it = registry->emplace(num_threads, std::make_unique<ThreadPool>(num_threads))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace picasso::runtime
