@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/picasso.hpp"
 #include "graph/oracles.hpp"
 #include "pauli/datasets.hpp"
 #include "pauli/pauli_string.hpp"
@@ -109,6 +111,30 @@ class NaiveComplementOracle {
   std::size_t n_;
   std::vector<std::uint8_t> ops_;
 };
+
+/// Machine-readable bench records. When PICASSO_BENCH_JSON names a file,
+/// each record is appended as one JSON-lines row; CI collects the file as
+/// the BENCH_pr.json artifact and gates merges on peak-memory regressions
+/// against a checked-in baseline (scripts/compare_bench_memory.py). Records
+/// meant for the gate must come from single-threaded runs: tracked logical
+/// bytes are then a pure function of (dataset, seed, params) and compare
+/// bit-for-bit across machines.
+inline void emit_json_record(const std::string& bench, const std::string& name,
+                             const core::MemoryReport& report,
+                             const std::string& extra_fields = "") {
+  std::string row = "{\"bench\":\"" + bench + "\",\"name\":\"" + name +
+                    "\",\"peak_tracked_bytes\":" +
+                    std::to_string(report.peak_tracked_bytes) +
+                    ",\"within_budget\":" +
+                    (report.within_budget() ? "true" : "false");
+  if (!extra_fields.empty()) row += "," + extra_fields;
+  row += ",\"report\":" + report.to_json() + "}";
+  std::printf("JSONL %s\n", row.c_str());
+  if (const char* path = std::getenv("PICASSO_BENCH_JSON")) {
+    std::ofstream out(path, std::ios::app);
+    if (out) out << row << "\n";
+  }
+}
 
 /// Stamps a standard header on every bench so outputs are self-describing.
 inline void print_banner(const char* exhibit, const char* description) {

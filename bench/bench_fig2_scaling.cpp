@@ -45,20 +45,30 @@ int main() {
     params.palette_percent = 12.5;
     params.alpha = alpha;
     params.seed = 1;
+    // Single-threaded (the device pipeline is serial anyway) so the tracked
+    // peaks feed the CI regression gate machine-independently.
+    params.runtime.num_threads = 1;
 
     device::DeviceContext ctx(kDeviceBudget);
     params.device = &ctx;
     bool fits = true;
     std::uint64_t max_ec = 0;
+    core::MemoryReport memory;
     try {
       const auto r = core::picasso_color_pauli(set, params);
       max_ec = r.max_conflict_edges;
+      memory = r.memory;
     } catch (const device::DeviceOutOfMemory&) {
       fits = false;
       // Re-run host-side to still report the conflict fraction.
       params.device = nullptr;
-      max_ec = core::picasso_color_pauli(set, params).max_conflict_edges;
+      const auto r = core::picasso_color_pauli(set, params);
+      max_ec = r.max_conflict_edges;
+      memory = r.memory;
     }
+    bench::emit_json_record(
+        "fig2_scaling", spec.name, memory,
+        "\"max_conflict_edges\":" + std::to_string(max_ec));
 
     // Largest |Ec|/|E| the device could hold: COO (8 B/edge) plus the CSR
     // copy (8 B/edge) must fit next to the per-vertex counters.

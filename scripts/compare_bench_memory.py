@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI gate: compare bench memory records against a checked-in baseline.
+
+Both files are JSON-lines, one record per row, as emitted by
+bench::emit_json_record (see bench/bench_common.hpp):
+
+    {"bench": "table4_memory", "name": "H6_3D_sto3g/normal",
+     "peak_tracked_bytes": 123456, "within_budget": true, "report": {...}}
+
+Records are keyed by (bench, name). The gate fails when
+
+  * a record's peak_tracked_bytes exceeds the baseline by more than
+    --tolerance (default 10%), or
+  * a record that was within_budget in the baseline is over budget now, or
+  * a baseline record is missing from the current run (coverage loss),
+    unless --allow-missing is given.
+
+New records (present now, absent from the baseline) are reported but do not
+fail the gate — refresh the baseline to start tracking them.
+
+Usage: compare_bench_memory.py BASELINE CURRENT [--tolerance 0.10]
+Exit status: 0 clean, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    records = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as err:
+                    print(f"{path}:{line_no}: bad JSON ({err})", file=sys.stderr)
+                    sys.exit(2)
+                key = (row.get("bench", "?"), row.get("name", "?"))
+                records[key] = row
+    except OSError as err:
+        print(f"cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional growth in peak bytes")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when baseline records are absent")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    failures = []
+    for key, base_row in sorted(baseline.items()):
+        label = f"{key[0]}/{key[1]}"
+        cur_row = current.get(key)
+        if cur_row is None:
+            msg = f"MISSING  {label}: no record in current run"
+            if args.allow_missing:
+                print(f"warn: {msg}")
+            else:
+                failures.append(msg)
+            continue
+
+        base_peak = base_row.get("peak_tracked_bytes", 0)
+        cur_peak = cur_row.get("peak_tracked_bytes", 0)
+        limit = base_peak * (1.0 + args.tolerance)
+        delta = (cur_peak / base_peak - 1.0) * 100.0 if base_peak else 0.0
+        status = "ok"
+        if base_peak and cur_peak > limit:
+            status = "REGRESSION"
+            failures.append(
+                f"MEMORY   {label}: peak {cur_peak} B vs baseline "
+                f"{base_peak} B ({delta:+.1f}%, limit +{args.tolerance:.0%})")
+        if base_row.get("within_budget", True) and not cur_row.get(
+                "within_budget", True):
+            status = "REGRESSION"
+            failures.append(f"BUDGET   {label}: run exceeded its memory budget")
+        print(f"{status:10s} {label}: {base_peak} -> {cur_peak} B ({delta:+.1f}%)")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"new        {key[0]}/{key[1]}: not in baseline (refresh to track)")
+
+    if failures:
+        print("\nbench memory gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench memory gate passed "
+          f"({len(baseline)} records, tolerance +{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

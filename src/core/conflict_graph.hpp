@@ -29,6 +29,7 @@
 #include "runtime/parallel_for.hpp"
 #include "runtime/runtime_config.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/memory.hpp"
 #include "util/prefix_sum.hpp"
 #include "util/timer.hpp"
 
@@ -161,6 +162,14 @@ inline graph::CsrGraph csr_from_partitions(
     num_edges += part.size() / 2;
     for (std::size_t i = 0; i < part.size(); ++i) ++counts[part[i]];
   }
+  // The transient assembly arrays are the conflict build's true high-water
+  // mark (one COO copy + offsets + the CSR rows, all live at once during
+  // the scatter); charge them so the telemetry sees the spike, not just the
+  // surviving CSR.
+  util::ScopedCharge assembly_charge(
+      util::MemSubsystem::ConflictCsr,
+      (2 * n + 2) * sizeof(std::uint64_t) +
+          4 * num_edges * sizeof(std::uint32_t));
   std::vector<std::uint64_t> offsets = util::offsets_from_counts(counts);
   std::vector<std::uint32_t> coo;
   coo.reserve(2 * num_edges);

@@ -10,9 +10,11 @@
 // is structural and the graph itself is only ever touched through the
 // adjacency oracle.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/conflict_graph.hpp"
@@ -20,7 +22,9 @@
 #include "core/palette.hpp"
 #include "device/device_context.hpp"
 #include "graph/oracles.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/runtime_config.hpp"
+#include "util/memory.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -49,6 +53,42 @@ struct PicassoParams {
   /// (Algorithm 3) against its memory budget. The device pipeline charges a
   /// single sequential ledger, so it always runs serially.
   device::DeviceContext* device = nullptr;
+  /// Hard cap on tracked resident bytes for the whole run (0 = unlimited).
+  /// The oracle driver reports against it (MemoryReport::within_budget);
+  /// the budgeted streaming driver (core/streaming.hpp) additionally sizes
+  /// its chunk cache under it and spills the Pauli input to disk, re-reading
+  /// chunks on demand, so the cap actually binds.
+  std::size_t memory_budget_bytes = 0;
+};
+
+/// Unified memory telemetry for one run: the registry's per-subsystem
+/// high-water marks (arenas, conflict CSR, palettes, chunk cache, ML
+/// features, ...) plus the streaming pipeline's spill counters. Every bench
+/// surfaces this as machine-readable JSON via to_json().
+struct MemoryReport {
+  std::size_t budget_bytes = 0;        // 0 = unlimited
+  std::size_t peak_tracked_bytes = 0;  // registry total high-water mark
+  std::size_t peak_rss_bytes = 0;      // whole-process context
+  std::uint64_t over_budget_events = 0;
+  std::array<std::size_t, util::kNumMemSubsystems> subsystem_peak{};
+
+  // Streaming-pipeline extras (zero when the in-memory driver ran).
+  bool streamed = false;
+  std::size_t spill_bytes = 0;      // bytes written to the spill file
+  std::size_t num_chunks = 0;       // chunks the input was split into
+  std::uint64_t chunk_loads = 0;    // disk chunk reads (loads > chunks ⇒ re-scan)
+  std::uint64_t chunk_evictions = 0;
+
+  bool within_budget() const noexcept {
+    return budget_bytes == 0 || peak_tracked_bytes <= budget_bytes;
+  }
+
+  /// Fills the registry-derived fields from a snapshot (streaming extras
+  /// are left for the streaming driver to set).
+  static MemoryReport capture(const util::MemorySnapshot& snap);
+
+  /// One-line machine-readable JSON object.
+  std::string to_json() const;
 };
 
 struct IterationStats {
@@ -77,6 +117,7 @@ struct PicassoResult {
   double coloring_seconds = 0.0;
   std::uint64_t max_conflict_edges = 0;      // max |Ec| over iterations
   std::size_t peak_logical_bytes = 0;        // max iteration footprint
+  MemoryReport memory;                       // unified telemetry for the run
   /// False only if max_iterations was hit and the tail was finished with
   /// fresh singleton colors (still a valid coloring).
   bool converged = true;
@@ -107,6 +148,8 @@ PicassoResult picasso_color_dense(const graph::DenseGraph& g,
 template <graph::GraphOracle Oracle>
 PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
   util::WallTimer total_timer;
+  util::MemoryRegistry& memory = util::global_memory();
+  util::MemoryRunScope run_scope(params.memory_budget_bytes, memory);
   PicassoResult result;
   const std::uint32_t n = oracle.num_vertices();
   result.colors.assign(n, 0xffffffffu);
@@ -135,6 +178,8 @@ PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
       lists = assign_random_lists(stats.n_active, palette, params.seed,
                                   static_cast<std::uint64_t>(iteration));
     }
+    util::ScopedCharge lists_charge(util::MemSubsystem::PaletteLists,
+                                    lists.logical_bytes(), memory);
 
     // Line 7: conflict graph (host or simulated-device pipeline).
     ConflictBuildResult conflict;
@@ -150,6 +195,8 @@ PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
                                         params.runtime);
       }
     }
+    util::ScopedCharge csr_charge(util::MemSubsystem::ConflictCsr,
+                                  conflict.graph.logical_bytes(), memory);
     stats.conflict_edges = conflict.num_edges;
     stats.conflicted_vertices = conflict.num_conflicted_vertices;
     stats.csr_built_on_device = conflict.csr_built_on_device;
@@ -163,6 +210,8 @@ PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
       colored = color_conflict_graph(conflict.graph, lists,
                                      params.conflict_scheme, coloring_rng);
     }
+    memory.record_external_peak(util::MemSubsystem::ColoringAux,
+                                colored.aux_peak_bytes);
 
     std::vector<std::uint32_t> next_active;
     next_active.reserve(colored.uncolored.size());
@@ -210,6 +259,12 @@ PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
     result.num_colors = static_cast<std::uint32_t>(used.size());
   }
   result.total_seconds = total_timer.seconds();
+  // Fold the thread-arena high-water mark in (process-lifetime, hence a
+  // conservative upper bound for this run) and snapshot the telemetry while
+  // the run scope's budget is still installed.
+  memory.record_external_peak(util::MemSubsystem::Arena,
+                              runtime::thread_arena_peak_total());
+  result.memory = MemoryReport::capture(memory.snapshot());
   return result;
 }
 

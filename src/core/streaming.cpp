@@ -1,8 +1,16 @@
 #include "core/streaming.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "pauli/encoding.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace picasso::core {
 
@@ -41,6 +49,257 @@ void FileEdgeStream::replay(
     }
     fn(u, v);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Memory-budgeted Pauli streaming pipeline.
+
+PicassoResult picasso_color_pauli_chunked(
+    const pauli::ChunkedPauliReader& reader, const PicassoParams& params) {
+  util::WallTimer total_timer;
+  util::MemoryRegistry& memory = util::global_memory();
+  util::MemoryRunScope run_scope(params.memory_budget_bytes, memory);
+
+  PicassoResult result;
+  const auto n = static_cast<std::uint32_t>(reader.num_strings());
+  result.colors.assign(n, 0xffffffffu);
+
+  const std::size_t num_chunks = reader.num_chunks();
+  const std::size_t strings_per_chunk = reader.strings_per_chunk();
+  pauli::PauliChunkCache cache(reader, memory);
+
+  std::vector<std::uint32_t> active(n);
+  for (std::uint32_t v = 0; v < n; ++v) active[v] = v;
+
+  util::Xoshiro256 coloring_rng(params.seed ^ 0x5bf03635dd3bb1f0ULL);
+  std::uint32_t base_color = 0;
+  int iteration = 0;
+
+  while (!active.empty() && iteration < params.max_iterations) {
+    IterationStats stats;
+    stats.n_active = static_cast<std::uint32_t>(active.size());
+    const IterationPalette palette = compute_palette(
+        stats.n_active, params.palette_percent, params.alpha, base_color);
+    stats.palette_size = palette.palette_size;
+    stats.list_size = palette.list_size;
+
+    ColorLists lists;
+    {
+      util::ScopedAccumulator acc(stats.assign_seconds);
+      lists = assign_random_lists(stats.n_active, palette, params.seed,
+                                  static_cast<std::uint64_t>(iteration));
+    }
+    util::ScopedCharge lists_charge(util::MemSubsystem::PaletteLists,
+                                    lists.logical_bytes(), memory);
+
+    // Bucket the active vertices (as local indices) by owning chunk; the
+    // pair scan below touches only chunks that still hold active vertices.
+    std::vector<std::vector<std::uint32_t>> active_in(num_chunks);
+    for (std::uint32_t local = 0; local < stats.n_active; ++local) {
+      active_in[active[local] / strings_per_chunk].push_back(local);
+    }
+
+    // Conflict edges, chunk pair by chunk pair. Each pair's scan is slabbed
+    // over the runtime pool with one COO partition per slab; partitions are
+    // appended in (pair, slab) order, and the canonical CSR assembly makes
+    // the result bit-identical to the oracle driver's regardless of order.
+    ConflictBuildResult conflict;
+    {
+      util::ScopedAccumulator acc(stats.conflict_seconds);
+      runtime::ThreadPool* pool =
+          stats.n_active >= params.runtime.serial_cutoff
+              ? runtime::resolve_pool(params.runtime)
+              : nullptr;
+      const unsigned workers = pool != nullptr ? pool->num_workers() : 1;
+
+      std::vector<std::vector<std::uint32_t>> parts;
+      util::ScopedCharge coo_charge(util::MemSubsystem::ConflictCsr, 0,
+                                    memory);
+      for (std::size_t ci = 0; ci < num_chunks; ++ci) {
+        if (active_in[ci].empty()) continue;
+        const std::shared_ptr<const pauli::PauliSet> set_a = cache.get(ci);
+        const std::size_t begin_a = reader.chunk_begin(ci);
+        const std::size_t words3 = set_a->words_per_string();
+        for (std::size_t cj = ci; cj < num_chunks; ++cj) {
+          if (active_in[cj].empty()) continue;
+          const std::shared_ptr<const pauli::PauliSet> set_b =
+              cj == ci ? set_a : cache.get(cj);
+          const std::size_t begin_b = reader.chunk_begin(cj);
+          const auto& us = active_in[ci];
+          const auto& vs = active_in[cj];
+
+          const auto slabs = runtime::uniform_chunks(
+              0, us.size(), params.runtime.chunk_size, workers);
+          const std::size_t part_base = parts.size();
+          parts.resize(part_base + slabs.size());
+          runtime::run_chunks(
+              pool, slabs, [&](const runtime::ChunkRange& slab) {
+                std::vector<std::uint32_t>& coo =
+                    parts[part_base + slab.index];
+                for (std::size_t a = slab.begin; a < slab.end; ++a) {
+                  const std::uint32_t lu = us[a];
+                  const std::uint64_t* eu =
+                      set_a->encoded3(active[lu] - begin_a);
+                  const std::size_t b0 = ci == cj ? a + 1 : 0;
+                  for (std::size_t b = b0; b < vs.size(); ++b) {
+                    const std::uint32_t lv = vs[b];
+                    if (!lists.share_color(lu, lv)) continue;
+                    // Complement-graph edge: the strings do NOT anticommute.
+                    if (!pauli::anticommute3(
+                            eu, set_b->encoded3(active[lv] - begin_b),
+                            words3)) {
+                      coo.push_back(lu);
+                      coo.push_back(lv);
+                    }
+                  }
+                }
+              });
+          std::size_t coo_bytes = coo_charge.bytes();
+          for (std::size_t p = part_base; p < parts.size(); ++p) {
+            coo_bytes += parts[p].capacity() * sizeof(std::uint32_t);
+          }
+          coo_charge.resize(coo_bytes);
+        }
+      }
+      // csr_from_partitions charges its own assembly block (a full COO copy
+      // + the CSR rows) and frees the partitions as it folds them in; drop
+      // this charge at the hand-off so the folding bytes are not counted
+      // twice.
+      coo_charge.resize(0);
+      conflict.graph =
+          detail::csr_from_partitions(stats.n_active, std::move(parts));
+      conflict.num_edges = conflict.graph.num_edges();
+      conflict.num_conflicted_vertices =
+          detail::count_conflicted(conflict.graph);
+      conflict.logical_bytes = conflict.graph.logical_bytes();
+    }
+    stats.conflict_edges = conflict.num_edges;
+    stats.conflicted_vertices = conflict.num_conflicted_vertices;
+    util::ScopedCharge csr_charge(util::MemSubsystem::ConflictCsr,
+                                  conflict.graph.logical_bytes(), memory);
+
+    ListColoringResult colored;
+    {
+      util::ScopedAccumulator acc(stats.coloring_seconds);
+      colored = color_conflict_graph(conflict.graph, lists,
+                                     params.conflict_scheme, coloring_rng);
+    }
+    memory.record_external_peak(util::MemSubsystem::ColoringAux,
+                                colored.aux_peak_bytes);
+
+    std::vector<std::uint32_t> next_active;
+    next_active.reserve(colored.uncolored.size());
+    for (std::uint32_t local = 0; local < stats.n_active; ++local) {
+      const std::uint32_t c = colored.assigned[local];
+      if (c == ListColoringResult::kNoColorLocal) {
+        next_active.push_back(active[local]);
+      } else {
+        result.colors[active[local]] = palette.base_color + c;
+      }
+    }
+    stats.colored = colored.num_colored;
+    stats.uncolored = static_cast<std::uint32_t>(next_active.size());
+    stats.logical_bytes = lists.logical_bytes() + conflict.logical_bytes +
+                          colored.aux_peak_bytes +
+                          active.capacity() * sizeof(std::uint32_t);
+
+    result.iterations.push_back(stats);
+    result.assign_seconds += stats.assign_seconds;
+    result.conflict_seconds += stats.conflict_seconds;
+    result.coloring_seconds += stats.coloring_seconds;
+    result.max_conflict_edges =
+        std::max(result.max_conflict_edges, stats.conflict_edges);
+    result.peak_logical_bytes =
+        std::max(result.peak_logical_bytes, stats.logical_bytes);
+
+    base_color += palette.palette_size;
+    active = std::move(next_active);
+    ++iteration;
+  }
+
+  if (!active.empty()) {
+    result.converged = false;
+    for (std::uint32_t v : active) result.colors[v] = base_color++;
+  }
+  result.palette_total = base_color;
+  {
+    std::vector<std::uint32_t> used(result.colors);
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    result.num_colors = static_cast<std::uint32_t>(used.size());
+  }
+  result.total_seconds = total_timer.seconds();
+
+  memory.record_external_peak(util::MemSubsystem::Arena,
+                              runtime::thread_arena_peak_total());
+  result.memory = MemoryReport::capture(memory.snapshot());
+  result.memory.streamed = true;
+  result.memory.num_chunks = num_chunks;
+  result.memory.chunk_loads = reader.chunk_loads();
+  result.memory.chunk_evictions = cache.evictions();
+  std::error_code ec;
+  const auto file_bytes = std::filesystem::file_size(reader.path(), ec);
+  if (!ec) result.memory.spill_bytes = static_cast<std::size_t>(file_bytes);
+  return result;
+}
+
+PicassoResult picasso_color_pauli_budgeted(const pauli::PauliSet& set,
+                                           const PicassoParams& params,
+                                           const StreamingOptions& options) {
+  const std::size_t budget = params.memory_budget_bytes;
+  const std::size_t input_bytes = set.logical_bytes();
+  // Stream when asked to (explicit chunk size) or when holding the whole
+  // encoded input would eat more than half the budget, leaving too little
+  // for lists + conflict CSR.
+  const bool stream =
+      options.chunk_strings > 0 || (budget != 0 && 2 * input_bytes > budget);
+  if (!stream || set.empty()) return picasso_color_pauli(set, params);
+
+  std::size_t chunk_strings = options.chunk_strings;
+  if (chunk_strings == 0) {
+    // Two chunks resident at once (the pair scan's working set) should use
+    // about half the budget.
+    const std::size_t per_chunk_bytes = budget / 4;
+    const std::size_t per_string =
+        pauli::ChunkedPauliReader::resident_bytes_for(1, set.num_qubits());
+    chunk_strings =
+        std::max<std::size_t>(1, per_chunk_bytes / std::max<std::size_t>(
+                                                       1, per_string));
+  }
+  chunk_strings = std::min(chunk_strings, set.size());
+
+  namespace fs = std::filesystem;
+  fs::path dir = options.spill_dir.empty() ? fs::temp_directory_path()
+                                           : fs::path(options.spill_dir);
+  fs::create_directories(dir);
+  static std::atomic<unsigned> spill_counter{0};
+  char name[64];
+  std::snprintf(name, sizeof(name), "picasso_spill_%d_%u.pset",
+                static_cast<int>(::getpid()),
+                spill_counter.fetch_add(1, std::memory_order_relaxed));
+  const fs::path spill_path = dir / name;
+
+  const std::size_t spill_bytes =
+      pauli::spill_pauli_set(set, spill_path.string());
+  PicassoResult result;
+  try {
+    const pauli::ChunkedPauliReader reader(spill_path.string(),
+                                           chunk_strings);
+    result = picasso_color_pauli_chunked(reader, params);
+  } catch (...) {
+    std::error_code ec;
+    fs::remove(spill_path, ec);
+    throw;
+  }
+  result.memory.spill_bytes = spill_bytes;
+  // Disk-side footprint, reported but never counted against the RAM budget.
+  result.memory.subsystem_peak[static_cast<unsigned>(
+      util::MemSubsystem::Spill)] = spill_bytes;
+  if (!options.keep_spill) {
+    std::error_code ec;
+    fs::remove(spill_path, ec);
+  }
+  return result;
 }
 
 }  // namespace picasso::core

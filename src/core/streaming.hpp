@@ -16,6 +16,19 @@
 //                                          // undirected edge at least once
 // Passes are counted; PicassoResult::iterations.size() == #passes.
 
+// The memory-budgeted Pauli pipeline below extends the same idea to the
+// paper's flagship input: the encoded Pauli set is spilled to disk once,
+// read back in chunks through a budget-admission LRU cache, and the
+// conflict edges of each iteration are generated on the fly from chunk
+// pairs — palette-restricted first, oracle second — so the only O(n)-sized
+// resident state is one iteration's color lists plus the (sparse) conflict
+// CSR. When the chunk cache cannot hold every chunk, inner chunks are
+// re-read from disk per outer chunk: the multi-pass re-scan that trades
+// I/O for memory. Chunk-pair scans run on the PR-1 runtime pool and stay
+// bit-identical to the in-memory oracle driver (canonical CSR assembly
+// makes emission order immaterial; lists and coloring RNG are keyed
+// identically).
+
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -23,6 +36,7 @@
 #include <vector>
 
 #include "core/picasso.hpp"
+#include "pauli/pauli_stream.hpp"
 
 namespace picasso::core {
 
@@ -73,6 +87,35 @@ class FileEdgeStream {
 template <typename EdgeSource>
 PicassoResult picasso_color_stream(std::uint32_t n, const EdgeSource& source,
                                    const PicassoParams& params);
+
+// ---------------------------------------------------------------------------
+// Memory-budgeted Pauli streaming pipeline.
+
+struct StreamingOptions {
+  /// Strings per chunk. 0 = auto: sized so two resident chunks (the pair
+  /// scan's working set) take about half of memory_budget_bytes.
+  std::size_t chunk_strings = 0;
+  /// Directory for the spill file ("" = the system temp directory).
+  std::string spill_dir;
+  /// Keep the spill file after the run instead of removing it.
+  bool keep_spill = false;
+};
+
+/// Memory-budgeted entry point. With no budget and no explicit chunk size
+/// this is exactly picasso_color_pauli; when the encoded set does not fit
+/// comfortably in the budget (or chunk_strings forces it) the set is
+/// spilled to disk and colored through the chunked engine below. The
+/// coloring is bit-identical to picasso_color_pauli for equal params.
+PicassoResult picasso_color_pauli_budgeted(
+    const pauli::PauliSet& set, const PicassoParams& params,
+    const StreamingOptions& options = {});
+
+/// Chunked engine: colors the anticommutation-complement graph of the
+/// spilled Pauli set behind `reader`, holding at most the chunks the
+/// budget admits resident at a time (plus one iteration's lists and the
+/// conflict CSR). Chunk-pair scans run on the configured runtime pool.
+PicassoResult picasso_color_pauli_chunked(
+    const pauli::ChunkedPauliReader& reader, const PicassoParams& params);
 
 // ---------------------------------------------------------------------------
 // Implementation.

@@ -34,6 +34,12 @@ class Matrix {
 
   const std::vector<double>& data() const noexcept { return data_; }
 
+  /// Bytes held by the matrix storage (charged to the telemetry registry
+  /// as MemSubsystem::MlFeatures by the predictor).
+  std::size_t logical_bytes() const noexcept {
+    return data_.capacity() * sizeof(double);
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/memory.hpp"
+
 namespace picasso::ml {
 
 const char* to_string(ModelKind m) noexcept {
@@ -22,6 +24,9 @@ void ParameterPredictor::fit(const std::vector<TrainingSample>& samples,
   }
   Matrix x, y;
   samples_to_matrices(samples, x, y);
+  const util::ScopedCharge features_charge(util::MemSubsystem::MlFeatures,
+                                           x.logical_bytes() +
+                                               y.logical_bytes());
   switch (kind_) {
     case ModelKind::RandomForest:
       forest_.fit(x, y, forest_params);

@@ -1,0 +1,146 @@
+#include "pauli/pauli_stream.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "pauli/encoding.hpp"
+
+namespace picasso::pauli {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5041554c49534554ULL;  // "PAULISET"
+constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("pauli_stream: truncated .pset header");
+  return value;
+}
+
+}  // namespace
+
+std::size_t spill_pauli_set(const PauliSet& set, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("spill_pauli_set: cannot open " + path);
+  }
+  set.save_binary(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("spill_pauli_set: write failed for " + path);
+  }
+  return kHeaderBytes +
+         set.size() * (set.words_per_string() * sizeof(std::uint64_t) +
+                       sizeof(double));
+}
+
+ChunkedPauliReader::ChunkedPauliReader(std::string path,
+                                       std::size_t strings_per_chunk)
+    : path_(std::move(path)),
+      strings_per_chunk_(std::max<std::size_t>(1, strings_per_chunk)) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ChunkedPauliReader: cannot open " + path_);
+  }
+  if (read_pod<std::uint64_t>(in) != kMagic) {
+    throw std::runtime_error("ChunkedPauliReader: bad magic in " + path_);
+  }
+  num_qubits_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  num_strings_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  words3_ = words_per_string3(num_qubits_);
+}
+
+std::size_t ChunkedPauliReader::resident_bytes_for(
+    std::size_t num_strings, std::size_t num_qubits) noexcept {
+  // Matches PauliSet::logical_bytes(): 3-bit words + symplectic planes +
+  // coefficients.
+  const std::size_t w3 = words_per_string3(num_qubits);
+  const std::size_t w2 = words_per_string2(num_qubits);
+  return num_strings *
+         ((w3 + 2 * w2) * sizeof(std::uint64_t) + sizeof(double));
+}
+
+std::size_t ChunkedPauliReader::chunk_resident_bytes(
+    std::size_t chunk) const noexcept {
+  return resident_bytes_for(chunk_size(chunk), num_qubits_);
+}
+
+PauliSet ChunkedPauliReader::load_chunk(std::size_t chunk) const {
+  const std::size_t begin = chunk_begin(chunk);
+  const std::size_t count = chunk_size(chunk);
+  if (count == 0) return PauliSet{};
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ChunkedPauliReader: cannot reopen " + path_);
+  }
+  std::vector<std::uint64_t> packed(count * words3_);
+  in.seekg(static_cast<std::streamoff>(kHeaderBytes +
+                                       begin * words3_ * sizeof(std::uint64_t)));
+  in.read(reinterpret_cast<char*>(packed.data()),
+          static_cast<std::streamsize>(packed.size() * sizeof(std::uint64_t)));
+  std::vector<double> coefs(count);
+  in.seekg(static_cast<std::streamoff>(
+      kHeaderBytes + num_strings_ * words3_ * sizeof(std::uint64_t) +
+      begin * sizeof(double)));
+  in.read(reinterpret_cast<char*>(coefs.data()),
+          static_cast<std::streamsize>(coefs.size() * sizeof(double)));
+  if (!in) {
+    throw std::runtime_error("ChunkedPauliReader: truncated chunk in " +
+                             path_);
+  }
+
+  std::vector<PauliString> strings;
+  strings.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    strings.push_back(decode3(packed.data() + i * words3_, num_qubits_));
+  }
+  ++chunk_loads_;
+  return PauliSet(strings, std::move(coefs));
+}
+
+std::shared_ptr<const PauliSet> PauliChunkCache::get(std::size_t chunk) {
+  ++clock_;
+  for (Entry& e : entries_) {
+    if (e.chunk == chunk) {
+      e.last_use = clock_;
+      return e.set;
+    }
+  }
+
+  // Miss: make room under the budget, oldest chunks first. try_charge is
+  // the admission test; eviction only drops the cache's reference, so a
+  // chunk pinned by the caller keeps its charge until the pin goes away.
+  const std::size_t bytes = reader_->chunk_resident_bytes(chunk);
+  bool charged = registry_->try_charge(util::MemSubsystem::ChunkCache, bytes);
+  while (!charged && !entries_.empty()) {
+    auto oldest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_use < b.last_use; });
+    entries_.erase(oldest);
+    ++evictions_;
+    charged = registry_->try_charge(util::MemSubsystem::ChunkCache, bytes);
+  }
+  if (!charged) {
+    // Budget smaller than a single chunk (or everything else is pinned):
+    // proceed anyway — the overage is recorded as an over-budget event —
+    // rather than deadlocking the pipeline.
+    registry_->charge(util::MemSubsystem::ChunkCache, bytes);
+  }
+
+  util::MemoryRegistry* registry = registry_;
+  std::shared_ptr<const PauliSet> set(
+      new PauliSet(reader_->load_chunk(chunk)),
+      [registry, bytes](const PauliSet* p) {
+        registry->release(util::MemSubsystem::ChunkCache, bytes);
+        delete p;
+      });
+  entries_.push_back({chunk, set, clock_});
+  return set;
+}
+
+}  // namespace picasso::pauli

@@ -1,0 +1,117 @@
+#pragma once
+// Chunked Pauli-set ingestion for the memory-budgeted streaming pipeline.
+//
+// The budgeted driver never holds the whole encoded Pauli set resident:
+// the set is spilled once to a .pset file (the PauliSet::save_binary
+// format, which is seekable — fixed-width header, then packed 3-bit words,
+// then coefficients) and read back in contiguous chunks of strings. A
+// ChunkedPauliReader seeks straight to a chunk's words and decodes only
+// that slice; a PauliChunkCache keeps recently used chunks resident as long
+// as the MemoryRegistry budget admits them and evicts least-recently-used
+// chunks when it does not — the evicted chunk is simply re-read from disk
+// on its next use (multi-pass re-scan).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_set.hpp"
+#include "util/memory.hpp"
+
+namespace picasso::pauli {
+
+/// Writes `set` to `path` in the .pset binary format (save_binary). Returns
+/// the file size in bytes. Throws std::runtime_error on I/O failure.
+std::size_t spill_pauli_set(const PauliSet& set, const std::string& path);
+
+/// Random-access chunk reader over a .pset file. Chunk i covers strings
+/// [i * strings_per_chunk, min(n, (i+1) * strings_per_chunk)).
+class ChunkedPauliReader {
+ public:
+  ChunkedPauliReader(std::string path, std::size_t strings_per_chunk);
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t num_strings() const noexcept { return num_strings_; }
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  std::size_t strings_per_chunk() const noexcept { return strings_per_chunk_; }
+  std::size_t num_chunks() const noexcept {
+    return strings_per_chunk_ == 0
+               ? 0
+               : (num_strings_ + strings_per_chunk_ - 1) / strings_per_chunk_;
+  }
+
+  std::size_t chunk_begin(std::size_t chunk) const noexcept {
+    return chunk * strings_per_chunk_;
+  }
+  std::size_t chunk_size(std::size_t chunk) const noexcept {
+    const std::size_t begin = chunk_begin(chunk);
+    const std::size_t end =
+        std::min(num_strings_, begin + strings_per_chunk_);
+    return end > begin ? end - begin : 0;
+  }
+
+  /// Bytes chunk `chunk` occupies once resident as a PauliSet (both
+  /// encodings plus coefficients) — the unit the chunk cache charges
+  /// against the memory budget.
+  std::size_t chunk_resident_bytes(std::size_t chunk) const noexcept;
+
+  /// Same estimate for an arbitrary string count (used to size chunks
+  /// against a budget share before the reader exists).
+  static std::size_t resident_bytes_for(std::size_t num_strings,
+                                        std::size_t num_qubits) noexcept;
+
+  /// Seeks to and decodes chunk `chunk` as a standalone PauliSet (local
+  /// indices [0, chunk_size)). Throws on I/O failure.
+  PauliSet load_chunk(std::size_t chunk) const;
+
+  /// Total chunk loads performed through this reader (telemetry: every
+  /// load beyond the first per chunk is a budget-forced re-scan).
+  std::uint64_t chunk_loads() const noexcept { return chunk_loads_; }
+
+ private:
+  std::string path_;
+  std::size_t strings_per_chunk_ = 0;
+  std::size_t num_strings_ = 0;
+  std::size_t num_qubits_ = 0;
+  std::size_t words3_ = 0;
+  mutable std::uint64_t chunk_loads_ = 0;
+};
+
+/// LRU cache of resident chunks, admission-controlled by the registry
+/// budget (MemSubsystem::ChunkCache). get() returns a shared_ptr so a
+/// caller-pinned chunk survives eviction (the cache merely drops its own
+/// reference; the charge is released when the last owner lets go). When
+/// even an empty cache cannot admit one chunk — budget smaller than one
+/// chunk — the chunk is loaded and charged anyway (recorded as an
+/// over-budget event) so the pipeline degrades to pure re-scan instead of
+/// failing.
+class PauliChunkCache {
+ public:
+  PauliChunkCache(const ChunkedPauliReader& reader,
+                  util::MemoryRegistry& registry = util::global_memory())
+      : reader_(&reader), registry_(&registry) {}
+
+  std::shared_ptr<const PauliSet> get(std::size_t chunk);
+
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Drops every cached chunk (charges release as references expire).
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::size_t chunk = 0;
+    std::shared_ptr<const PauliSet> set;
+    std::uint64_t last_use = 0;
+  };
+
+  const ChunkedPauliReader* reader_;
+  util::MemoryRegistry* registry_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace picasso::pauli

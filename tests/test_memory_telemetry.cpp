@@ -1,0 +1,180 @@
+// Unit tests for the unified memory telemetry: per-subsystem high-water
+// marks, budget admission, run scoping, and the report plumbing through the
+// Picasso drivers.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/picasso.hpp"
+#include "graph/graph_gen.hpp"
+#include "util/memory.hpp"
+
+namespace pu = picasso::util;
+namespace pcore = picasso::core;
+namespace pg = picasso::graph;
+
+TEST(MemoryRegistry, HighWaterMarkPerSubsystemAndTotal) {
+  pu::MemoryRegistry reg;
+  reg.charge(pu::MemSubsystem::ConflictCsr, 100);
+  reg.charge(pu::MemSubsystem::PaletteLists, 50);
+  EXPECT_EQ(reg.current_bytes(), 150u);
+  EXPECT_EQ(reg.peak_bytes(), 150u);
+
+  reg.release(pu::MemSubsystem::ConflictCsr, 100);
+  EXPECT_EQ(reg.current_bytes(), 50u);
+  EXPECT_EQ(reg.peak_bytes(), 150u);  // the peak never decreases
+
+  // A second, smaller spike in another subsystem must not move the peak.
+  reg.charge(pu::MemSubsystem::ChunkCache, 60);
+  EXPECT_EQ(reg.peak_bytes(), 150u);
+  // A larger one must.
+  reg.charge(pu::MemSubsystem::ChunkCache, 100);
+  EXPECT_EQ(reg.peak_bytes(), 210u);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.subsystem_peak[static_cast<unsigned>(
+                pu::MemSubsystem::ConflictCsr)],
+            100u);
+  EXPECT_EQ(snap.subsystem_peak[static_cast<unsigned>(
+                pu::MemSubsystem::PaletteLists)],
+            50u);
+  EXPECT_EQ(snap.subsystem_peak[static_cast<unsigned>(
+                pu::MemSubsystem::ChunkCache)],
+            160u);
+}
+
+TEST(MemoryRegistry, BudgetAdmissionAndOverBudgetEvents) {
+  pu::MemoryRegistry reg;
+  reg.set_budget(100);
+  EXPECT_TRUE(reg.try_charge(pu::MemSubsystem::ChunkCache, 80));
+  EXPECT_EQ(reg.headroom_bytes(), 20u);
+  EXPECT_FALSE(reg.try_charge(pu::MemSubsystem::ChunkCache, 30));
+  EXPECT_EQ(reg.current_bytes(), 80u);  // rejected charge left no residue
+
+  // charge() is advisory: it goes through but is counted.
+  reg.charge(pu::MemSubsystem::ConflictCsr, 30);
+  EXPECT_EQ(reg.snapshot().over_budget_events, 1u);
+  EXPECT_EQ(reg.headroom_bytes(), 0u);
+}
+
+TEST(MemoryRegistry, UnlimitedBudgetAlwaysAdmits) {
+  pu::MemoryRegistry reg;
+  EXPECT_TRUE(reg.try_charge(pu::MemSubsystem::ChunkCache, 1ull << 40));
+  EXPECT_EQ(reg.snapshot().over_budget_events, 0u);
+}
+
+TEST(MemoryRegistry, ResetPeaksRebasesToCurrent) {
+  pu::MemoryRegistry reg;
+  reg.charge(pu::MemSubsystem::Arena, 500);
+  reg.release(pu::MemSubsystem::Arena, 400);
+  reg.reset_peaks();
+  EXPECT_EQ(reg.peak_bytes(), 100u);
+  EXPECT_EQ(reg.snapshot()
+                .subsystem_peak[static_cast<unsigned>(pu::MemSubsystem::Arena)],
+            100u);
+}
+
+TEST(MemoryRegistry, ExternalPeakFoldsInWithoutChangingCurrent) {
+  pu::MemoryRegistry reg;
+  reg.charge(pu::MemSubsystem::ConflictCsr, 100);
+  reg.record_external_peak(pu::MemSubsystem::Arena, 70);
+  EXPECT_EQ(reg.current_bytes(), 100u);
+  EXPECT_EQ(reg.peak_bytes(), 170u);  // concurrent-peak upper bound
+}
+
+TEST(MemoryRegistry, ConcurrentChargesBalance) {
+  pu::MemoryRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.charge(pu::MemSubsystem::Arena, 64);
+        reg.release(pu::MemSubsystem::Arena, 64);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.current_bytes(), 0u);
+  EXPECT_GE(reg.peak_bytes(), 64u);
+  EXPECT_LE(reg.peak_bytes(), 64u * kThreads);
+}
+
+TEST(ScopedCharge, ReleasesOnDestructionAndResizesDelta) {
+  pu::MemoryRegistry reg;
+  {
+    pu::ScopedCharge charge(pu::MemSubsystem::PaletteLists, 100, reg);
+    EXPECT_EQ(reg.current_bytes(), 100u);
+    charge.resize(250);
+    EXPECT_EQ(reg.current_bytes(), 250u);
+    charge.resize(40);
+    EXPECT_EQ(reg.current_bytes(), 40u);
+  }
+  EXPECT_EQ(reg.current_bytes(), 0u);
+  EXPECT_EQ(reg.peak_bytes(), 250u);
+}
+
+TEST(MemoryRunScope, OutermostScopeOwnsBudgetAndPeaks) {
+  pu::MemoryRegistry reg;
+  reg.charge(pu::MemSubsystem::PauliInput, 10);
+  {
+    pu::MemoryRunScope outer(1000, reg);
+    EXPECT_TRUE(outer.outermost());
+    EXPECT_EQ(reg.budget_bytes(), 1000u);
+    EXPECT_EQ(reg.peak_bytes(), 10u);  // rebased to current
+    reg.charge(pu::MemSubsystem::ConflictCsr, 500);
+    {
+      pu::MemoryRunScope inner(7, reg);  // nested: must not disturb anything
+      EXPECT_FALSE(inner.outermost());
+      EXPECT_EQ(reg.budget_bytes(), 1000u);
+      EXPECT_EQ(reg.peak_bytes(), 510u);
+    }
+    EXPECT_EQ(reg.budget_bytes(), 1000u);
+  }
+  EXPECT_EQ(reg.budget_bytes(), 0u);  // restored
+}
+
+TEST(MemoryReport, PicassoRunFillsSubsystemPeaks) {
+  const auto g = pg::erdos_renyi_dense(400, 0.5, 3);
+  pcore::PicassoParams params;
+  params.seed = 5;
+  params.memory_budget_bytes = 256 << 20;
+  const auto r = pcore::picasso_color_dense(g, params);
+  EXPECT_EQ(r.memory.budget_bytes, 256u << 20);
+  EXPECT_TRUE(r.memory.within_budget());
+  EXPECT_GT(r.memory.peak_tracked_bytes, 0u);
+  EXPECT_GT(r.memory.peak_rss_bytes, 0u);
+  const auto lists_peak = r.memory.subsystem_peak[static_cast<unsigned>(
+      pu::MemSubsystem::PaletteLists)];
+  const auto csr_peak = r.memory.subsystem_peak[static_cast<unsigned>(
+      pu::MemSubsystem::ConflictCsr)];
+  EXPECT_GT(lists_peak, 0u);
+  EXPECT_GT(csr_peak, 0u);
+  EXPECT_FALSE(r.memory.streamed);
+
+  const auto json = r.memory.to_json();
+  EXPECT_NE(json.find("\"peak_tracked_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"within_budget\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"palette_lists\""), std::string::npos);
+}
+
+TEST(MemoryReport, TrackedListsPeakMatchesDriverAccounting) {
+  // The telemetry's palette-lists high-water mark must agree with the
+  // driver's own per-iteration accounting (max over iterations of the list
+  // bytes) — the HWM is measured, not estimated.
+  const auto g = pg::erdos_renyi_dense(300, 0.4, 9);
+  pcore::PicassoParams params;
+  params.seed = 2;
+  const auto r = pcore::picasso_color_dense(g, params);
+  std::size_t expected = 0;
+  for (const auto& it : r.iterations) {
+    expected = std::max(
+        expected, std::size_t{it.n_active} * it.list_size * sizeof(std::uint32_t));
+  }
+  EXPECT_EQ(r.memory.subsystem_peak[static_cast<unsigned>(
+                pu::MemSubsystem::PaletteLists)],
+            expected);
+}
