@@ -112,13 +112,22 @@ class NaiveComplementOracle {
   std::vector<std::uint8_t> ops_;
 };
 
-/// Machine-readable bench records. When PICASSO_BENCH_JSON names a file,
-/// each record is appended as one JSON-lines row; CI collects the file as
-/// the BENCH_pr.json artifact and gates merges on peak-memory regressions
-/// against a checked-in baseline (scripts/compare_bench_memory.py). Records
-/// meant for the gate must come from single-threaded runs: tracked logical
-/// bytes are then a pure function of (dataset, seed, params) and compare
-/// bit-for-bit across machines.
+/// Appends one raw JSON-lines row to stdout and (when PICASSO_BENCH_JSON
+/// names a file) to the bench artifact CI uploads as BENCH_pr.json.
+inline void emit_json_line(const std::string& row) {
+  std::printf("JSONL %s\n", row.c_str());
+  if (const char* path = std::getenv("PICASSO_BENCH_JSON")) {
+    std::ofstream out(path, std::ios::app);
+    if (out) out << row << "\n";
+  }
+}
+
+/// Machine-readable memory record, one JSON-lines row keyed (bench, name).
+/// CI gates merges on peak-memory regressions in these against a checked-in
+/// baseline (scripts/compare_bench_memory.py). Records meant for the gate
+/// must come from single-threaded runs: tracked logical bytes are then a
+/// pure function of (dataset, seed, params) and compare bit-for-bit across
+/// machines.
 inline void emit_json_record(const std::string& bench, const std::string& name,
                              const core::MemoryReport& report,
                              const std::string& extra_fields = "") {
@@ -129,11 +138,7 @@ inline void emit_json_record(const std::string& bench, const std::string& name,
                     (report.within_budget() ? "true" : "false");
   if (!extra_fields.empty()) row += "," + extra_fields;
   row += ",\"report\":" + report.to_json() + "}";
-  std::printf("JSONL %s\n", row.c_str());
-  if (const char* path = std::getenv("PICASSO_BENCH_JSON")) {
-    std::ofstream out(path, std::ios::app);
-    if (out) out << row << "\n";
-  }
+  emit_json_line(row);
 }
 
 /// Stamps a standard header on every bench so outputs are self-describing.

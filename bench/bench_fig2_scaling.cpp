@@ -25,7 +25,8 @@ int main() {
   constexpr std::size_t kDeviceBudget = 256u << 20;  // scaled-down "A100"
 
   util::Table table({"problem", "|V|", "|E| (compl.)", "max |Ec|",
-                     "max |Ec| %", "device limit %", "fits?", "alpha"});
+                     "max |Ec| %", "device limit %", "fits?", "alpha",
+                     "conflict s (scalar)", "conflict s (packed)"});
 
   std::vector<pauli::DatasetSpec> datasets;
   for (const auto& spec : pauli::all_datasets()) {
@@ -66,9 +67,29 @@ int main() {
       max_ec = r.max_conflict_edges;
       memory = r.memory;
     }
+    // Packed-vs-scalar ablation on the host path (single-threaded): the
+    // same iterations with the 3-bit per-pair oracle and with the packed
+    // SIMD blocked scan. Colorings must not differ; only the conflict
+    // phase's wall time does.
+    params.device = nullptr;
+    params.pauli_backend = core::PauliBackend::Scalar;
+    const auto host_scalar = core::picasso_color_pauli(set, params);
+    params.pauli_backend = core::PauliBackend::Packed;
+    const auto host_packed = core::picasso_color_pauli(set, params);
+    if (host_scalar.colors != host_packed.colors) {
+      std::printf("ERROR: packed and scalar backends diverged on %s\n",
+                  spec.name.c_str());
+      return 1;
+    }
+    char kernel_fields[160];
+    std::snprintf(kernel_fields, sizeof(kernel_fields),
+                  "\"conflict_seconds_scalar\":%.6f,"
+                  "\"conflict_seconds_packed\":%.6f",
+                  host_scalar.conflict_seconds, host_packed.conflict_seconds);
     bench::emit_json_record(
         "fig2_scaling", spec.name, memory,
-        "\"max_conflict_edges\":" + std::to_string(max_ec));
+        "\"max_conflict_edges\":" + std::to_string(max_ec) + "," +
+            kernel_fields);
 
     // Largest |Ec|/|E| the device could hold: COO (8 B/edge) plus the CSR
     // copy (8 B/edge) must fit next to the per-vertex counters.
@@ -89,7 +110,9 @@ int main() {
                    util::Table::fmt_int(static_cast<long long>(max_ec)),
                    util::Table::fmt_pct(ec_pct, 2),
                    util::Table::fmt_pct(std::min(limit_pct, 100.0), 2),
-                   fits ? "yes" : "NO (OOM)", util::Table::fmt(alpha, 1)});
+                   fits ? "yes" : "NO (OOM)", util::Table::fmt(alpha, 1),
+                   util::Table::fmt(host_scalar.conflict_seconds, 3),
+                   util::Table::fmt(host_packed.conflict_seconds, 3)});
   }
   table.print("Fig. 2 analogue: max conflict fraction vs simulated 256 MB device");
   std::printf(

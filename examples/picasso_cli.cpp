@@ -12,6 +12,8 @@
 //   --alpha A       list-size multiplier (default 2.0)
 //   --seed S        RNG seed (default 1)
 //   --mode M        partition relation: unitary | commute | qwc
+//   --mtx           color: parse --file as MatrixMarket (auto-detected for
+//                   .mtx extensions)
 //   --stream        color: re-read the file per pass (semi-streaming mode)
 //   --refine        apply iterated-greedy refinement to the result
 //   --csv           machine-readable output where supported
@@ -49,6 +51,7 @@ struct CliOptions {
   double alpha = 2.0;
   std::uint64_t seed = 1;
   core::GroupingMode mode = core::GroupingMode::Unitary;
+  bool mtx = false;
   bool stream = false;
   bool refine = false;
   bool csv = false;
@@ -58,7 +61,7 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: %s <list|info|partition|color|sweep> [target] "
                "[--percent P] [--alpha A] [--seed S] [--mode unitary|commute|qwc] "
-               "[--file path] [--stream] [--refine] [--csv]\n",
+               "[--file path] [--mtx] [--stream] [--refine] [--csv]\n",
                argv0);
   std::exit(2);
 }
@@ -96,6 +99,8 @@ CliOptions parse_args(int argc, char** argv) {
         std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
         std::exit(2);
       }
+    } else if (arg == "--mtx") {
+      opt.mtx = true;
     } else if (arg == "--stream") {
       opt.stream = true;
     } else if (arg == "--refine") {
@@ -187,12 +192,19 @@ int cmd_partition(const CliOptions& opt) {
 
 int cmd_color(const CliOptions& opt) {
   if (opt.file.empty()) {
-    std::fprintf(stderr, "color requires --file <edgelist>\n");
+    std::fprintf(stderr, "color requires --file <edgelist|matrixmarket>\n");
     return 2;
   }
+  const bool mtx = opt.mtx || graph::is_matrix_market_path(opt.file);
   core::PicassoParams params = params_from(opt);
   core::PicassoResult result;
   if (opt.stream) {
+    if (mtx) {
+      std::fprintf(stderr,
+                   "--stream replays edge-list files; convert the "
+                   "MatrixMarket input first (or drop --stream)\n");
+      return 2;
+    }
     const core::FileEdgeStream stream(opt.file);
     result = core::picasso_color_stream(stream.num_vertices(), stream, params);
     const auto g = graph::read_edge_list_file(opt.file);  // verification only
@@ -201,7 +213,8 @@ int cmd_color(const CliOptions& opt) {
       return 1;
     }
   } else {
-    auto g = graph::read_edge_list_file(opt.file);
+    auto g = mtx ? graph::read_matrix_market_file(opt.file)
+                 : graph::read_edge_list_file(opt.file);
     result = core::picasso_color_csr(g, params);
     if (opt.refine) {
       const auto refined = coloring::iterated_greedy_refine(g, result.colors);

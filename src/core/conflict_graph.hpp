@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "core/conflict_oracle.hpp"
 #include "core/palette.hpp"
 #include "device/device_conflict.hpp"
 #include "graph/csr_graph.hpp"
@@ -74,16 +75,28 @@ namespace detail {
 /// Emits the conflicted edges with first endpoint in [u_lo, u_hi) — one slab
 /// of the all-pairs scan. The full scan and every parallel chunk run this
 /// same loop body, so the partitioned build cannot drift from the serial one.
+/// Block-capable oracles (core/conflict_oracle.hpp) go through the blocked
+/// pair-scan — palette signatures and list merge first, surviving candidates
+/// batched per oracle call — which emits the identical edge stream in the
+/// identical (ascending v) order, so the CSR and the coloring cannot differ.
 template <graph::GraphOracle Oracle, typename Emit>
 void enumerate_reference_range(const Oracle& oracle,
                                std::span<const std::uint32_t> active,
                                const ColorLists& lists, std::uint32_t u_lo,
                                std::uint32_t u_hi, Emit&& emit) {
   const auto n = static_cast<std::uint32_t>(active.size());
-  for (std::uint32_t u = u_lo; u < u_hi; ++u) {
-    for (std::uint32_t v = u + 1; v < n; ++v) {
-      if (lists.share_color(u, v) && oracle.edge(active[u], active[v])) {
-        emit(u, v);
+  if constexpr (BlockConflictOracle<Oracle>) {
+    BlockScanBuffers buf;
+    buf.reserve(kBlockScanBatch);
+    for (std::uint32_t u = u_lo; u < u_hi; ++u) {
+      blocked_row_scan(oracle, active, lists, u, u + 1, n, emit, buf);
+    }
+  } else {
+    for (std::uint32_t u = u_lo; u < u_hi; ++u) {
+      for (std::uint32_t v = u + 1; v < n; ++v) {
+        if (lists.share_color(u, v) && oracle.edge(active[u], active[v])) {
+          emit(u, v);
+        }
       }
     }
   }

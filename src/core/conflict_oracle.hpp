@@ -1,0 +1,138 @@
+#pragma once
+// The pluggable conflict-oracle interface of the conflict-edge hot path.
+//
+// Every conflict-graph build in src/core is written against a ConflictOracle:
+// anything answering adjacency queries for the (implicit) graph Picasso
+// colors. Two capability tiers:
+//
+//  * ConflictOracle — `num_vertices()` + `edge(u, v)`, the minimal contract
+//    (identical to graph::GraphOracle). Satisfied by the Pauli
+//    complement/anticommute oracles, explicit CSR / dense-bitset edge-list
+//    oracles, and anything a caller plugs in.
+//  * BlockConflictOracle — additionally `edge_block(u, vs, count, out)`,
+//    answering one vertex against a batch of candidates in a single call.
+//    SIMD backends (graph::PackedComplementOracle) amortize their kernel
+//    dispatch and data movement across the batch; the enumeration layer
+//    feeds it only the candidates that survived the palette prefilter.
+//
+// The blocked pair-scan below is the shared driver: per row u it tests
+// palette compatibility first — a one-word AND of the packed palette
+// signatures, then the exact sorted-list merge — and batches the survivors
+// for the oracle. Emission order is ascending v, exactly the order of the
+// plain nested loop, so blocked and per-pair scans produce bit-identical
+// edge streams (and, through the canonical CSR assembly, bit-identical
+// colorings).
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/palette.hpp"
+#include "graph/oracles.hpp"
+
+namespace picasso::core {
+
+/// Minimal conflict-oracle contract (adjacency queries only).
+template <typename T>
+concept ConflictOracle = graph::GraphOracle<T>;
+
+/// Oracle that can answer a batch of pair queries in one call:
+/// out[k] = edge(u, vs[k]) for k in [0, count).
+template <typename T>
+concept BlockConflictOracle =
+    ConflictOracle<T> &&
+    requires(const T& o, graph::VertexId u, const graph::VertexId* vs,
+             std::size_t count, std::uint8_t* out) {
+      { o.edge_block(u, vs, count, out) };
+    };
+
+/// Per-row candidate batch for the blocked pair-scan. One instance per
+/// worker/slab; reused across rows so the hot loop never allocates.
+struct BlockScanBuffers {
+  std::vector<std::uint32_t> local;   // surviving candidates, local ids
+  std::vector<std::uint32_t> global;  // same candidates, oracle (global) ids
+  std::vector<std::uint8_t> hit;      // oracle answers, parallel to local
+
+  void reserve(std::size_t n) {
+    local.reserve(n);
+    global.reserve(n);
+    hit.resize(n);
+  }
+};
+
+/// Candidates batched per oracle call. Large enough to amortize kernel
+/// dispatch, small enough to stay in L1.
+inline constexpr std::size_t kBlockScanBatch = 256;
+
+/// The batching core every blocked scan shares — ONE implementation of the
+/// order-sensitive flush logic, so the bit-identity invariant (candidates
+/// answered and emitted in push order) cannot drift between call sites.
+/// `test(ids, count, out)` fills out[k] with a truthy byte for every pushed
+/// id to report; `emit(tag)` receives the tag pushed alongside, in order.
+template <typename Test, typename Emit>
+class SurvivorBatch {
+ public:
+  SurvivorBatch(BlockScanBuffers& buf, Test test, Emit emit)
+      : buf_(&buf), test_(std::move(test)), emit_(std::move(emit)) {
+    buf_->local.clear();
+    buf_->global.clear();
+  }
+
+  void push(std::uint32_t tag, std::uint32_t id) {
+    buf_->local.push_back(tag);
+    buf_->global.push_back(id);
+    if (buf_->local.size() >= kBlockScanBatch) flush();
+  }
+
+  void flush() {
+    const std::size_t count = buf_->local.size();
+    if (count == 0) return;
+    if (buf_->hit.size() < count) buf_->hit.resize(count);
+    test_(buf_->global.data(), count, buf_->hit.data());
+    for (std::size_t k = 0; k < count; ++k) {
+      if (buf_->hit[k]) emit_(buf_->local[k]);
+    }
+    buf_->local.clear();
+    buf_->global.clear();
+  }
+
+ private:
+  BlockScanBuffers* buf_;
+  Test test_;
+  Emit emit_;
+};
+
+/// Scans row u against local candidates [v_begin, v_end): palette signature
+/// AND, exact list merge, then the oracle on the survivors — batched through
+/// edge_block when the oracle supports it, per-pair otherwise. Emits
+/// (u, v) in ascending v order for every conflicted edge.
+template <ConflictOracle Oracle, typename Emit>
+void blocked_row_scan(const Oracle& oracle,
+                      std::span<const std::uint32_t> active,
+                      const ColorLists& lists, std::uint32_t u,
+                      std::uint32_t v_begin, std::uint32_t v_end, Emit&& emit,
+                      BlockScanBuffers& buf) {
+  const std::uint64_t sig_u = lists.signature(u);
+  const std::uint32_t gu = active[u];
+  auto test = [&oracle, gu](const std::uint32_t* ids, std::size_t count,
+                            std::uint8_t* out) {
+    if constexpr (BlockConflictOracle<Oracle>) {
+      oracle.edge_block(gu, ids, count, out);
+    } else {
+      for (std::size_t k = 0; k < count; ++k) {
+        out[k] = oracle.edge(gu, ids[k]) ? 1 : 0;
+      }
+    }
+  };
+  SurvivorBatch batch(buf, test,
+                      [&emit, u](std::uint32_t v) { emit(u, v); });
+  for (std::uint32_t v = v_begin; v < v_end; ++v) {
+    if ((sig_u & lists.signature(v)) == 0) continue;  // no shared color
+    if (!lists.share_color(u, v)) continue;           // signature false hit
+    batch.push(v, active[v]);
+  }
+  batch.flush();
+}
+
+}  // namespace picasso::core

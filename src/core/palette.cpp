@@ -45,6 +45,16 @@ std::uint32_t ColorLists::first_shared_color(std::uint32_t u,
   return kNoShared;
 }
 
+void ColorLists::build_signatures() {
+  const std::uint32_t n = num_vertices();
+  sigs_.assign(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint64_t sig = 0;
+    for (std::uint32_t c : list(v)) sig |= std::uint64_t{1} << (c & 63u);
+    sigs_[v] = sig;
+  }
+}
+
 ColorLists assign_random_lists(std::uint32_t num_vertices,
                                const IterationPalette& palette,
                                std::uint64_t seed, std::uint64_t iteration) {
@@ -59,6 +69,7 @@ ColorLists assign_random_lists(std::uint32_t num_vertices,
     auto dst = lists.mutable_list(v);
     std::copy(sample.begin(), sample.end(), dst.begin());
   }
+  lists.build_signatures();
   return lists;
 }
 

@@ -53,7 +53,10 @@ class ColorLists {
   }
 
   /// True iff the (sorted) lists of u and v share at least one color.
+  /// Fast-exits on the packed signatures when they are built: a zero AND
+  /// proves disjointness without touching the lists.
   bool share_color(std::uint32_t u, std::uint32_t v) const {
+    if (!sigs_.empty() && (sigs_[u] & sigs_[v]) == 0) return false;
     return first_shared_color(u, v) != kNoShared;
   }
 
@@ -63,13 +66,27 @@ class ColorLists {
   /// over the sorted lists, O(L).
   std::uint32_t first_shared_color(std::uint32_t u, std::uint32_t v) const;
 
+  /// Packed palette bitmask of vertex v: bit (c mod 64) is set for every
+  /// color c in v's list. `sig_u & sig_v == 0` proves the lists disjoint
+  /// (the converse can false-positive; callers re-check exactly). Returns
+  /// all-ones before build_signatures() so the filter is a no-op then.
+  std::uint64_t signature(std::uint32_t v) const noexcept {
+    return sigs_.empty() ? ~std::uint64_t{0} : sigs_[v];
+  }
+
+  /// Builds the per-vertex signatures (assign_random_lists calls this; call
+  /// it again after mutating lists by hand).
+  void build_signatures();
+
   std::size_t logical_bytes() const noexcept {
-    return data_.capacity() * sizeof(std::uint32_t);
+    return data_.capacity() * sizeof(std::uint32_t) +
+           sigs_.capacity() * sizeof(std::uint64_t);
   }
 
  private:
   std::uint32_t list_size_ = 0;
   std::vector<std::uint32_t> data_;
+  std::vector<std::uint64_t> sigs_;  // one word per vertex, empty until built
 };
 
 /// Draws the lists for one iteration: vertex i's list is L distinct colors

@@ -45,14 +45,39 @@ std::string MemoryReport::to_json() const {
   return json;
 }
 
+const char* to_string(PauliBackend backend) noexcept {
+  switch (backend) {
+    case PauliBackend::Auto: return "auto";
+    case PauliBackend::Scalar: return "scalar";
+    case PauliBackend::Packed: return "packed";
+    case PauliBackend::PackedScalar: return "packed-scalar";
+  }
+  return "?";
+}
+
 PicassoResult picasso_color_pauli(const pauli::PauliSet& set,
                                   const PicassoParams& params) {
   // The encoded input is the in-memory driver's resident floor; charge it
   // before the run scope rebases the peaks so it is part of the baseline.
   util::ScopedCharge input_charge(util::MemSubsystem::PauliInput,
                                   set.logical_bytes());
-  const graph::ComplementOracle oracle(set);
-  return picasso_color(oracle, params);
+  switch (resolve_backend(params.pauli_backend)) {
+    case PauliBackend::Scalar: {
+      const graph::ComplementOracle oracle(set);
+      return picasso_color(oracle, params);
+    }
+    case PauliBackend::PackedScalar: {
+      // The packed view borrows the set's symplectic planes: no extra bytes.
+      const graph::PackedComplementOracle oracle(set.packed_view(),
+                                                 pauli::SimdLevel::Scalar);
+      return picasso_color(oracle, params);
+    }
+    default: {
+      const graph::PackedComplementOracle oracle(set.packed_view(),
+                                                 pauli::SimdLevel::Auto);
+      return picasso_color(oracle, params);
+    }
+  }
 }
 
 PicassoResult picasso_color_csr(const graph::CsrGraph& g,
@@ -70,6 +95,8 @@ PicassoResult picasso_color_dense(const graph::DenseGraph& g,
 // Pin the common instantiations into this translation unit.
 template PicassoResult picasso_color<graph::ComplementOracle>(
     const graph::ComplementOracle&, const PicassoParams&);
+template PicassoResult picasso_color<graph::PackedComplementOracle>(
+    const graph::PackedComplementOracle&, const PicassoParams&);
 template PicassoResult picasso_color<graph::AnticommuteOracle>(
     const graph::AnticommuteOracle&, const PicassoParams&);
 template PicassoResult picasso_color<graph::QwcComplementOracle>(

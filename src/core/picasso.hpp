@@ -30,6 +30,23 @@
 
 namespace picasso::core {
 
+/// Which anticommutation backend the Pauli entry points plug into the
+/// conflict-oracle interface. Every backend computes the same relation, so
+/// colorings are bit-identical across all of them (the differential test
+/// suite pins this); they differ only in speed and resident bytes.
+enum class PauliBackend {
+  Auto,          // Packed with runtime SIMD dispatch (the default)
+  Scalar,        // 3-bit inverse-one-hot per-pair kernel (paper §IV-A)
+  Packed,        // bit-packed symplectic records, blocked SIMD pair-scan
+  PackedScalar,  // packed records, SIMD forced off (ablation baseline)
+};
+
+const char* to_string(PauliBackend backend) noexcept;
+
+constexpr PauliBackend resolve_backend(PauliBackend backend) noexcept {
+  return backend == PauliBackend::Auto ? PauliBackend::Packed : backend;
+}
+
 struct PicassoParams {
   /// P' — palette size as a percent of the active vertex count (Table III's
   /// "Norm." uses 12.5, "Aggr." uses 3).
@@ -44,6 +61,9 @@ struct PicassoParams {
   int max_iterations = 64;
   ConflictKernel kernel = ConflictKernel::Auto;
   ConflictColoringScheme conflict_scheme = ConflictColoringScheme::DynamicBucket;
+  /// Anticommutation backend for the Pauli drivers (in-memory and streaming).
+  /// All settings yield bit-identical colorings; see PauliBackend.
+  PauliBackend pauli_backend = PauliBackend::Auto;
   /// Parallel execution runtime for the conflict-graph build (and, in the
   /// multi-device driver, the concurrent shard builds). Defaults to one
   /// worker per hardware thread with deterministic merging, so results are

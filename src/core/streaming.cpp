@@ -54,6 +54,158 @@ void FileEdgeStream::replay(
 // ---------------------------------------------------------------------------
 // Memory-budgeted Pauli streaming pipeline.
 
+namespace {
+
+/// The chunk-pair/slab skeleton both backends share: walk active chunk
+/// pairs (ci <= cj), slab the outer rows over the pool with one COO
+/// partition per slab, and fold the partitions' capacity into the COO
+/// charge after each pair. `make_row_scan(set_a, set_b, begin_a, begin_b)`
+/// is invoked once per slab and must return a callable
+/// `(lu, b0, vs, coo)` that scans one row lu against candidates
+/// vs[b0..) in ascending order — the order the serial loop uses, which is
+/// what keeps every backend's edge stream (and coloring) bit-identical.
+template <typename Cache, typename MakeRowScan>
+void scan_chunk_pairs(const pauli::ChunkedPauliReader& reader, Cache& cache,
+                      const std::vector<std::vector<std::uint32_t>>& active_in,
+                      runtime::ThreadPool* pool, unsigned workers,
+                      const PicassoParams& params,
+                      std::vector<std::vector<std::uint32_t>>& parts,
+                      util::ScopedCharge& coo_charge,
+                      MakeRowScan&& make_row_scan) {
+  const std::size_t num_chunks = reader.num_chunks();
+  for (std::size_t ci = 0; ci < num_chunks; ++ci) {
+    if (active_in[ci].empty()) continue;
+    const auto set_a = cache.get(ci);
+    const std::size_t begin_a = reader.chunk_begin(ci);
+    for (std::size_t cj = ci; cj < num_chunks; ++cj) {
+      if (active_in[cj].empty()) continue;
+      const auto set_b = cj == ci ? set_a : cache.get(cj);
+      const std::size_t begin_b = reader.chunk_begin(cj);
+      const auto& us = active_in[ci];
+      const auto& vs = active_in[cj];
+
+      const auto slabs = runtime::uniform_chunks(
+          0, us.size(), params.runtime.chunk_size, workers);
+      const std::size_t part_base = parts.size();
+      parts.resize(part_base + slabs.size());
+      runtime::run_chunks(pool, slabs, [&](const runtime::ChunkRange& slab) {
+        std::vector<std::uint32_t>& coo = parts[part_base + slab.index];
+        auto row_scan = make_row_scan(*set_a, *set_b, begin_a, begin_b);
+        for (std::size_t a = slab.begin; a < slab.end; ++a) {
+          row_scan(us[a], ci == cj ? a + 1 : 0, vs, coo);
+        }
+      });
+      std::size_t coo_bytes = coo_charge.bytes();
+      for (std::size_t p = part_base; p < parts.size(); ++p) {
+        coo_bytes += parts[p].capacity() * sizeof(std::uint32_t);
+      }
+      coo_charge.resize(coo_bytes);
+    }
+  }
+}
+
+// Scalar 3-bit backend row scan: palette-restricted check first (signature
+// fast path inside share_color), per-pair inverse-one-hot anticommutation
+// second.
+void scan_chunk_pairs_scalar(
+    const pauli::ChunkedPauliReader& reader, pauli::PauliChunkCache& cache,
+    const std::vector<std::vector<std::uint32_t>>& active_in,
+    const std::vector<std::uint32_t>& active, const ColorLists& lists,
+    runtime::ThreadPool* pool, unsigned workers, const PicassoParams& params,
+    std::vector<std::vector<std::uint32_t>>& parts,
+    util::ScopedCharge& coo_charge) {
+  scan_chunk_pairs(
+      reader, cache, active_in, pool, workers, params, parts, coo_charge,
+      [&active, &lists](const pauli::PauliSet& set_a,
+                        const pauli::PauliSet& set_b, std::size_t begin_a,
+                        std::size_t begin_b) {
+        const std::size_t words3 = set_a.words_per_string();
+        // begin_a/begin_b (and words3) are factory locals: capture by value;
+        // the sets are cache-owned and outlive the slab run.
+        return [&, words3, begin_a, begin_b](
+                   std::uint32_t lu, std::size_t b0,
+                   const std::vector<std::uint32_t>& vs,
+                   std::vector<std::uint32_t>& coo) {
+          const std::uint64_t* eu = set_a.encoded3(active[lu] - begin_a);
+          for (std::size_t b = b0; b < vs.size(); ++b) {
+            const std::uint32_t lv = vs[b];
+            if (!lists.share_color(lu, lv)) continue;
+            // Complement-graph edge: the strings do NOT anticommute.
+            if (!pauli::anticommute3(
+                    eu, set_b.encoded3(active[lv] - begin_b), words3)) {
+              coo.push_back(lu);
+              coo.push_back(lv);
+            }
+          }
+        };
+      });
+}
+
+// Packed backend row scan: chunks reload as bit-packed [x|z] records (half
+// the resident bytes) and each row runs the blocked pair-scan — palette
+// signatures and list merge first, surviving candidates batched through
+// the runtime-dispatched SIMD kernel, answers emitted in candidate order.
+void scan_chunk_pairs_packed(
+    const pauli::ChunkedPauliReader& reader,
+    pauli::PackedPauliChunkCache& cache,
+    const std::vector<std::vector<std::uint32_t>>& active_in,
+    const std::vector<std::uint32_t>& active, const ColorLists& lists,
+    runtime::ThreadPool* pool, unsigned workers, const PicassoParams& params,
+    pauli::SimdLevel simd, std::vector<std::vector<std::uint32_t>>& parts,
+    util::ScopedCharge& coo_charge) {
+  const std::size_t words = pauli::packed_words(reader.num_qubits());
+  const pauli::AnticommuteBlockFn kernel =
+      pauli::resolve_block_kernel(words, simd);
+  // Per-slab scratch lives in the row-scan closure (one make_row_scan call
+  // per slab), so concurrent slabs never share buffers.
+  struct Scratch {
+    std::vector<std::uint64_t> swapped;
+    BlockScanBuffers buf;
+  };
+  scan_chunk_pairs(
+      reader, cache, active_in, pool, workers, params, parts, coo_charge,
+      [&active, &lists, words, kernel](const pauli::PackedPauliSet& set_a,
+                                       const pauli::PackedPauliSet& set_b,
+                                       std::size_t begin_a,
+                                       std::size_t begin_b) {
+        auto scratch = std::make_shared<Scratch>();
+        scratch->swapped.resize(2 * words);
+        scratch->buf.reserve(kBlockScanBatch);
+        const pauli::PackedView view_b = set_b.view();
+        return [&, words, kernel, view_b, begin_a, begin_b, scratch](
+                   std::uint32_t lu, std::size_t b0,
+                   const std::vector<std::uint32_t>& vs,
+                   std::vector<std::uint32_t>& coo) {
+          Scratch& s = *scratch;
+          pauli::make_swapped_record(set_a.record(active[lu] - begin_a),
+                                     words, s.swapped.data());
+          const std::uint64_t sig_u = lists.signature(lu);
+          // Ids pushed into the batch are record indices within chunk B;
+          // a complement-graph edge exists when the kernel reports NO
+          // anticommutation, hence the inversion after the kernel call.
+          auto test = [&s, kernel, view_b, words](const std::uint32_t* ids,
+                                                  std::size_t count,
+                                                  std::uint8_t* out) {
+            kernel(s.swapped.data(), view_b.data, words, ids, count, out);
+            for (std::size_t k = 0; k < count; ++k) out[k] = !out[k];
+          };
+          SurvivorBatch batch(s.buf, test, [&coo, lu](std::uint32_t lv) {
+            coo.push_back(lu);
+            coo.push_back(lv);
+          });
+          for (std::size_t b = b0; b < vs.size(); ++b) {
+            const std::uint32_t lv = vs[b];
+            if ((sig_u & lists.signature(lv)) == 0) continue;
+            if (!lists.share_color(lu, lv)) continue;
+            batch.push(lv, static_cast<std::uint32_t>(active[lv] - begin_b));
+          }
+          batch.flush();
+        };
+      });
+}
+
+}  // namespace
+
 PicassoResult picasso_color_pauli_chunked(
     const pauli::ChunkedPauliReader& reader, const PicassoParams& params) {
   util::WallTimer total_timer;
@@ -66,7 +218,15 @@ PicassoResult picasso_color_pauli_chunked(
 
   const std::size_t num_chunks = reader.num_chunks();
   const std::size_t strings_per_chunk = reader.strings_per_chunk();
+  // Backend dispatch: the scalar engine caches full PauliSet chunks and
+  // tests pairs one at a time; the packed engine caches bit-packed records
+  // and runs the blocked SIMD pair-scan. Same edges either way.
+  const PauliBackend backend = resolve_backend(params.pauli_backend);
+  const pauli::SimdLevel simd = backend == PauliBackend::PackedScalar
+                                    ? pauli::SimdLevel::Scalar
+                                    : pauli::SimdLevel::Auto;
   pauli::PauliChunkCache cache(reader, memory);
+  pauli::PackedPauliChunkCache packed_cache(reader, memory);
 
   std::vector<std::uint32_t> active(n);
   for (std::uint32_t v = 0; v < n; ++v) active[v] = v;
@@ -115,51 +275,13 @@ PicassoResult picasso_color_pauli_chunked(
       std::vector<std::vector<std::uint32_t>> parts;
       util::ScopedCharge coo_charge(util::MemSubsystem::ConflictCsr, 0,
                                     memory);
-      for (std::size_t ci = 0; ci < num_chunks; ++ci) {
-        if (active_in[ci].empty()) continue;
-        const std::shared_ptr<const pauli::PauliSet> set_a = cache.get(ci);
-        const std::size_t begin_a = reader.chunk_begin(ci);
-        const std::size_t words3 = set_a->words_per_string();
-        for (std::size_t cj = ci; cj < num_chunks; ++cj) {
-          if (active_in[cj].empty()) continue;
-          const std::shared_ptr<const pauli::PauliSet> set_b =
-              cj == ci ? set_a : cache.get(cj);
-          const std::size_t begin_b = reader.chunk_begin(cj);
-          const auto& us = active_in[ci];
-          const auto& vs = active_in[cj];
-
-          const auto slabs = runtime::uniform_chunks(
-              0, us.size(), params.runtime.chunk_size, workers);
-          const std::size_t part_base = parts.size();
-          parts.resize(part_base + slabs.size());
-          runtime::run_chunks(
-              pool, slabs, [&](const runtime::ChunkRange& slab) {
-                std::vector<std::uint32_t>& coo =
-                    parts[part_base + slab.index];
-                for (std::size_t a = slab.begin; a < slab.end; ++a) {
-                  const std::uint32_t lu = us[a];
-                  const std::uint64_t* eu =
-                      set_a->encoded3(active[lu] - begin_a);
-                  const std::size_t b0 = ci == cj ? a + 1 : 0;
-                  for (std::size_t b = b0; b < vs.size(); ++b) {
-                    const std::uint32_t lv = vs[b];
-                    if (!lists.share_color(lu, lv)) continue;
-                    // Complement-graph edge: the strings do NOT anticommute.
-                    if (!pauli::anticommute3(
-                            eu, set_b->encoded3(active[lv] - begin_b),
-                            words3)) {
-                      coo.push_back(lu);
-                      coo.push_back(lv);
-                    }
-                  }
-                }
-              });
-          std::size_t coo_bytes = coo_charge.bytes();
-          for (std::size_t p = part_base; p < parts.size(); ++p) {
-            coo_bytes += parts[p].capacity() * sizeof(std::uint32_t);
-          }
-          coo_charge.resize(coo_bytes);
-        }
+      if (backend == PauliBackend::Scalar) {
+        scan_chunk_pairs_scalar(reader, cache, active_in, active, lists, pool,
+                                workers, params, parts, coo_charge);
+      } else {
+        scan_chunk_pairs_packed(reader, packed_cache, active_in, active,
+                                lists, pool, workers, params, simd, parts,
+                                coo_charge);
       }
       // csr_from_partitions charges its own assembly block (a full COO copy
       // + the CSR rows) and frees the partitions as it folds them in; drop
@@ -236,7 +358,7 @@ PicassoResult picasso_color_pauli_chunked(
   result.memory.streamed = true;
   result.memory.num_chunks = num_chunks;
   result.memory.chunk_loads = reader.chunk_loads();
-  result.memory.chunk_evictions = cache.evictions();
+  result.memory.chunk_evictions = cache.evictions() + packed_cache.evictions();
   std::error_code ec;
   const auto file_bytes = std::filesystem::file_size(reader.path(), ec);
   if (!ec) result.memory.spill_bytes = static_cast<std::size_t>(file_bytes);

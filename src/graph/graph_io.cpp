@@ -1,5 +1,6 @@
 #include "graph/graph_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -51,6 +52,96 @@ CsrGraph read_edge_list_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
   return read_edge_list(in);
+}
+
+CsrGraph read_matrix_market(std::istream& in) {
+  std::string line;
+  // Banner: "%%MatrixMarket matrix coordinate <field> <symmetry>". The
+  // banner is optional in practice (some exporters omit it); when present
+  // we reject the dense `array` format outright.
+  bool sized = false;
+  VertexId n = 0;
+  std::uint64_t declared = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.rfind("%%MatrixMarket", 0) == 0) {
+      if (line.find("array") != std::string::npos) {
+        throw std::runtime_error(
+            "read_matrix_market: dense 'array' format is not a graph; "
+            "expected 'matrix coordinate'");
+      }
+      continue;
+    }
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    if (!sized) {
+      std::uint64_t rows = 0, cols = 0;
+      if (!(ls >> rows >> cols >> declared)) {
+        throw std::runtime_error("read_matrix_market: bad size line: " + line);
+      }
+      const std::uint64_t dim = std::max(rows, cols);
+      if (dim > 0xffffffffull) {
+        throw std::runtime_error(
+            "read_matrix_market: dimension exceeds 32-bit vertex ids: " +
+            line);
+      }
+      n = static_cast<VertexId>(dim);
+      sized = true;
+      // The declared count is only a reservation hint; cap it so a corrupt
+      // size line cannot drive a huge allocation before parsing fails.
+      edges.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(declared, 1u << 24)));
+      continue;
+    }
+    std::uint64_t i = 0, j = 0;
+    if (!(ls >> i >> j)) {  // trailing values (weights) are ignored
+      throw std::runtime_error("read_matrix_market: bad entry line: " + line);
+    }
+    if (i == 0 || j == 0 || i > n || j > n) {
+      throw std::runtime_error("read_matrix_market: index out of range: " +
+                               line);
+    }
+    if (i == j) continue;  // self loop: no edge in a simple graph
+    edges.emplace_back(static_cast<VertexId>(i - 1),
+                       static_cast<VertexId>(j - 1));
+  }
+  if (!sized) throw std::runtime_error("read_matrix_market: empty input");
+  // from_edges deduplicates, which also folds general-symmetry files that
+  // list both (i, j) and (j, i).
+  return CsrGraph::from_edges(n, std::move(edges));
+}
+
+CsrGraph read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrGraph& g) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
+      << '\n';
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      // Symmetric storage: lower triangle only, 1-based.
+      if (v < u) out << (u + 1) << ' ' << (v + 1) << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_matrix_market(out, g);
+}
+
+bool is_matrix_market_path(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".mtx") == 0;
+}
+
+CsrGraph read_graph_file(const std::string& path) {
+  return is_matrix_market_path(path) ? read_matrix_market_file(path)
+                                     : read_edge_list_file(path);
 }
 
 }  // namespace picasso::graph

@@ -1,7 +1,10 @@
 #pragma once
-// Minimal text I/O for graphs: a whitespace edge-list format with a
-// "n m" header line ("%%" comment lines allowed, 0-based vertex ids).
-// Used by the generic-coloring example and for test fixtures.
+// Text I/O for graphs: a whitespace edge-list format with a "n m" header
+// line ("%%" comment lines allowed, 0-based vertex ids), and MatrixMarket
+// coordinate files — the format of the SuiteSparse collection, the standard
+// corpus for generic graph-coloring benchmarks. Both feed the explicit
+// edge-list conflict oracle (graph::CsrOracle), so arbitrary graphs run
+// through the full palette pipeline.
 
 #include <iosfwd>
 #include <string>
@@ -18,5 +21,26 @@ void write_edge_list_file(const std::string& path, const CsrGraph& g);
 /// or '#' are ignored. Throws std::runtime_error on malformed input.
 CsrGraph read_edge_list(std::istream& in);
 CsrGraph read_edge_list_file(const std::string& path);
+
+/// Reads a MatrixMarket `matrix coordinate` file as an undirected simple
+/// graph: entries are 1-based (i, j) pairs (any real/integer/complex values
+/// are ignored — the sparsity pattern is the graph), self loops are
+/// dropped, duplicates and symmetric twins are deduplicated, and the vertex
+/// count is max(rows, cols) so rectangular patterns still load. `array`
+/// (dense) files and malformed input throw std::runtime_error.
+CsrGraph read_matrix_market(std::istream& in);
+CsrGraph read_matrix_market_file(const std::string& path);
+
+/// Writes `g` as a MatrixMarket `pattern symmetric` coordinate file (the
+/// lower triangle, 1-based), round-trippable through read_matrix_market.
+void write_matrix_market(std::ostream& out, const CsrGraph& g);
+void write_matrix_market_file(const std::string& path, const CsrGraph& g);
+
+/// True when `path` names a MatrixMarket file (".mtx" extension) — how the
+/// CLI and examples pick a parser without a flag.
+bool is_matrix_market_path(const std::string& path);
+
+/// Reads either supported format, by extension (is_matrix_market_path).
+CsrGraph read_graph_file(const std::string& path);
 
 }  // namespace picasso::graph

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "pauli/encoding.hpp"
+#include "pauli/pauli_packed.hpp"
 #include "pauli/pauli_string.hpp"
 
 namespace picasso::pauli {
@@ -43,6 +44,15 @@ class PauliSet {
   /// Fast anticommutation oracle (inverse one-hot encoding).
   bool anticommute(std::size_t i, std::size_t j) const noexcept {
     return anticommute3(encoded3(i), encoded3(j), words3_);
+  }
+
+  /// Zero-copy packed view over the symplectic planes: string i's storage
+  /// [x_0..x_{w-1} | z_0..z_{w-1}] is exactly one PackedView record, so the
+  /// SIMD conflict-oracle kernels (pauli_packed.hpp) run on the encoded set
+  /// without any extra resident bytes. The view borrows; it is valid only
+  /// while this set is alive and unmodified.
+  PackedView packed_view() const noexcept {
+    return {words2_data_.data(), size_, words2_};
   }
 
   /// Symplectic-encoding oracle (same answer, different kernel).

@@ -1,6 +1,7 @@
 #include "pauli/pauli_stream.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -29,19 +30,33 @@ std::size_t spill_pauli_set(const PauliSet& set, const std::string& path) {
     throw std::runtime_error("spill_pauli_set: cannot open " + path);
   }
   set.save_binary(out);
+  // Packed-symplectic tail: every record [x|z] back to back. The planes are
+  // already contiguous in encoded storage, so this is one write — and the
+  // reader can reload any chunk packed with a single seek instead of
+  // re-encoding from the 3-bit words.
+  const PackedView view = set.packed_view();
+  const std::size_t packed_words_total = view.size * 2 * view.words;
+  out.write(reinterpret_cast<const char*>(view.data),
+            static_cast<std::streamsize>(packed_words_total *
+                                         sizeof(std::uint64_t)));
   out.flush();
   if (!out) {
     throw std::runtime_error("spill_pauli_set: write failed for " + path);
   }
   return kHeaderBytes +
          set.size() * (set.words_per_string() * sizeof(std::uint64_t) +
-                       sizeof(double));
+                       sizeof(double)) +
+         packed_words_total * sizeof(std::uint64_t);
 }
 
 ChunkedPauliReader::ChunkedPauliReader(std::string path,
                                        std::size_t strings_per_chunk)
-    : path_(std::move(path)),
-      strings_per_chunk_(std::max<std::size_t>(1, strings_per_chunk)) {
+    : path_(std::move(path)), strings_per_chunk_(strings_per_chunk) {
+  if (strings_per_chunk_ == 0) {
+    throw std::invalid_argument(
+        "ChunkedPauliReader: strings_per_chunk must be positive (chunk "
+        "indexing divides by it)");
+  }
   std::ifstream in(path_, std::ios::binary);
   if (!in) {
     throw std::runtime_error("ChunkedPauliReader: cannot open " + path_);
@@ -52,6 +67,17 @@ ChunkedPauliReader::ChunkedPauliReader(std::string path,
   num_qubits_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
   num_strings_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
   words3_ = words_per_string3(num_qubits_);
+  words2_ = packed_words(num_qubits_);
+  // The packed tail is detected by size: header + 3-bit words + coefficients
+  // + the full run of [x|z] records.
+  std::error_code ec;
+  const auto file_bytes = std::filesystem::file_size(path_, ec);
+  const std::size_t tail_offset =
+      kHeaderBytes + num_strings_ * (words3_ * sizeof(std::uint64_t) +
+                                     sizeof(double));
+  has_packed_ =
+      !ec && file_bytes >= tail_offset + num_strings_ * 2 * words2_ *
+                                             sizeof(std::uint64_t);
 }
 
 std::size_t ChunkedPauliReader::resident_bytes_for(
@@ -67,6 +93,11 @@ std::size_t ChunkedPauliReader::resident_bytes_for(
 std::size_t ChunkedPauliReader::chunk_resident_bytes(
     std::size_t chunk) const noexcept {
   return resident_bytes_for(chunk_size(chunk), num_qubits_);
+}
+
+std::size_t ChunkedPauliReader::chunk_packed_resident_bytes(
+    std::size_t chunk) const noexcept {
+  return chunk_size(chunk) * 2 * words2_ * sizeof(std::uint64_t);
 }
 
 PauliSet ChunkedPauliReader::load_chunk(std::size_t chunk) const {
@@ -103,44 +134,34 @@ PauliSet ChunkedPauliReader::load_chunk(std::size_t chunk) const {
   return PauliSet(strings, std::move(coefs));
 }
 
-std::shared_ptr<const PauliSet> PauliChunkCache::get(std::size_t chunk) {
-  ++clock_;
-  for (Entry& e : entries_) {
-    if (e.chunk == chunk) {
-      e.last_use = clock_;
-      return e.set;
-    }
-  }
+PackedPauliSet ChunkedPauliReader::load_chunk_packed(std::size_t chunk) const {
+  const std::size_t begin = chunk_begin(chunk);
+  const std::size_t count = chunk_size(chunk);
+  if (count == 0) return PackedPauliSet{};
 
-  // Miss: make room under the budget, oldest chunks first. try_charge is
-  // the admission test; eviction only drops the cache's reference, so a
-  // chunk pinned by the caller keeps its charge until the pin goes away.
-  const std::size_t bytes = reader_->chunk_resident_bytes(chunk);
-  bool charged = registry_->try_charge(util::MemSubsystem::ChunkCache, bytes);
-  while (!charged && !entries_.empty()) {
-    auto oldest = std::min_element(
-        entries_.begin(), entries_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_use < b.last_use; });
-    entries_.erase(oldest);
-    ++evictions_;
-    charged = registry_->try_charge(util::MemSubsystem::ChunkCache, bytes);
+  if (!has_packed_) {
+    // Legacy spill without the packed tail: decode the 3-bit section.
+    // load_chunk counts the load.
+    return PackedPauliSet(load_chunk(chunk));
   }
-  if (!charged) {
-    // Budget smaller than a single chunk (or everything else is pinned):
-    // proceed anyway — the overage is recorded as an over-budget event —
-    // rather than deadlocking the pipeline.
-    registry_->charge(util::MemSubsystem::ChunkCache, bytes);
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ChunkedPauliReader: cannot reopen " + path_);
   }
-
-  util::MemoryRegistry* registry = registry_;
-  std::shared_ptr<const PauliSet> set(
-      new PauliSet(reader_->load_chunk(chunk)),
-      [registry, bytes](const PauliSet* p) {
-        registry->release(util::MemSubsystem::ChunkCache, bytes);
-        delete p;
-      });
-  entries_.push_back({chunk, set, clock_});
-  return set;
+  const std::size_t tail_offset =
+      kHeaderBytes + num_strings_ * (words3_ * sizeof(std::uint64_t) +
+                                     sizeof(double));
+  std::vector<std::uint64_t> words(count * 2 * words2_);
+  in.seekg(static_cast<std::streamoff>(
+      tail_offset + begin * 2 * words2_ * sizeof(std::uint64_t)));
+  in.read(reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
+  if (!in) {
+    throw std::runtime_error("ChunkedPauliReader: truncated packed chunk in " +
+                             path_);
+  }
+  ++chunk_loads_;
+  return PackedPauliSet::from_raw(num_qubits_, count, std::move(words));
 }
 
 }  // namespace picasso::pauli

@@ -2,34 +2,50 @@
 // Chunked Pauli-set ingestion for the memory-budgeted streaming pipeline.
 //
 // The budgeted driver never holds the whole encoded Pauli set resident:
-// the set is spilled once to a .pset file (the PauliSet::save_binary
-// format, which is seekable — fixed-width header, then packed 3-bit words,
-// then coefficients) and read back in contiguous chunks of strings. A
-// ChunkedPauliReader seeks straight to a chunk's words and decodes only
-// that slice; a PauliChunkCache keeps recently used chunks resident as long
-// as the MemoryRegistry budget admits them and evicts least-recently-used
-// chunks when it does not — the evicted chunk is simply re-read from disk
-// on its next use (multi-pass re-scan).
+// the set is spilled once to a .pset file and read back in contiguous
+// chunks of strings. The spill format is the PauliSet::save_binary layout
+// (fixed-width header, packed 3-bit words, coefficients) followed by a
+// packed-symplectic tail: every string's [x|z] record
+// (pauli_packed.hpp), 2 * packed_words(q) words each. Both sections are
+// seekable, so a ChunkedPauliReader can reload a chunk either as a full
+// PauliSet (load_chunk) or — the conflict hot path — straight into a
+// PackedPauliSet (load_chunk_packed) at half the resident bytes and with
+// no re-encoding. Files written before the packed tail existed (or by
+// PauliSet::save_binary directly) still load: the reader detects the tail
+// by file size and otherwise reconstructs packed chunks from the 3-bit
+// words.
+//
+// A chunk cache keeps recently used chunks resident as long as the
+// MemoryRegistry budget admits them and evicts least-recently-used chunks
+// when it does not — the evicted chunk is simply re-read from disk on its
+// next use (multi-pass re-scan). PauliChunkCache caches full PauliSet
+// chunks (the scalar 3-bit backend), PackedPauliChunkCache caches packed
+// records (the SIMD backend).
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "pauli/pauli_packed.hpp"
 #include "pauli/pauli_set.hpp"
 #include "util/memory.hpp"
 
 namespace picasso::pauli {
 
-/// Writes `set` to `path` in the .pset binary format (save_binary). Returns
-/// the file size in bytes. Throws std::runtime_error on I/O failure.
+/// Writes `set` to `path`: the .pset binary format (save_binary) plus the
+/// packed-symplectic tail. Returns the file size in bytes. Throws
+/// std::runtime_error on I/O failure.
 std::size_t spill_pauli_set(const PauliSet& set, const std::string& path);
 
 /// Random-access chunk reader over a .pset file. Chunk i covers strings
 /// [i * strings_per_chunk, min(n, (i+1) * strings_per_chunk)).
 class ChunkedPauliReader {
  public:
+  /// Throws std::invalid_argument when strings_per_chunk == 0 (chunk
+  /// indexing divides by it) and std::runtime_error on unreadable files.
   ChunkedPauliReader(std::string path, std::size_t strings_per_chunk);
 
   const std::string& path() const noexcept { return path_; }
@@ -37,10 +53,12 @@ class ChunkedPauliReader {
   std::size_t num_qubits() const noexcept { return num_qubits_; }
   std::size_t strings_per_chunk() const noexcept { return strings_per_chunk_; }
   std::size_t num_chunks() const noexcept {
-    return strings_per_chunk_ == 0
-               ? 0
-               : (num_strings_ + strings_per_chunk_ - 1) / strings_per_chunk_;
+    return (num_strings_ + strings_per_chunk_ - 1) / strings_per_chunk_;
   }
+
+  /// True when the spill file carries the packed-symplectic tail, i.e.
+  /// load_chunk_packed can seek instead of re-encoding.
+  bool has_packed_tail() const noexcept { return has_packed_; }
 
   std::size_t chunk_begin(std::size_t chunk) const noexcept {
     return chunk * strings_per_chunk_;
@@ -53,18 +71,26 @@ class ChunkedPauliReader {
   }
 
   /// Bytes chunk `chunk` occupies once resident as a PauliSet (both
-  /// encodings plus coefficients) — the unit the chunk cache charges
+  /// encodings plus coefficients) — the unit PauliChunkCache charges
   /// against the memory budget.
   std::size_t chunk_resident_bytes(std::size_t chunk) const noexcept;
 
-  /// Same estimate for an arbitrary string count (used to size chunks
-  /// against a budget share before the reader exists).
+  /// Bytes the same chunk occupies as a PackedPauliSet (records only) —
+  /// what PackedPauliChunkCache charges. Roughly half the above.
+  std::size_t chunk_packed_resident_bytes(std::size_t chunk) const noexcept;
+
+  /// Same estimate as chunk_resident_bytes for an arbitrary string count
+  /// (used to size chunks against a budget share before the reader exists).
   static std::size_t resident_bytes_for(std::size_t num_strings,
                                         std::size_t num_qubits) noexcept;
 
   /// Seeks to and decodes chunk `chunk` as a standalone PauliSet (local
   /// indices [0, chunk_size)). Throws on I/O failure.
   PauliSet load_chunk(std::size_t chunk) const;
+
+  /// Reloads chunk `chunk` in packed form: a straight seek+read of the
+  /// packed tail when present, else a decode of the 3-bit section.
+  PackedPauliSet load_chunk_packed(std::size_t chunk) const;
 
   /// Total chunk loads performed through this reader (telemetry: every
   /// load beyond the first per chunk is a budget-forced re-scan).
@@ -76,8 +102,39 @@ class ChunkedPauliReader {
   std::size_t num_strings_ = 0;
   std::size_t num_qubits_ = 0;
   std::size_t words3_ = 0;
+  std::size_t words2_ = 0;
+  bool has_packed_ = false;
   mutable std::uint64_t chunk_loads_ = 0;
 };
+
+namespace detail {
+
+/// What a chunk cache needs to know about its set type: how to load a
+/// chunk and what the resident charge is.
+template <typename SetT>
+struct ChunkCacheTraits;
+
+template <>
+struct ChunkCacheTraits<PauliSet> {
+  static PauliSet load(const ChunkedPauliReader& r, std::size_t chunk) {
+    return r.load_chunk(chunk);
+  }
+  static std::size_t bytes(const ChunkedPauliReader& r, std::size_t chunk) {
+    return r.chunk_resident_bytes(chunk);
+  }
+};
+
+template <>
+struct ChunkCacheTraits<PackedPauliSet> {
+  static PackedPauliSet load(const ChunkedPauliReader& r, std::size_t chunk) {
+    return r.load_chunk_packed(chunk);
+  }
+  static std::size_t bytes(const ChunkedPauliReader& r, std::size_t chunk) {
+    return r.chunk_packed_resident_bytes(chunk);
+  }
+};
+
+}  // namespace detail
 
 /// LRU cache of resident chunks, admission-controlled by the registry
 /// budget (MemSubsystem::ChunkCache). get() returns a shared_ptr so a
@@ -87,13 +144,57 @@ class ChunkedPauliReader {
 /// chunk — the chunk is loaded and charged anyway (recorded as an
 /// over-budget event) so the pipeline degrades to pure re-scan instead of
 /// failing.
-class PauliChunkCache {
+template <typename SetT>
+class BasicPauliChunkCache {
  public:
-  PauliChunkCache(const ChunkedPauliReader& reader,
-                  util::MemoryRegistry& registry = util::global_memory())
+  explicit BasicPauliChunkCache(
+      const ChunkedPauliReader& reader,
+      util::MemoryRegistry& registry = util::global_memory())
       : reader_(&reader), registry_(&registry) {}
 
-  std::shared_ptr<const PauliSet> get(std::size_t chunk);
+  std::shared_ptr<const SetT> get(std::size_t chunk) {
+    ++clock_;
+    for (Entry& e : entries_) {
+      if (e.chunk == chunk) {
+        e.last_use = clock_;
+        return e.set;
+      }
+    }
+
+    // Miss: make room under the budget, oldest chunks first. try_charge is
+    // the admission test; eviction only drops the cache's reference, so a
+    // chunk pinned by the caller keeps its charge until the pin goes away.
+    const std::size_t bytes =
+        detail::ChunkCacheTraits<SetT>::bytes(*reader_, chunk);
+    bool charged =
+        registry_->try_charge(util::MemSubsystem::ChunkCache, bytes);
+    while (!charged && !entries_.empty()) {
+      auto oldest = std::min_element(entries_.begin(), entries_.end(),
+                                     [](const Entry& a, const Entry& b) {
+                                       return a.last_use < b.last_use;
+                                     });
+      entries_.erase(oldest);
+      ++evictions_;
+      charged =
+          registry_->try_charge(util::MemSubsystem::ChunkCache, bytes);
+    }
+    if (!charged) {
+      // Budget smaller than a single chunk (or everything else is pinned):
+      // proceed anyway — the overage is recorded as an over-budget event —
+      // rather than deadlocking the pipeline.
+      registry_->charge(util::MemSubsystem::ChunkCache, bytes);
+    }
+
+    util::MemoryRegistry* registry = registry_;
+    std::shared_ptr<const SetT> set(
+        new SetT(detail::ChunkCacheTraits<SetT>::load(*reader_, chunk)),
+        [registry, bytes](const SetT* p) {
+          registry->release(util::MemSubsystem::ChunkCache, bytes);
+          delete p;
+        });
+    entries_.push_back({chunk, set, clock_});
+    return set;
+  }
 
   std::uint64_t evictions() const noexcept { return evictions_; }
 
@@ -103,7 +204,7 @@ class PauliChunkCache {
  private:
   struct Entry {
     std::size_t chunk = 0;
-    std::shared_ptr<const PauliSet> set;
+    std::shared_ptr<const SetT> set;
     std::uint64_t last_use = 0;
   };
 
@@ -113,5 +214,8 @@ class PauliChunkCache {
   std::uint64_t clock_ = 0;
   std::uint64_t evictions_ = 0;
 };
+
+using PauliChunkCache = BasicPauliChunkCache<PauliSet>;
+using PackedPauliChunkCache = BasicPauliChunkCache<PackedPauliSet>;
 
 }  // namespace picasso::pauli

@@ -149,6 +149,62 @@ TEST(GraphIo, SkipsCommentsAndRejectsGarbage) {
   EXPECT_THROW(pg::read_edge_list(empty), std::runtime_error);
 }
 
+TEST(GraphIo, MatrixMarketRoundTrip) {
+  const auto g = pg::rmat(120, 800, 0.57, 0.19, 0.19, 11);
+  std::stringstream buffer;
+  pg::write_matrix_market(buffer, g);
+  const auto back = pg::read_matrix_market(buffer);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (pg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(back.degree(v), g.degree(v));
+  }
+}
+
+TEST(GraphIo, MatrixMarketParsesGeneralSymmetryWeightsAndLoops) {
+  // A 'general' file listing both directions, with weights, comments, and a
+  // self loop: loads as the simple undirected triangle.
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 7\n"
+      "1 2 0.5\n"
+      "2 1 0.5\n"
+      "2 3 -1\n"
+      "3 2 -1\n"
+      "1 3 2.25\n"
+      "3 1 2.25\n"
+      "2 2 9\n");
+  const auto g = pg::read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, MatrixMarketRejectsBadInput) {
+  std::stringstream dense_banner(
+      "%%MatrixMarket matrix array real general\n2 2\n1\n0\n0\n1\n");
+  EXPECT_THROW(pg::read_matrix_market(dense_banner), std::runtime_error);
+  std::stringstream out_of_range(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n3 1\n");
+  EXPECT_THROW(pg::read_matrix_market(out_of_range), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(pg::read_matrix_market(empty), std::runtime_error);
+  // Dimensions beyond 32-bit vertex ids must fail loudly, not wrap.
+  std::stringstream huge(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "4294967299 1 2\n1 1\n");
+  EXPECT_THROW(pg::read_matrix_market(huge), std::runtime_error);
+}
+
+TEST(GraphIo, MatrixMarketPathDetection) {
+  EXPECT_TRUE(pg::is_matrix_market_path("foo/bar.mtx"));
+  EXPECT_FALSE(pg::is_matrix_market_path("foo/bar.el"));
+  EXPECT_FALSE(pg::is_matrix_market_path("mtx"));
+}
+
 TEST(Oracles, CsrAndDenseOraclesMatchTheirGraphs) {
   const auto csr = pg::erdos_renyi(80, 0.3, 21);
   const pg::CsrOracle co(csr);

@@ -171,8 +171,12 @@ TEST(MemoryReport, TrackedListsPeakMatchesDriverAccounting) {
   const auto r = pcore::picasso_color_dense(g, params);
   std::size_t expected = 0;
   for (const auto& it : r.iterations) {
+    // List entries plus the one-word-per-vertex palette signatures the
+    // blocked pair-scan prefilters on.
     expected = std::max(
-        expected, std::size_t{it.n_active} * it.list_size * sizeof(std::uint32_t));
+        expected,
+        std::size_t{it.n_active} * it.list_size * sizeof(std::uint32_t) +
+            std::size_t{it.n_active} * sizeof(std::uint64_t));
   }
   EXPECT_EQ(r.memory.subsystem_peak[static_cast<unsigned>(
                 pu::MemSubsystem::PaletteLists)],

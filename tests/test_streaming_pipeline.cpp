@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "coloring/verify.hpp"
 #include "core/picasso.hpp"
@@ -71,6 +72,69 @@ TEST(ChunkedPauliReader, ChunksReassembleTheSet) {
       EXPECT_EQ(chunk.string(i), set.string(global));
       EXPECT_EQ(chunk.coefficient(i), set.coefficient(global));
     }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkedPauliReader, RejectsZeroChunkSize) {
+  // Regression: a chunk size of 0 used to be silently clamped while
+  // chunk indexing divides by it — it must be rejected up front instead.
+  const auto set = random_set(16, 6, 3);
+  const auto dir = temp_spill_dir();
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "zero_chunk.pset").string();
+  pp::spill_pauli_set(set, path);
+  EXPECT_THROW(pp::ChunkedPauliReader(path, 0), std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkedPauliReader, PackedChunksMatchScalarChunks) {
+  // The spill file's packed tail must reload to exactly the records the
+  // full PauliSet chunk carries (and half the resident charge).
+  const auto set = random_set(200, 67, 21);
+  const auto dir = temp_spill_dir();
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "packed_tail.pset").string();
+  pp::spill_pauli_set(set, path);
+
+  const pp::ChunkedPauliReader reader(path, 64);
+  EXPECT_TRUE(reader.has_packed_tail());
+  for (std::size_t c = 0; c < reader.num_chunks(); ++c) {
+    const pp::PauliSet scalar_chunk = reader.load_chunk(c);
+    const pp::PackedPauliSet packed_chunk = reader.load_chunk_packed(c);
+    ASSERT_EQ(packed_chunk.size(), scalar_chunk.size());
+    const pp::PackedView expect = scalar_chunk.packed_view();
+    const pp::PackedView got = packed_chunk.view();
+    ASSERT_EQ(got.words, expect.words);
+    for (std::size_t i = 0; i < packed_chunk.size(); ++i) {
+      for (std::size_t k = 0; k < 2 * got.words; ++k) {
+        ASSERT_EQ(got.record(i)[k], expect.record(i)[k])
+            << "chunk=" << c << " i=" << i << " k=" << k;
+      }
+    }
+    EXPECT_LT(reader.chunk_packed_resident_bytes(c),
+              reader.chunk_resident_bytes(c));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkedPauliReader, LegacySpillWithoutPackedTailStillLoadsPacked) {
+  // Files written by PauliSet::save_binary alone (no packed tail) fall back
+  // to decoding the 3-bit section.
+  const auto set = random_set(50, 10, 33);
+  const auto dir = temp_spill_dir();
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "legacy.pset").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    set.save_binary(out);
+  }
+  const pp::ChunkedPauliReader reader(path, 20);
+  EXPECT_FALSE(reader.has_packed_tail());
+  const pp::PackedPauliSet packed = reader.load_chunk_packed(1);
+  ASSERT_EQ(packed.size(), 20u);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    EXPECT_EQ(packed.string(i), set.string(reader.chunk_begin(1) + i));
   }
   std::filesystem::remove(path);
 }
