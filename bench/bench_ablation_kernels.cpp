@@ -13,6 +13,7 @@
 // Colorings are asserted identical; single-threaded wall times and the
 // packed-vs-scalar speedup land in the bench JSON (the CI artifact).
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "core/picasso.hpp"
 #include "pauli/pauli_packed.hpp"
@@ -58,7 +59,9 @@ int main() {
       params.alpha = alpha;
       params.seed = 1;
       params.kernel = kernel;
-      return core::picasso_color_pauli(set, params);
+      return api::Session::from_params(params)
+          .solve(api::Problem::pauli(set))
+          .result;
     };
     const auto ref = run(core::ConflictKernel::Reference);
     const auto idx = run(core::ConflictKernel::Indexed);
@@ -112,7 +115,9 @@ int main() {
       // single-threaded so the wall time is kernel time.
       params.kernel = core::ConflictKernel::Reference;
       params.runtime.num_threads = 1;
-      return core::picasso_color_pauli(set, params);
+      return api::Session::from_params(params)
+          .solve(api::Problem::pauli(set))
+          .result;
     };
     // Repeat and keep the best wall time per backend: conflict_seconds is
     // the pair-scan phase, which these backends differ in.

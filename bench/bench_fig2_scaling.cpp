@@ -14,6 +14,7 @@
 
 #include <algorithm>
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "core/picasso.hpp"
 #include "device/device_context.hpp"
@@ -56,14 +57,18 @@ int main() {
     std::uint64_t max_ec = 0;
     core::MemoryReport memory;
     try {
-      const auto r = core::picasso_color_pauli(set, params);
+      const auto r = api::Session::from_params(params)
+                         .solve(api::Problem::pauli(set))
+                         .result;
       max_ec = r.max_conflict_edges;
       memory = r.memory;
     } catch (const device::DeviceOutOfMemory&) {
       fits = false;
       // Re-run host-side to still report the conflict fraction.
       params.device = nullptr;
-      const auto r = core::picasso_color_pauli(set, params);
+      const auto r = api::Session::from_params(params)
+                         .solve(api::Problem::pauli(set))
+                         .result;
       max_ec = r.max_conflict_edges;
       memory = r.memory;
     }
@@ -73,9 +78,13 @@ int main() {
     // phase's wall time does.
     params.device = nullptr;
     params.pauli_backend = core::PauliBackend::Scalar;
-    const auto host_scalar = core::picasso_color_pauli(set, params);
+    const auto host_scalar = api::Session::from_params(params)
+                                 .solve(api::Problem::pauli(set))
+                                 .result;
     params.pauli_backend = core::PauliBackend::Packed;
-    const auto host_packed = core::picasso_color_pauli(set, params);
+    const auto host_packed = api::Session::from_params(params)
+                                 .solve(api::Problem::pauli(set))
+                                 .result;
     if (host_scalar.colors != host_packed.colors) {
       std::printf("ERROR: packed and scalar backends diverged on %s\n",
                   spec.name.c_str());

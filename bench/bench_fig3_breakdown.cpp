@@ -11,6 +11,7 @@
 // oracle-driven build remains the top cost, as in the paper's CPU-only
 // configuration (Table V reports >98% build share there).
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "core/picasso.hpp"
 
@@ -41,7 +42,9 @@ int main() {
     // Paper practice for >1T-edge instances: alpha = 1.
     params.alpha = spec.size_class == pauli::SizeClass::Large ? 1.0 : 2.0;
     params.seed = 1;
-    const auto r = core::picasso_color_pauli(set, params);
+    const auto r =
+        api::Session::from_params(params).solve(api::Problem::pauli(set))
+            .result;
     table.add_row(
         {spec.name, util::Table::fmt_int(static_cast<long long>(set.size())),
          util::Table::fmt(r.assign_seconds, 3),

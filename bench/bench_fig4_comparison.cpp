@@ -7,6 +7,7 @@
 // the speculative (Kokkos-EB) colorer is the fastest but hungriest; Picasso
 // stays at or below the ECL-GC-R memory line.
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "coloring/jones_plassmann.hpp"
 #include "coloring/speculative.hpp"
@@ -50,7 +51,9 @@ int main() {
       params.palette_percent = percent;
       params.alpha = 4.5;
       params.seed = 1;
-      const auto r = core::picasso_color_pauli(set, params);
+      const auto r = api::Session::from_params(params)
+                         .solve(api::Problem::pauli(set))
+                         .result;
       const std::size_t mem = set.logical_bytes() + r.peak_logical_bytes;
       char label[32];
       std::snprintf(label, sizeof(label), "Picasso P'=%.1f%%", percent);

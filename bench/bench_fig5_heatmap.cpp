@@ -6,6 +6,7 @@
 // most conflict edges and time; large P' + small alpha -> the opposite.
 // The three heatmaps form complementary gradients across the grid.
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "core/picasso.hpp"
 #include "graph/oracles.hpp"
@@ -38,7 +39,9 @@ int main() {
       params.palette_percent = percents[pi];
       params.alpha = alphas[ai];
       params.seed = 1;
-      const auto r = core::picasso_color_pauli(set, params);
+      const auto r = api::Session::from_params(params)
+                         .solve(api::Problem::pauli(set))
+                         .result;
       grid[ai * percents.size() + pi] = {
           r.color_percent(),
           100.0 * static_cast<double>(r.max_conflict_edges) /

@@ -8,6 +8,7 @@
 // near-perfect load balance and a bit-identical coloring, so an input whose
 // conflict graph overflows one device fits on several.
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "core/multi_device.hpp"
 #include "graph/oracles.hpp"
@@ -21,7 +22,6 @@ int main() {
   const auto& set = pauli::load_dataset(spec);
   std::printf("instance %s: |V|=%zu\n", spec.name.c_str(), set.size());
 
-  const graph::ComplementOracle oracle(set);
   core::PicassoParams params;  // normal configuration
   params.seed = 1;
 
@@ -29,23 +29,27 @@ int main() {
                      "imbalance", "per-device peak", "identical?"});
   std::vector<std::uint32_t> baseline_colors;
   for (std::uint32_t d : {1u, 2u, 4u, 8u}) {
-    core::MultiDeviceConfig config;
-    config.num_devices = d;
-    config.device_capacity_bytes = 512u << 20;
-    const auto r = core::picasso_color_multi_device(oracle, params, config);
-    if (d == 1) baseline_colors = r.coloring.colors;
+    // backend(Scalar) + Problem::pauli reproduces the legacy
+    // ComplementOracle sharding path without type erasure.
+    const auto r = api::SessionBuilder()
+                       .params(params)
+                       .backend(core::PauliBackend::Scalar)
+                       .devices(d, 512u << 20)
+                       .build()
+                       .solve(api::Problem::pauli(set));
+    if (d == 1) baseline_colors = r.result.colors;
     std::uint64_t max_edges = 0;
     for (const auto& shard : r.devices) {
       max_edges = std::max(max_edges, shard.edges);
     }
     table.add_row({util::Table::fmt_int(d),
-                   util::Table::fmt_int(r.coloring.num_colors),
+                   util::Table::fmt_int(r.result.num_colors),
                    util::Table::fmt_int(
-                       static_cast<long long>(r.coloring.max_conflict_edges)),
+                       static_cast<long long>(r.result.max_conflict_edges)),
                    util::Table::fmt_int(static_cast<long long>(max_edges)),
-                   util::Table::fmt(r.imbalance(), 3),
+                   util::Table::fmt(r.shard_imbalance(), 3),
                    util::Table::fmt_bytes(r.max_device_peak_bytes()),
-                   r.coloring.colors == baseline_colors ? "yes" : "NO"});
+                   r.result.colors == baseline_colors ? "yes" : "NO"});
   }
   table.print("Multi-device sharding (P'=12.5, alpha=2)");
   std::printf(

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "coloring/jones_plassmann.hpp"
 #include "core/multi_device.hpp"
@@ -139,17 +140,21 @@ int main() {
   // ---------------------------------------------------------------- layer 3
   const std::uint32_t md_n = quick ? 2000 : 6000;
   const auto md_graph = graph::erdos_renyi(md_n, 0.02, 11);
-  const graph::CsrOracle md_oracle(md_graph);
   core::PicassoParams md_params;
   md_params.seed = 1;
-  core::MultiDeviceConfig md_config;
-  md_config.num_devices = 4;
-  md_config.device_capacity_bytes = 256u << 20;
+  // Problem::csr keeps the typed CsrOracle fast path (no type erasure in
+  // the timed loop), matching the pre-Session instantiation.
+  const auto md_session = [&](const core::PicassoParams& p) {
+    return api::SessionBuilder()
+        .params(p)
+        .devices(4, 256u << 20)
+        .build()
+        .solve(api::Problem::csr(md_graph));
+  };
 
   md_params.runtime.num_threads = 1;
   util::WallTimer md_timer;
-  const auto md_ref =
-      core::picasso_color_multi_device(md_oracle, md_params, md_config);
+  const auto md_ref = md_session(md_params);
   const double md_serial_s = md_timer.seconds();
   Table md_table({"threads", "total(s)", "speedup", "identical"});
   md_table.add_row({"1", Table::fmt(md_serial_s, 3), "1.00x", "ref"});
@@ -157,10 +162,9 @@ int main() {
     if (t == 1) continue;
     md_params.runtime.num_threads = t;
     util::WallTimer timer;
-    const auto r =
-        core::picasso_color_multi_device(md_oracle, md_params, md_config);
+    const auto r = md_session(md_params);
     const double s = timer.seconds();
-    const bool same = r.coloring.colors == md_ref.coloring.colors;
+    const bool same = r.result.colors == md_ref.result.colors;
     md_table.add_row({Table::fmt_int(t), Table::fmt(s, 3),
                       Table::fmt(md_serial_s / s, 2) + "x",
                       same ? "yes" : "NO"});

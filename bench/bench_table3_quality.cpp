@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "coloring/greedy.hpp"
 #include "coloring/jones_plassmann.hpp"
@@ -48,7 +49,9 @@ int main() {
         params.palette_percent = percent;
         params.alpha = alpha;
         params.seed = seed;
-        const auto r = core::picasso_color_pauli(set, params);
+        const auto r = api::Session::from_params(params)
+                           .solve(api::Problem::pauli(set))
+                           .result;
         if (!coloring::is_valid_coloring(dense, r.colors)) std::abort();
         colors.add(static_cast<double>(r.num_colors));
       }

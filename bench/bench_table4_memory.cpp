@@ -13,6 +13,7 @@
 // Kokkos-EB is the most memory-hungry explicit tool; the ratio grows with
 // instance size.
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "coloring/greedy.hpp"
 #include "coloring/jones_plassmann.hpp"
@@ -54,7 +55,9 @@ int main() {
       // Single-threaded so the tracked peak is machine-independent — these
       // records feed the CI regression gate.
       params.runtime.num_threads = 1;
-      const auto r = core::picasso_color_pauli(set, params);
+      const auto r =
+          api::Session::from_params(params).solve(api::Problem::pauli(set))
+              .result;
       bench::emit_json_record("table4_memory",
                               spec.name + std::string("/") + tag, r.memory);
       // Picasso's working set: encoded input + per-iteration structures.
@@ -108,8 +111,12 @@ int main() {
         // Force streaming (either budget keeps the small H6 encoding
         // resident otherwise) with ~16 chunks per dataset.
         options.chunk_strings = (set.size() + 15) / 16;
-        const auto r =
-            core::picasso_color_pauli_budgeted(set, params, options);
+        const auto r = api::SessionBuilder()
+                           .params(params)
+                           .streaming(options)
+                           .build()
+                           .solve(api::Problem::pauli(set))
+                           .result;
         char peak_buf[32], budget_buf[32];
         std::printf(
             "%-24s peak %-10s budget %-10s within=%-3s chunks=%zu "

@@ -15,6 +15,7 @@
 // runtime, and the build speedup grows with instance size (geomean ~60x on
 // the paper's testbed).
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "core/picasso.hpp"
 #include "device/device_context.hpp"
@@ -38,14 +39,18 @@ int main() {
     const bench::NaiveComplementOracle naive(set);
     core::PicassoParams ref_params = params;
     ref_params.kernel = core::ConflictKernel::Reference;
-    const auto ref = core::picasso_color(naive, ref_params);
+    const auto ref = api::Session::from_params(ref_params)
+                         .solve(api::Problem::oracle(naive))
+                         .result;
 
     // Accelerated configuration (identical coloring policy and seed).
     device::DeviceContext ctx(1u << 30);
     core::PicassoParams fast_params = params;
     fast_params.kernel = core::ConflictKernel::Indexed;
     fast_params.device = &ctx;
-    const auto fast = core::picasso_color_pauli(set, fast_params);
+    const auto fast = api::Session::from_params(fast_params)
+                          .solve(api::Problem::pauli(set))
+                          .result;
 
     if (fast.colors != ref.colors) {
       std::printf("ERROR: configurations diverged on %s\n", spec.name.c_str());

@@ -14,7 +14,7 @@
 #include "coloring/jones_plassmann.hpp"
 #include "coloring/speculative.hpp"
 #include "coloring/verify.hpp"
-#include "core/picasso.hpp"
+#include "api/session.hpp"
 #include "graph/graph_gen.hpp"
 #include "graph/graph_io.hpp"
 #include "util/table.hpp"
@@ -71,10 +71,9 @@ int main(int argc, char** argv) {
   for (auto [label, percent, alpha] :
        {std::tuple{"picasso-normal", 12.5, 2.0},
         std::tuple{"picasso-aggressive", 3.0, 30.0}}) {
-    core::PicassoParams params;
-    params.palette_percent = percent;
-    params.alpha = alpha;
-    const auto r = core::picasso_color_dense(dense, params);
+    const auto session =
+        api::SessionBuilder().palette(percent, alpha).build();
+    const auto r = session.solve(api::Problem::dense(dense)).result;
     table.add_row({label, util::Table::fmt_int(r.num_colors),
                    util::Table::fmt_bytes(r.peak_logical_bytes),
                    util::format_duration(r.total_seconds),

@@ -18,7 +18,7 @@
 
 #include "coloring/greedy.hpp"
 #include "coloring/verify.hpp"
-#include "core/picasso.hpp"
+#include "api/session.hpp"
 #include "graph/graph_gen.hpp"
 #include "graph/graph_io.hpp"
 #include "util/table.hpp"
@@ -57,10 +57,8 @@ int main(int argc, char** argv) {
                  util::format_duration(greedy.seconds),
                  coloring::is_valid_coloring(g, greedy.colors) ? "yes" : "NO"});
 
-  core::PicassoParams params;
-  params.palette_percent = percent;
-  params.alpha = alpha;
-  const auto r = core::picasso_color_csr(g, params);
+  const auto session = api::SessionBuilder().palette(percent, alpha).build();
+  const auto r = session.solve(api::Problem::csr(g)).result;
   table.add_row({"picasso (edge-list oracle)",
                  util::Table::fmt_int(r.num_colors),
                  util::format_duration(r.total_seconds),

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/picasso.hpp"
+#include "api/session.hpp"
 #include "graph/oracles.hpp"
 #include "ml/predictor.hpp"
 #include "pauli/datasets.hpp"
@@ -57,10 +57,9 @@ int main(int argc, char** argv) {
   for (auto [label, percent, alpha] :
        {std::tuple{"default", 12.5, 2.0},
         std::tuple{"predicted", predicted.palette_percent, predicted.alpha}}) {
-    core::PicassoParams params;
-    params.palette_percent = percent;
-    params.alpha = alpha;
-    const auto r = core::picasso_color_pauli(test_set, params);
+    const auto session =
+        api::SessionBuilder().palette(percent, alpha).build();
+    const auto r = session.solve(api::Problem::pauli(test_set)).result;
     table.add_row({label, util::Table::fmt(percent, 2),
                    util::Table::fmt(alpha, 2),
                    util::Table::fmt_int(r.num_colors),

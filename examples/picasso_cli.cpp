@@ -1,4 +1,5 @@
-// picasso_cli — command-line front end for the library.
+// picasso_cli — command-line front end for the library, driving the public
+// picasso::api::Session pipeline.
 //
 // Subcommands:
 //   list                               registered datasets
@@ -12,11 +13,17 @@
 //   --alpha A       list-size multiplier (default 2.0)
 //   --seed S        RNG seed (default 1)
 //   --mode M        partition relation: unitary | commute | qwc
+//   --backend B     Pauli backend: auto | scalar | packed | packed-scalar
+//   --budget BYTES  memory budget (0 = unlimited; may plan streaming)
 //   --mtx           color: parse --file as MatrixMarket (auto-detected for
 //                   .mtx extensions)
 //   --stream        color: re-read the file per pass (semi-streaming mode)
 //   --refine        apply iterated-greedy refinement to the result
 //   --csv           machine-readable output where supported
+//
+// Exit codes: 0 success, 1 runtime failure (unreadable input, invalid
+// result), 2 usage error (unknown command/flag/value). Every failure prints
+// exactly one diagnostic line to stderr.
 //
 // Examples:
 //   picasso_cli partition H6_2D_sto3g --percent 3 --alpha 30
@@ -27,13 +34,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "coloring/refine.hpp"
 #include "coloring/verify.hpp"
 #include "core/clique_partition.hpp"
-#include "core/streaming.hpp"
 #include "graph/graph_io.hpp"
 #include "ml/sweep.hpp"
 #include "pauli/datasets.hpp"
@@ -43,6 +51,11 @@ namespace {
 
 using namespace picasso;
 
+/// Argument errors: one-line diagnostic, exit code 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct CliOptions {
   std::string command;
   std::string target;  // dataset name or (with --file) a path
@@ -51,40 +64,61 @@ struct CliOptions {
   double alpha = 2.0;
   std::uint64_t seed = 1;
   core::GroupingMode mode = core::GroupingMode::Unitary;
+  core::PauliBackend backend = core::PauliBackend::Auto;
+  std::size_t budget_bytes = 0;
   bool mtx = false;
   bool stream = false;
   bool refine = false;
   bool csv = false;
 };
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <list|info|partition|color|sweep> [target] "
-               "[--percent P] [--alpha A] [--seed S] [--mode unitary|commute|qwc] "
-               "[--file path] [--mtx] [--stream] [--refine] [--csv]\n",
-               argv0);
-  std::exit(2);
+const char* kUsage =
+    "usage: picasso_cli <list|info|partition|color|sweep> [target] "
+    "[--percent P] [--alpha A] [--seed S] [--mode unitary|commute|qwc] "
+    "[--backend auto|scalar|packed|packed-scalar] [--budget BYTES] "
+    "[--file path] [--mtx] [--stream] [--refine] [--csv]";
+
+double parse_double(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw UsageError(std::string(flag) + " expects a number, got '" + text +
+                     "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw UsageError(std::string(flag) + " expects an integer, got '" + text +
+                     "'");
+  }
+  return value;
 }
 
 CliOptions parse_args(int argc, char** argv) {
-  if (argc < 2) usage(argv[0]);
+  if (argc < 2) throw UsageError("missing command");
   CliOptions opt;
   opt.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&](const char* flag) -> const char* {
+    auto next = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag);
-        std::exit(2);
+        throw UsageError(std::string("missing value for ") + flag);
       }
       return argv[++i];
     };
     if (arg == "--percent") {
-      opt.percent = std::atof(next("--percent"));
+      opt.percent = parse_double("--percent", next("--percent"));
     } else if (arg == "--alpha") {
-      opt.alpha = std::atof(next("--alpha"));
+      opt.alpha = parse_double("--alpha", next("--alpha"));
     } else if (arg == "--seed") {
-      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+      opt.seed = parse_u64("--seed", next("--seed"));
+    } else if (arg == "--budget") {
+      opt.budget_bytes =
+          static_cast<std::size_t>(parse_u64("--budget", next("--budget")));
     } else if (arg == "--file") {
       opt.file = next("--file");
     } else if (arg == "--mode") {
@@ -96,8 +130,15 @@ CliOptions parse_args(int argc, char** argv) {
       } else if (m == "qwc") {
         opt.mode = core::GroupingMode::QubitWiseCommute;
       } else {
-        std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
-        std::exit(2);
+        throw UsageError("unknown mode '" + m +
+                         "' (valid: unitary, commute, qwc)");
+      }
+    } else if (arg == "--backend") {
+      // parse_pauli_backend's invalid_argument lists the valid spellings.
+      try {
+        opt.backend = core::parse_pauli_backend(next("--backend"));
+      } catch (const std::invalid_argument& e) {
+        throw UsageError(e.what());
       }
     } else if (arg == "--mtx") {
       opt.mtx = true;
@@ -110,8 +151,7 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] != '-' && opt.target.empty()) {
       opt.target = arg;
     } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
-      usage(argv[0]);
+      throw UsageError("unknown argument '" + arg + "'");
     }
   }
   return opt;
@@ -122,7 +162,21 @@ core::PicassoParams params_from(const CliOptions& opt) {
   params.palette_percent = opt.percent;
   params.alpha = opt.alpha;
   params.seed = opt.seed;
+  params.pauli_backend = opt.backend;
+  params.memory_budget_bytes = opt.budget_bytes;
   return params;
+}
+
+/// One Session for every solve the CLI performs. Builder validation fires
+/// before any work happens, and a rejected configuration is an operator
+/// mistake (bad flag value), so it maps to UsageError / exit 2 — the same
+/// class as an unparsable flag.
+api::Session session_from(const CliOptions& opt) {
+  try {
+    return api::SessionBuilder().params(params_from(opt)).build();
+  } catch (const api::ApiError& e) {
+    throw UsageError(e.what());
+  }
 }
 
 int cmd_list() {
@@ -139,6 +193,7 @@ int cmd_list() {
 }
 
 int cmd_info(const CliOptions& opt) {
+  if (opt.target.empty()) throw UsageError("info requires a dataset name");
   const auto& spec = pauli::dataset_by_name(opt.target);
   const auto& set = pauli::load_dataset(spec);
   std::printf("dataset      : %s (%s)\n", spec.name.c_str(),
@@ -160,6 +215,8 @@ int cmd_info(const CliOptions& opt) {
 }
 
 int cmd_partition(const CliOptions& opt) {
+  if (opt.target.empty()) throw UsageError("partition requires a dataset name");
+  session_from(opt);  // validate numeric flags eagerly (UsageError on bad ones)
   const auto& spec = pauli::dataset_by_name(opt.target);
   const auto& set = pauli::load_dataset(spec);
   const auto result =
@@ -167,7 +224,8 @@ int cmd_partition(const CliOptions& opt) {
   const std::string violation =
       core::verify_partition(set, result.groups, opt.mode);
   if (!violation.empty()) {
-    std::fprintf(stderr, "INVALID PARTITION: %s\n", violation.c_str());
+    std::fprintf(stderr, "picasso_cli: INVALID PARTITION: %s\n",
+                 violation.c_str());
     return 1;
   }
   if (opt.csv) {
@@ -192,39 +250,37 @@ int cmd_partition(const CliOptions& opt) {
 
 int cmd_color(const CliOptions& opt) {
   if (opt.file.empty()) {
-    std::fprintf(stderr, "color requires --file <edgelist|matrixmarket>\n");
-    return 2;
+    throw UsageError("color requires --file <edgelist|matrixmarket>");
   }
   const bool mtx = opt.mtx || graph::is_matrix_market_path(opt.file);
-  core::PicassoParams params = params_from(opt);
-  core::PicassoResult result;
+  const api::Session session = session_from(opt);
+  api::SolveReport report;
   if (opt.stream) {
     if (mtx) {
-      std::fprintf(stderr,
-                   "--stream replays edge-list files; convert the "
-                   "MatrixMarket input first (or drop --stream)\n");
-      return 2;
+      throw UsageError(
+          "--stream replays edge-list files; convert the MatrixMarket input "
+          "first (or drop --stream)");
     }
-    const core::FileEdgeStream stream(opt.file);
-    result = core::picasso_color_stream(stream.num_vertices(), stream, params);
+    report = session.solve(api::Problem::edge_stream_file(opt.file));
     const auto g = graph::read_edge_list_file(opt.file);  // verification only
-    if (!coloring::is_valid_coloring(g, result.colors)) {
-      std::fprintf(stderr, "INVALID COLORING\n");
+    if (!coloring::is_valid_coloring(g, report.result.colors)) {
+      std::fprintf(stderr, "picasso_cli: INVALID COLORING\n");
       return 1;
     }
   } else {
     auto g = mtx ? graph::read_matrix_market_file(opt.file)
                  : graph::read_edge_list_file(opt.file);
-    result = core::picasso_color_csr(g, params);
+    report = session.solve(api::Problem::csr(g));
     if (opt.refine) {
-      const auto refined = coloring::iterated_greedy_refine(g, result.colors);
-      result.num_colors = refined.colors_after;
+      const auto refined = coloring::iterated_greedy_refine(g, report.result.colors);
+      report.result.num_colors = refined.colors_after;
     }
-    if (!coloring::is_valid_coloring(g, result.colors)) {
-      std::fprintf(stderr, "INVALID COLORING\n");
+    if (!coloring::is_valid_coloring(g, report.result.colors)) {
+      std::fprintf(stderr, "picasso_cli: INVALID COLORING\n");
       return 1;
     }
   }
+  const core::PicassoResult& result = report.result;
   if (opt.csv) {
     std::printf("vertex,color\n");
     for (std::uint32_t v = 0; v < result.colors.size(); ++v) {
@@ -233,15 +289,17 @@ int cmd_color(const CliOptions& opt) {
     return 0;
   }
   std::printf("%s: %zu vertices colored with %u colors in %zu iterations "
-              "(%s)%s\n",
+              "(%s) [%s]\n",
               opt.file.c_str(), result.colors.size(), result.num_colors,
               result.iterations.size(),
               util::format_duration(result.total_seconds).c_str(),
-              opt.stream ? " [streaming]" : "");
+              to_string(report.plan.strategy));
   return 0;
 }
 
 int cmd_sweep(const CliOptions& opt) {
+  if (opt.target.empty()) throw UsageError("sweep requires a dataset name");
+  session_from(opt);  // validate numeric flags eagerly (UsageError on bad ones)
   const auto& spec = pauli::dataset_by_name(opt.target);
   const auto& set = pauli::load_dataset(spec);
   const auto sweep = ml::parameter_sweep(set, ml::default_percent_grid(),
@@ -277,9 +335,15 @@ int main(int argc, char** argv) {
     if (opt.command == "partition") return cmd_partition(opt);
     if (opt.command == "color") return cmd_color(opt);
     if (opt.command == "sweep") return cmd_sweep(opt);
-    usage(argv[0]);
+    throw UsageError("unknown command '" + opt.command + "'");
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "picasso_cli: %s\n%s\n", e.what(), kUsage);
+    return 2;
+  } catch (const picasso::api::ApiError& e) {
+    std::fprintf(stderr, "picasso_cli: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "picasso_cli: error: %s\n", e.what());
     return 1;
   }
 }

@@ -1,0 +1,64 @@
+// Definitions of the deprecated picasso_color_* free functions. Each is a
+// thin shim over the Session pipeline (api/session.hpp) so the legacy
+// surface and the new one cannot drift apart: the differential suite pins
+// every shim bit-identical to Session::solve with the matching Problem.
+
+#include "api/session.hpp"
+#include "core/picasso.hpp"
+#include "core/streaming.hpp"
+
+// The shims are themselves deprecated declarations; defining them is fine,
+// but some toolchains warn on the re-declaration — keep the build quiet.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace picasso::core {
+
+PicassoResult picasso_color_pauli(const pauli::PauliSet& set,
+                                  const PicassoParams& params) {
+  // Forced InMemory: historically this entry point never streamed — a
+  // memory budget was telemetry only (within_budget reporting), and Auto
+  // planning would otherwise spill large inputs to disk behind the
+  // caller's back. picasso_color_pauli_budgeted is the opt-in.
+  return api::SessionBuilder()
+      .params(params)
+      .strategy(api::ExecutionStrategy::InMemory)
+      .build()
+      .solve(api::Problem::pauli(set))
+      .result;
+}
+
+PicassoResult picasso_color_csr(const graph::CsrGraph& g,
+                                const PicassoParams& params) {
+  return api::Session::from_params(params).solve(api::Problem::csr(g)).result;
+}
+
+PicassoResult picasso_color_dense(const graph::DenseGraph& g,
+                                  const PicassoParams& params) {
+  return api::Session::from_params(params)
+      .solve(api::Problem::dense(g))
+      .result;
+}
+
+PicassoResult picasso_color_pauli_budgeted(const pauli::PauliSet& set,
+                                           const PicassoParams& params,
+                                           const StreamingOptions& options) {
+  // Auto planning reproduces the engine's own stream-or-not gate, so this
+  // matches the historical fallback-to-in-memory behavior exactly.
+  return api::SessionBuilder()
+      .params(params)
+      .streaming(options)
+      .build()
+      .solve(api::Problem::pauli(set))
+      .result;
+}
+
+PicassoResult picasso_color_pauli_chunked(
+    const pauli::ChunkedPauliReader& reader, const PicassoParams& params) {
+  return api::Session::from_params(params)
+      .solve(api::Problem::spill_reader(reader))
+      .result;
+}
+
+}  // namespace picasso::core

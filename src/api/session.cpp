@@ -1,0 +1,335 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+namespace picasso::api {
+
+namespace {
+
+/// Strings per chunk a streamed plan will use — must mirror
+/// core::solve_pauli_budgeted's derivation so the reported plan and the
+/// engine agree. `per_string` is the resident cost of one string.
+std::size_t planned_chunk_strings(std::size_t explicit_chunk,
+                                  std::size_t budget, std::size_t per_string,
+                                  std::size_t num_strings) {
+  std::size_t chunk = explicit_chunk;
+  if (chunk == 0 && budget > 0) {
+    // Two resident chunks (the pair scan's working set) get half the budget.
+    const std::size_t per_chunk_bytes = budget / 4;
+    chunk = std::max<std::size_t>(
+        1, per_chunk_bytes / std::max<std::size_t>(1, per_string));
+  }
+  if (chunk == 0) chunk = num_strings;  // no guidance: one chunk
+  return std::min(std::max<std::size_t>(1, chunk),
+                  std::max<std::size_t>(1, num_strings));
+}
+
+bool oracle_capable(ProblemKind kind) {
+  switch (kind) {
+    case ProblemKind::Pauli:
+    case ProblemKind::PackedPauli:
+    case ProblemKind::Csr:
+    case ProblemKind::Dense:
+    case ProblemKind::Oracle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+pauli::SimdLevel simd_for(core::PauliBackend backend) {
+  return core::resolve_backend(backend) == core::PauliBackend::PackedScalar
+             ? pauli::SimdLevel::Scalar
+             : pauli::SimdLevel::Auto;
+}
+
+}  // namespace
+
+const char* to_string(ExecutionStrategy strategy) noexcept {
+  switch (strategy) {
+    case ExecutionStrategy::Auto: return "auto";
+    case ExecutionStrategy::InMemory: return "in-memory";
+    case ExecutionStrategy::BudgetedStreaming: return "budgeted-streaming";
+    case ExecutionStrategy::SemiStreaming: return "semi-streaming";
+    case ExecutionStrategy::MultiDevice: return "multi-device";
+  }
+  return "?";
+}
+
+std::string SolvePlan::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "strategy=%s backend=%s budget=%zu chunk_strings=%zu "
+                "devices=%" PRIu32 " (%s)",
+                to_string(strategy), core::to_string(backend),
+                memory_budget_bytes, chunk_strings, num_devices,
+                reason.c_str());
+  return buf;
+}
+
+Session SessionBuilder::build() const {
+  const core::PicassoParams& p = session_.params_;
+  if (!(p.palette_percent > 0.0) || p.palette_percent > 100.0) {
+    throw ApiError(ErrorCode::InvalidArgument, "palette_percent",
+                   "must be in (0, 100], got " +
+                       std::to_string(p.palette_percent));
+  }
+  if (!(p.alpha > 0.0)) {
+    throw ApiError(ErrorCode::InvalidArgument, "alpha",
+                   "must be > 0, got " + std::to_string(p.alpha));
+  }
+  if (p.max_iterations < 1) {
+    throw ApiError(ErrorCode::InvalidArgument, "max_iterations",
+                   "must be >= 1, got " + std::to_string(p.max_iterations));
+  }
+  if (session_.num_devices_ > 0 && session_.device_capacity_bytes_ == 0) {
+    throw ApiError(ErrorCode::InvalidArgument, "devices",
+                   "device capacity must be > 0 bytes");
+  }
+  if (session_.num_devices_ > 0 && p.device != nullptr) {
+    throw ApiError(ErrorCode::InvalidConfiguration, "devices",
+                   "single simulated device (.device()) and multi-device "
+                   "sharding (.devices()) are mutually exclusive");
+  }
+  if (session_.strategy_ == ExecutionStrategy::MultiDevice &&
+      session_.num_devices_ == 0) {
+    throw ApiError(ErrorCode::InvalidConfiguration, "strategy",
+                   "MultiDevice strategy requires .devices(count, capacity)");
+  }
+  if (session_.strategy_ == ExecutionStrategy::BudgetedStreaming &&
+      p.memory_budget_bytes == 0 && session_.streaming_.chunk_strings == 0) {
+    throw ApiError(ErrorCode::InvalidConfiguration, "strategy",
+                   "BudgetedStreaming requires .memory_budget(bytes) or "
+                   "streaming chunk_strings");
+  }
+  return session_;
+}
+
+SolvePlan Session::plan(const Problem& problem) const {
+  SolvePlan plan;
+  plan.backend = core::resolve_backend(params_.pauli_backend);
+  plan.memory_budget_bytes = params_.memory_budget_bytes;
+  plan.num_devices = num_devices_;
+
+  const ProblemKind kind = problem.kind();
+  const std::size_t n = problem.num_vertices();
+  const std::size_t per_string =
+      n > 0 ? problem.logical_bytes() / n : problem.logical_bytes();
+
+  ExecutionStrategy strategy = strategy_;
+  if (strategy == ExecutionStrategy::Auto) {
+    if (kind == ProblemKind::SpillFile || kind == ProblemKind::SpillReader) {
+      strategy = ExecutionStrategy::BudgetedStreaming;
+      plan.reason = "problem is spill-backed";
+    } else if (kind == ProblemKind::EdgeStream) {
+      strategy = ExecutionStrategy::SemiStreaming;
+      plan.reason = "problem is an edge stream";
+    } else if (num_devices_ > 0) {
+      strategy = ExecutionStrategy::MultiDevice;
+      plan.reason = "device list configured";
+    } else if (kind == ProblemKind::Pauli && n > 0 &&
+               (streaming_.chunk_strings > 0 ||
+                (params_.memory_budget_bytes > 0 &&
+                 2 * problem.logical_bytes() > params_.memory_budget_bytes))) {
+      // Mirrors the budgeted engine's own gate: stream when holding the
+      // whole encoded input would eat more than half the budget.
+      strategy = ExecutionStrategy::BudgetedStreaming;
+      plan.reason = streaming_.chunk_strings > 0
+                        ? "explicit chunk size forces streaming"
+                        : "encoded input exceeds half the memory budget";
+    } else {
+      strategy = ExecutionStrategy::InMemory;
+      plan.reason = "input fits the configuration in memory";
+    }
+  } else {
+    plan.reason = "strategy forced by configuration";
+  }
+
+  // Forced-strategy compatibility checks.
+  switch (strategy) {
+    case ExecutionStrategy::InMemory:
+      if (!oracle_capable(kind)) {
+        throw ApiError(ErrorCode::IncompatibleStrategy, "strategy",
+                       std::string("InMemory cannot run a ") +
+                           to_string(kind) + " problem");
+      }
+      break;
+    case ExecutionStrategy::BudgetedStreaming:
+      if (kind != ProblemKind::Pauli && kind != ProblemKind::SpillFile &&
+          kind != ProblemKind::SpillReader) {
+        throw ApiError(ErrorCode::IncompatibleStrategy, "strategy",
+                       std::string("BudgetedStreaming needs a Pauli or "
+                                   "spill-backed problem, got ") +
+                           to_string(kind));
+      }
+      break;
+    case ExecutionStrategy::SemiStreaming:
+      if (kind != ProblemKind::EdgeStream) {
+        throw ApiError(ErrorCode::IncompatibleStrategy, "strategy",
+                       std::string("SemiStreaming needs an edge-stream "
+                                   "problem, got ") +
+                           to_string(kind));
+      }
+      break;
+    case ExecutionStrategy::MultiDevice:
+      if (!oracle_capable(kind)) {
+        throw ApiError(ErrorCode::IncompatibleStrategy, "strategy",
+                       std::string("MultiDevice cannot shard a ") +
+                           to_string(kind) + " problem");
+      }
+      break;
+    case ExecutionStrategy::Auto:
+      break;  // resolved above
+  }
+
+  plan.strategy = strategy;
+  if (strategy == ExecutionStrategy::BudgetedStreaming) {
+    if (kind == ProblemKind::SpillReader) {
+      plan.chunk_strings = problem.reader().strings_per_chunk();
+    } else {
+      plan.chunk_strings =
+          planned_chunk_strings(streaming_.chunk_strings,
+                                params_.memory_budget_bytes, per_string, n);
+    }
+  }
+  if (strategy != ExecutionStrategy::MultiDevice) plan.num_devices = 0;
+  return plan;
+}
+
+SolveReport Session::solve(const Problem& problem,
+                           const SolveOptions& options) const {
+  SolveReport report;
+  report.plan = plan(problem);
+
+  core::PicassoParams params = params_;
+  // Stop tokens compose (a stop from either the session-level token or the
+  // per-call one cancels); the progress callback overrides.
+  if (options.stop.stop_possible()) {
+    params.stop = core::StopToken::any_of(params.stop, options.stop);
+  }
+  if (options.progress) params.progress = options.progress;
+
+  switch (report.plan.strategy) {
+    case ExecutionStrategy::InMemory: {
+      switch (problem.kind()) {
+        case ProblemKind::Pauli:
+          report.result = core::solve_pauli(problem.pauli_set(), params);
+          break;
+        case ProblemKind::PackedPauli: {
+          const pauli::PackedPauliSet& set = problem.packed_set();
+          util::ScopedCharge input_charge(util::MemSubsystem::PauliInput,
+                                          set.logical_bytes());
+          const graph::PackedComplementOracle oracle(
+              set.view(), simd_for(params.pauli_backend));
+          report.result = core::solve_oracle(oracle, params);
+          break;
+        }
+        case ProblemKind::Csr: {
+          const graph::CsrOracle oracle(problem.csr_graph());
+          report.result = core::solve_oracle(oracle, params);
+          break;
+        }
+        case ProblemKind::Dense: {
+          const graph::DenseOracle oracle(problem.dense_graph());
+          report.result = core::solve_oracle(oracle, params);
+          break;
+        }
+        default:
+          report.result = core::solve_oracle(problem.oracle_ref(), params);
+          break;
+      }
+      break;
+    }
+    case ExecutionStrategy::BudgetedStreaming: {
+      if (problem.kind() == ProblemKind::Pauli) {
+        // Hand the engine the planned chunking so a forced streaming
+        // strategy streams even when the Auto heuristic would not.
+        core::StreamingOptions options_with_chunk = streaming_;
+        options_with_chunk.chunk_strings = report.plan.chunk_strings;
+        report.result = core::solve_pauli_budgeted(problem.pauli_set(),
+                                                   params, options_with_chunk);
+      } else if (problem.kind() == ProblemKind::SpillReader) {
+        report.result = core::solve_pauli_chunked(problem.reader(), params);
+      } else {
+        const pauli::ChunkedPauliReader reader(problem.path(),
+                                               report.plan.chunk_strings);
+        report.result = core::solve_pauli_chunked(reader, params);
+      }
+      break;
+    }
+    case ExecutionStrategy::SemiStreaming:
+      report.result = core::solve_stream(problem.num_vertices(),
+                                         problem.edge_source(), params);
+      break;
+    case ExecutionStrategy::MultiDevice: {
+      core::MultiDeviceConfig config;
+      config.num_devices = num_devices_;
+      config.device_capacity_bytes = device_capacity_bytes_;
+      core::MultiDeviceResult md;
+      switch (problem.kind()) {
+        case ProblemKind::Pauli: {
+          const pauli::PauliSet& set = problem.pauli_set();
+          switch (core::resolve_backend(params.pauli_backend)) {
+            case core::PauliBackend::Scalar: {
+              const graph::ComplementOracle oracle(set);
+              md = core::solve_multi_device(oracle, params, config);
+              break;
+            }
+            default: {
+              const graph::PackedComplementOracle oracle(
+                  set.packed_view(), simd_for(params.pauli_backend));
+              md = core::solve_multi_device(oracle, params, config);
+              break;
+            }
+          }
+          break;
+        }
+        case ProblemKind::PackedPauli: {
+          const graph::PackedComplementOracle oracle(
+              problem.packed_set().view(), simd_for(params.pauli_backend));
+          md = core::solve_multi_device(oracle, params, config);
+          break;
+        }
+        case ProblemKind::Csr: {
+          const graph::CsrOracle oracle(problem.csr_graph());
+          md = core::solve_multi_device(oracle, params, config);
+          break;
+        }
+        case ProblemKind::Dense: {
+          const graph::DenseOracle oracle(problem.dense_graph());
+          md = core::solve_multi_device(oracle, params, config);
+          break;
+        }
+        default:
+          md = core::solve_multi_device(problem.oracle_ref(), params, config);
+          break;
+      }
+      report.result = std::move(md.coloring);
+      report.devices = std::move(md.devices);
+      break;
+    }
+    case ExecutionStrategy::Auto:
+      break;  // unreachable: plan() always resolves Auto
+  }
+  return report;
+}
+
+AsyncSolve Session::solve_async(Problem problem, SolveOptions options) const {
+  core::StopSource stop;
+  // The worker observes both the handle's source and any caller-supplied
+  // token, so either can cancel the run.
+  options.stop = core::StopToken::any_of(options.stop, stop.token());
+  Session session = *this;  // the worker owns its own copy
+  std::future<SolveReport> future = std::async(
+      std::launch::async,
+      [session, problem = std::move(problem), options]() mutable {
+        return session.solve(problem, options);
+      });
+  return AsyncSolve(std::move(stop), std::move(future));
+}
+
+}  // namespace picasso::api

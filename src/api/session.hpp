@@ -1,0 +1,275 @@
+#pragma once
+// Unified session front-end — the one stable entry point to the Picasso
+// pipeline.
+//
+// The paper's algorithm (encode → palette → conflict subgraph → list-color
+// → recurse) is one algorithm, but the library grew eight divergent free
+// functions that each re-wired params, telemetry, backends and the runtime
+// by hand. A Session owns that wiring instead:
+//
+//   auto session = picasso::api::SessionBuilder()
+//                      .palette(12.5, 2.0)
+//                      .seed(1)
+//                      .memory_budget(64u << 20)
+//                      .build();             // eager validation -> ApiError
+//   auto report = session.solve(picasso::api::Problem::pauli(set));
+//   // report.result : the usual core::PicassoResult
+//   // report.plan   : which strategy/backend/chunking actually ran
+//
+// solve() plans an execution strategy from the problem kind and size —
+// in-memory oracle drive, memory-budgeted streaming, semi-streaming edge
+// passes, or multi-device sharding — and runs the existing core engines
+// underneath, so colorings are bit-identical to the legacy free functions
+// for equal parameters. solve(problem, options) adds per-iteration progress
+// callbacks and cooperative cancellation; solve_async() runs the same
+// staged pipeline on a worker thread behind a cancellable handle.
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "api/problem.hpp"
+#include "api/version.hpp"
+#include "core/multi_device.hpp"
+#include "core/picasso.hpp"
+#include "core/solve_control.hpp"
+#include "core/streaming.hpp"
+
+namespace picasso::api {
+
+/// How a solve executes. Auto (the default) picks from the problem kind,
+/// the memory budget and the device list; the rest force one pipeline and
+/// fail with ApiError(IncompatibleStrategy) when the problem cannot run it.
+enum class ExecutionStrategy {
+  Auto,
+  InMemory,           // oracle driver, whole input resident
+  BudgetedStreaming,  // spill + chunked pair-scan under the memory budget
+  SemiStreaming,      // one edge pass per iteration over an edge stream
+  MultiDevice,        // conflict build sharded over simulated devices
+};
+
+const char* to_string(ExecutionStrategy strategy) noexcept;
+
+/// The execution decision solve() made (or plan() previews), returned
+/// alongside the result.
+struct SolvePlan {
+  ExecutionStrategy strategy = ExecutionStrategy::InMemory;
+  core::PauliBackend backend = core::PauliBackend::Packed;  // resolved
+  std::size_t memory_budget_bytes = 0;
+  std::size_t chunk_strings = 0;   // streaming plans: strings per chunk
+  std::uint32_t num_devices = 0;   // multi-device plans
+  std::string reason;              // one line of why, for logs
+
+  /// One-line human-readable summary ("streamed: 4096 strings/chunk ...").
+  std::string summary() const;
+};
+
+/// PicassoResult enriched with the plan that produced it (and, for
+/// multi-device runs, the per-shard stats of core::MultiDeviceResult).
+struct SolveReport {
+  core::PicassoResult result;
+  SolvePlan plan;
+  std::vector<core::DeviceShardStats> devices;  // empty unless MultiDevice
+
+  std::uint64_t total_shard_edges() const noexcept {
+    return core::total_shard_edges(devices);
+  }
+  /// max/mean edge load across devices; 1.0 = perfectly balanced (also the
+  /// reading for a non-sharded run with no device stats).
+  double shard_imbalance() const noexcept {
+    return core::shard_imbalance(devices);
+  }
+  std::size_t max_device_peak_bytes() const noexcept {
+    return core::max_shard_peak_bytes(devices);
+  }
+};
+
+/// Per-call hooks; both default to inert. The progress callback runs on
+/// the solving thread (the worker thread for solve_async) and overrides a
+/// session-level callback; stop tokens compose — a stop requested through
+/// the session-level token, the per-call token, or (async) the handle all
+/// cancel the run.
+struct SolveOptions {
+  core::StopToken stop;
+  core::ProgressFn progress;
+};
+
+class Session;
+
+/// Handle to a staged solve running on a worker thread. Movable, not
+/// copyable; get() joins and rethrows (core::SolveCancelled after a
+/// request_stop that won the race, ApiError for planning failures).
+class AsyncSolve {
+ public:
+  AsyncSolve(AsyncSolve&&) noexcept = default;
+  AsyncSolve& operator=(AsyncSolve&&) noexcept = default;
+
+  /// Signals the StopToken the drivers poll at iteration/chunk boundaries.
+  void request_stop() noexcept { stop_.request_stop(); }
+
+  bool stop_requested() const noexcept { return stop_.stop_requested(); }
+
+  void wait() const { future_.wait(); }
+
+  bool ready() const {
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  /// Blocks until the solve finishes and returns (or rethrows) its outcome.
+  SolveReport get() { return future_.get(); }
+
+ private:
+  friend class Session;
+  AsyncSolve(core::StopSource stop, std::future<SolveReport> future)
+      : stop_(std::move(stop)), future_(std::move(future)) {}
+
+  core::StopSource stop_;
+  std::future<SolveReport> future_;
+};
+
+class Session {
+ public:
+  /// Default session: PicassoParams{} semantics, Auto strategy.
+  Session() = default;
+
+  /// Bridges existing PicassoParams-based code onto the session pipeline —
+  /// every field (seed, palette, backend, runtime, budget, device, hooks)
+  /// carries over. The legacy shims are implemented with this.
+  static Session from_params(const core::PicassoParams& params) {
+    Session s;
+    s.params_ = params;
+    return s;
+  }
+
+  const core::PicassoParams& params() const noexcept { return params_; }
+
+  /// Previews the execution decision for `problem` without solving.
+  /// Throws ApiError(IncompatibleStrategy) when a forced strategy cannot
+  /// run this problem kind.
+  SolvePlan plan(const Problem& problem) const;
+
+  SolveReport solve(const Problem& problem) const {
+    return solve(problem, SolveOptions{});
+  }
+
+  /// Staged solve with cooperative cancellation and per-iteration progress.
+  /// A stop requested through options.stop raises core::SolveCancelled from
+  /// the next iteration (or chunk-pair) boundary; a cancelled budgeted
+  /// solve removes its spill file before unwinding.
+  SolveReport solve(const Problem& problem, const SolveOptions& options) const;
+
+  /// Runs solve() on a worker thread. The returned handle owns a
+  /// StopSource wired into the run; Problem payloads are shared_ptr-backed,
+  /// so owned problems are safe to hand off — borrowed payloads must
+  /// outlive the handle.
+  AsyncSolve solve_async(Problem problem, SolveOptions options = {}) const;
+
+ private:
+  friend class SessionBuilder;
+
+  core::PicassoParams params_;
+  core::StreamingOptions streaming_;
+  ExecutionStrategy strategy_ = ExecutionStrategy::Auto;
+  std::uint32_t num_devices_ = 0;  // 0 = multi-device not configured
+  std::size_t device_capacity_bytes_ = 256u << 20;
+};
+
+/// Fluent configuration for Session, validated eagerly at build() with
+/// structured ApiErrors instead of asserts deep in the drivers.
+class SessionBuilder {
+ public:
+  /// Seeds every knob from an existing PicassoParams (migration aid).
+  SessionBuilder& params(const core::PicassoParams& params) {
+    session_.params_ = params;
+    return *this;
+  }
+
+  /// P' (percent of active vertices) and alpha (list-size multiplier) —
+  /// Table III's "Norm." is (12.5, 2), "Aggr." is (3, 30).
+  SessionBuilder& palette(double percent, double alpha) {
+    session_.params_.palette_percent = percent;
+    session_.params_.alpha = alpha;
+    return *this;
+  }
+
+  SessionBuilder& seed(std::uint64_t seed) {
+    session_.params_.seed = seed;
+    return *this;
+  }
+
+  SessionBuilder& max_iterations(int iterations) {
+    session_.params_.max_iterations = iterations;
+    return *this;
+  }
+
+  /// Anticommutation backend for Pauli problems (all bit-identical).
+  SessionBuilder& backend(core::PauliBackend backend) {
+    session_.params_.pauli_backend = backend;
+    return *this;
+  }
+
+  SessionBuilder& kernel(core::ConflictKernel kernel) {
+    session_.params_.kernel = kernel;
+    return *this;
+  }
+
+  SessionBuilder& runtime(const runtime::RuntimeConfig& config) {
+    session_.params_.runtime = config;
+    return *this;
+  }
+
+  /// Hard cap on tracked resident bytes; also what Auto weighs when
+  /// deciding to stream (budget < 2x encoded input => spill + chunk).
+  SessionBuilder& memory_budget(std::size_t bytes) {
+    session_.params_.memory_budget_bytes = bytes;
+    return *this;
+  }
+
+  /// Routes conflict builds through one simulated device (Algorithm 3).
+  SessionBuilder& device(device::DeviceContext* device) {
+    session_.params_.device = device;
+    return *this;
+  }
+
+  /// Shards conflict builds over `count` simulated devices of
+  /// `capacity_bytes` each; Auto then plans MultiDevice execution.
+  SessionBuilder& devices(std::uint32_t count, std::size_t capacity_bytes) {
+    session_.num_devices_ = count;
+    session_.device_capacity_bytes_ = capacity_bytes;
+    return *this;
+  }
+
+  /// Spill-file placement / chunk sizing for streamed plans.
+  SessionBuilder& streaming(const core::StreamingOptions& options) {
+    session_.streaming_ = options;
+    return *this;
+  }
+
+  /// Forces a pipeline instead of Auto planning.
+  SessionBuilder& strategy(ExecutionStrategy strategy) {
+    session_.strategy_ = strategy;
+    return *this;
+  }
+
+  /// Session-wide progress hook (a SolveOptions callback overrides it).
+  SessionBuilder& progress(core::ProgressFn fn) {
+    session_.params_.progress = std::move(fn);
+    return *this;
+  }
+
+  /// Session-wide stop token; per-call SolveOptions tokens compose with it.
+  SessionBuilder& stop_token(core::StopToken stop) {
+    session_.params_.stop = std::move(stop);
+    return *this;
+  }
+
+  /// Validates the whole configuration; throws ApiError naming the field.
+  Session build() const;
+
+ private:
+  Session session_;
+};
+
+}  // namespace picasso::api

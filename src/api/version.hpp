@@ -1,0 +1,38 @@
+#pragma once
+// Versioned public API surface.
+//
+// PICASSO_API_VERSION_* is the single source of truth for the library
+// version: the CMake project version (and therefore the installed
+// picassoConfigVersion.cmake) is parsed out of this header at configure
+// time, so bumping the macros here bumps everything consumers see.
+//
+// Compatibility policy: the picasso::api surface (Problem, SessionBuilder,
+// Session, ApiError) is stable within a major version. The deprecated
+// picasso_color_* free functions are kept for at least one major version
+// after deprecation and then removed.
+
+#define PICASSO_API_VERSION_MAJOR 1
+#define PICASSO_API_VERSION_MINOR 0
+#define PICASSO_API_VERSION_PATCH 0
+
+// "MMmmpp" as a single comparable integer, e.g. 10000 for 1.0.0.
+#define PICASSO_API_VERSION_CODE                               \
+  (PICASSO_API_VERSION_MAJOR * 10000 + PICASSO_API_VERSION_MINOR * 100 + \
+   PICASSO_API_VERSION_PATCH)
+
+#define PICASSO_API_STR_IMPL(x) #x
+#define PICASSO_API_STR(x) PICASSO_API_STR_IMPL(x)
+#define PICASSO_API_VERSION                    \
+  PICASSO_API_STR(PICASSO_API_VERSION_MAJOR)   \
+  "." PICASSO_API_STR(PICASSO_API_VERSION_MINOR) "." PICASSO_API_STR( \
+      PICASSO_API_VERSION_PATCH)
+
+namespace picasso::api {
+
+inline constexpr int kVersionMajor = PICASSO_API_VERSION_MAJOR;
+inline constexpr int kVersionMinor = PICASSO_API_VERSION_MINOR;
+inline constexpr int kVersionPatch = PICASSO_API_VERSION_PATCH;
+
+constexpr const char* version_string() noexcept { return PICASSO_API_VERSION; }
+
+}  // namespace picasso::api

@@ -59,17 +59,17 @@ PartitionResult partition_pauli_strings(const pauli::PauliSet& set,
   PartitionResult result;
   switch (mode) {
     case GroupingMode::Unitary:
-      result.coloring = picasso_color_pauli(set, params);
+      result.coloring = solve_pauli(set, params);
       break;
     case GroupingMode::GeneralCommute: {
       // The coloring graph of commute-cliques is the anticommute graph.
       const graph::AnticommuteOracle oracle(set);
-      result.coloring = picasso_color(oracle, params);
+      result.coloring = solve_oracle(oracle, params);
       break;
     }
     case GroupingMode::QubitWiseCommute: {
       const graph::QwcComplementOracle oracle(set);
-      result.coloring = picasso_color(oracle, params);
+      result.coloring = solve_oracle(oracle, params);
       break;
     }
   }

@@ -11,12 +11,15 @@ std::uint32_t edge_shard(std::uint32_t u, std::uint32_t v,
   return static_cast<std::uint32_t>(mix.next() % num_devices);
 }
 
-template MultiDeviceResult picasso_color_multi_device<graph::ComplementOracle>(
+template MultiDeviceResult solve_multi_device<graph::ComplementOracle>(
     const graph::ComplementOracle&, const PicassoParams&,
     const MultiDeviceConfig&);
-template MultiDeviceResult picasso_color_multi_device<graph::DenseOracle>(
+template MultiDeviceResult solve_multi_device<graph::PackedComplementOracle>(
+    const graph::PackedComplementOracle&, const PicassoParams&,
+    const MultiDeviceConfig&);
+template MultiDeviceResult solve_multi_device<graph::DenseOracle>(
     const graph::DenseOracle&, const PicassoParams&, const MultiDeviceConfig&);
-template MultiDeviceResult picasso_color_multi_device<graph::CsrOracle>(
+template MultiDeviceResult solve_multi_device<graph::CsrOracle>(
     const graph::CsrOracle&, const PicassoParams&, const MultiDeviceConfig&);
 
 }  // namespace picasso::core

@@ -42,30 +42,46 @@ struct DeviceShardStats {
   std::size_t peak_bytes = 0;     // device-budget high-water mark
 };
 
+// Aggregations over per-device shard stats — shared by MultiDeviceResult
+// and the session layer's SolveReport so the two can't drift.
+
+inline std::uint64_t total_shard_edges(
+    const std::vector<DeviceShardStats>& devices) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& d : devices) total += d.edges;
+  return total;
+}
+
+/// max/mean edge load across devices; 1.0 = perfectly balanced, which is
+/// also what an empty (non-sharded) stats vector reports.
+inline double shard_imbalance(
+    const std::vector<DeviceShardStats>& devices) noexcept {
+  if (devices.empty()) return 1.0;
+  std::uint64_t max_edges = 0;
+  for (const auto& d : devices) max_edges = std::max(max_edges, d.edges);
+  const double mean = static_cast<double>(total_shard_edges(devices)) /
+                      static_cast<double>(devices.size());
+  return mean > 0 ? static_cast<double>(max_edges) / mean : 1.0;
+}
+
+inline std::size_t max_shard_peak_bytes(
+    const std::vector<DeviceShardStats>& devices) noexcept {
+  std::size_t peak = 0;
+  for (const auto& d : devices) peak = std::max(peak, d.peak_bytes);
+  return peak;
+}
+
 struct MultiDeviceResult {
   PicassoResult coloring;
   std::vector<DeviceShardStats> devices;
 
-  std::uint64_t total_edges() const {
-    std::uint64_t total = 0;
-    for (const auto& d : devices) total += d.edges;
-    return total;
-  }
+  std::uint64_t total_edges() const { return total_shard_edges(devices); }
 
   /// max/mean edge load across devices (1.0 = perfectly balanced).
-  double imbalance() const {
-    if (devices.empty()) return 0.0;
-    std::uint64_t max_edges = 0;
-    for (const auto& d : devices) max_edges = std::max(max_edges, d.edges);
-    const double mean = static_cast<double>(total_edges()) /
-                        static_cast<double>(devices.size());
-    return mean > 0 ? static_cast<double>(max_edges) / mean : 1.0;
-  }
+  double imbalance() const { return shard_imbalance(devices); }
 
   std::size_t max_device_peak_bytes() const {
-    std::size_t peak = 0;
-    for (const auto& d : devices) peak = std::max(peak, d.peak_bytes);
-    return peak;
+    return max_shard_peak_bytes(devices);
   }
 };
 
@@ -77,17 +93,27 @@ std::uint32_t edge_shard(std::uint32_t u, std::uint32_t v,
 /// Runs Picasso with the conflict build sharded over simulated devices.
 /// Throws device::DeviceOutOfMemory if a shard exceeds its budget.
 template <graph::GraphOracle Oracle>
+MultiDeviceResult solve_multi_device(const Oracle& oracle,
+                                     const PicassoParams& params,
+                                     const MultiDeviceConfig& config);
+
+/// Deprecated name for solve_multi_device; new code goes through
+/// picasso::api::Session configured with .devices(count, capacity).
+template <graph::GraphOracle Oracle>
+[[deprecated("use picasso::api::Session configured with .devices() instead")]]
 MultiDeviceResult picasso_color_multi_device(const Oracle& oracle,
                                              const PicassoParams& params,
-                                             const MultiDeviceConfig& config);
+                                             const MultiDeviceConfig& config) {
+  return solve_multi_device(oracle, params, config);
+}
 
 // ---------------------------------------------------------------------------
 // Implementation.
 
 template <graph::GraphOracle Oracle>
-MultiDeviceResult picasso_color_multi_device(const Oracle& oracle,
-                                             const PicassoParams& params,
-                                             const MultiDeviceConfig& config) {
+MultiDeviceResult solve_multi_device(const Oracle& oracle,
+                                     const PicassoParams& params,
+                                     const MultiDeviceConfig& config) {
   MultiDeviceResult result;
   result.devices.assign(config.num_devices, {});
 
@@ -109,6 +135,7 @@ MultiDeviceResult picasso_color_multi_device(const Oracle& oracle,
   int iteration = 0;
 
   while (!active.empty() && iteration < params.max_iterations) {
+    detail::throw_if_stopped(params.stop);
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
     const IterationPalette palette = compute_palette(
@@ -261,6 +288,11 @@ MultiDeviceResult picasso_color_multi_device(const Oracle& oracle,
         std::max(coloring.max_conflict_edges, stats.conflict_edges);
     coloring.peak_logical_bytes =
         std::max(coloring.peak_logical_bytes, stats.logical_bytes);
+
+    detail::report_iteration(params.progress, iteration, stats.n_active,
+                             stats.colored, stats.uncolored,
+                             stats.conflict_edges);
+
     base_color += palette.palette_size;
     active = std::move(next_active);
     ++iteration;

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <stdexcept>
 
 namespace picasso::core {
 
@@ -55,8 +56,19 @@ const char* to_string(PauliBackend backend) noexcept {
   return "?";
 }
 
-PicassoResult picasso_color_pauli(const pauli::PauliSet& set,
-                                  const PicassoParams& params) {
+PauliBackend parse_pauli_backend(std::string_view name) {
+  for (PauliBackend backend :
+       {PauliBackend::Auto, PauliBackend::Scalar, PauliBackend::Packed,
+        PauliBackend::PackedScalar}) {
+    if (name == to_string(backend)) return backend;
+  }
+  throw std::invalid_argument(
+      "unknown Pauli backend '" + std::string(name) +
+      "' (valid: auto, scalar, packed, packed-scalar)");
+}
+
+PicassoResult solve_pauli(const pauli::PauliSet& set,
+                          const PicassoParams& params) {
   // The encoded input is the in-memory driver's resident floor; charge it
   // before the run scope rebases the peaks so it is part of the baseline.
   util::ScopedCharge input_charge(util::MemSubsystem::PauliInput,
@@ -64,46 +76,34 @@ PicassoResult picasso_color_pauli(const pauli::PauliSet& set,
   switch (resolve_backend(params.pauli_backend)) {
     case PauliBackend::Scalar: {
       const graph::ComplementOracle oracle(set);
-      return picasso_color(oracle, params);
+      return solve_oracle(oracle, params);
     }
     case PauliBackend::PackedScalar: {
       // The packed view borrows the set's symplectic planes: no extra bytes.
       const graph::PackedComplementOracle oracle(set.packed_view(),
                                                  pauli::SimdLevel::Scalar);
-      return picasso_color(oracle, params);
+      return solve_oracle(oracle, params);
     }
     default: {
       const graph::PackedComplementOracle oracle(set.packed_view(),
                                                  pauli::SimdLevel::Auto);
-      return picasso_color(oracle, params);
+      return solve_oracle(oracle, params);
     }
   }
 }
 
-PicassoResult picasso_color_csr(const graph::CsrGraph& g,
-                                const PicassoParams& params) {
-  const graph::CsrOracle oracle(g);
-  return picasso_color(oracle, params);
-}
-
-PicassoResult picasso_color_dense(const graph::DenseGraph& g,
-                                  const PicassoParams& params) {
-  const graph::DenseOracle oracle(g);
-  return picasso_color(oracle, params);
-}
-
 // Pin the common instantiations into this translation unit.
-template PicassoResult picasso_color<graph::ComplementOracle>(
+template PicassoResult solve_oracle<graph::ComplementOracle>(
     const graph::ComplementOracle&, const PicassoParams&);
-template PicassoResult picasso_color<graph::PackedComplementOracle>(
+template PicassoResult solve_oracle<graph::PackedComplementOracle>(
     const graph::PackedComplementOracle&, const PicassoParams&);
-template PicassoResult picasso_color<graph::AnticommuteOracle>(
+template PicassoResult solve_oracle<graph::AnticommuteOracle>(
     const graph::AnticommuteOracle&, const PicassoParams&);
-template PicassoResult picasso_color<graph::QwcComplementOracle>(
+template PicassoResult solve_oracle<graph::QwcComplementOracle>(
     const graph::QwcComplementOracle&, const PicassoParams&);
-template PicassoResult picasso_color<graph::CsrOracle>(const graph::CsrOracle&,
-                                                       const PicassoParams&);
-template PicassoResult picasso_color<graph::DenseOracle>(
+template PicassoResult solve_oracle<graph::CsrOracle>(const graph::CsrOracle&,
+                                                      const PicassoParams&);
+template PicassoResult solve_oracle<graph::DenseOracle>(
     const graph::DenseOracle&, const PicassoParams&);
 
 }  // namespace picasso::core

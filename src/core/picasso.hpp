@@ -15,11 +15,13 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/conflict_graph.hpp"
 #include "core/list_coloring.hpp"
 #include "core/palette.hpp"
+#include "core/solve_control.hpp"
 #include "device/device_context.hpp"
 #include "graph/oracles.hpp"
 #include "runtime/arena.hpp"
@@ -42,6 +44,12 @@ enum class PauliBackend {
 };
 
 const char* to_string(PauliBackend backend) noexcept;
+
+/// Inverse of to_string(PauliBackend): parses "auto" / "scalar" / "packed" /
+/// "packed-scalar". Throws std::invalid_argument naming the valid spellings
+/// on anything else — the CLI and config loaders surface that message
+/// verbatim.
+PauliBackend parse_pauli_backend(std::string_view name);
 
 constexpr PauliBackend resolve_backend(PauliBackend backend) noexcept {
   return backend == PauliBackend::Auto ? PauliBackend::Packed : backend;
@@ -79,6 +87,14 @@ struct PicassoParams {
   /// its chunk cache under it and spills the Pauli input to disk, re-reading
   /// chunks on demand, so the cap actually binds.
   std::size_t memory_budget_bytes = 0;
+  /// Cooperative cancellation: checked at iteration boundaries in every
+  /// driver and between chunk-pair scans in the chunked engine. A requested
+  /// stop raises SolveCancelled; the default token never fires. See
+  /// core/solve_control.hpp.
+  StopToken stop;
+  /// Per-iteration (and, in the chunked engine, per-chunk-pair) progress
+  /// callback, invoked from the solving thread. Empty = no reporting.
+  ProgressFn progress;
 };
 
 /// Unified memory telemetry for one run: the registry's per-subsystem
@@ -150,15 +166,39 @@ struct PicassoResult {
   }
 };
 
-/// Runs Picasso against any adjacency oracle.
+/// Runs Picasso against any adjacency oracle — the core engine every public
+/// entry point (api/session.hpp) ultimately drives.
 template <graph::GraphOracle Oracle>
-PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params);
+PicassoResult solve_oracle(const Oracle& oracle, const PicassoParams& params);
 
-// Convenience entry points for the library's standard oracles.
+/// Engine behind the Pauli entry point: picks the anticommutation oracle for
+/// params.pauli_backend and runs solve_oracle. Charges the encoded input to
+/// MemSubsystem::PauliInput for the duration of the run.
+PicassoResult solve_pauli(const pauli::PauliSet& set,
+                          const PicassoParams& params);
+
+// ---------------------------------------------------------------------------
+// Legacy free-function surface. These are thin [[deprecated]] shims kept so
+// existing callers keep compiling; new code goes through picasso::api::
+// Session (api/session.hpp), which plans in-memory / streamed / sharded
+// execution from one configuration and returns the plan alongside the
+// result. Each shim delegates to the Session pipeline (or directly to the
+// engine it wraps, for the template entry points) and is bit-identical to
+// its pre-deprecation behavior — the differential suite pins this.
+
+template <graph::GraphOracle Oracle>
+[[deprecated("use picasso::api::Session with Problem::oracle() instead")]]
+PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
+  return solve_oracle(oracle, params);
+}
+
+[[deprecated("use picasso::api::Session with Problem::pauli() instead")]]
 PicassoResult picasso_color_pauli(const pauli::PauliSet& set,
                                   const PicassoParams& params);
+[[deprecated("use picasso::api::Session with Problem::csr() instead")]]
 PicassoResult picasso_color_csr(const graph::CsrGraph& g,
                                 const PicassoParams& params);
+[[deprecated("use picasso::api::Session with Problem::dense() instead")]]
 PicassoResult picasso_color_dense(const graph::DenseGraph& g,
                                   const PicassoParams& params);
 
@@ -166,7 +206,7 @@ PicassoResult picasso_color_dense(const graph::DenseGraph& g,
 // Implementation.
 
 template <graph::GraphOracle Oracle>
-PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
+PicassoResult solve_oracle(const Oracle& oracle, const PicassoParams& params) {
   util::WallTimer total_timer;
   util::MemoryRegistry& memory = util::global_memory();
   util::MemoryRunScope run_scope(params.memory_budget_bytes, memory);
@@ -182,6 +222,7 @@ PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
   int iteration = 0;
 
   while (!active.empty() && iteration < params.max_iterations) {
+    detail::throw_if_stopped(params.stop);
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
 
@@ -257,6 +298,10 @@ PicassoResult picasso_color(const Oracle& oracle, const PicassoParams& params) {
         std::max(result.max_conflict_edges, stats.conflict_edges);
     result.peak_logical_bytes =
         std::max(result.peak_logical_bytes, stats.logical_bytes);
+
+    detail::report_iteration(params.progress, iteration, stats.n_active,
+                             stats.colored, stats.uncolored,
+                             stats.conflict_edges);
 
     base_color += palette.palette_size;
     active = std::move(next_active);

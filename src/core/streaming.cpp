@@ -68,17 +68,28 @@ template <typename Cache, typename MakeRowScan>
 void scan_chunk_pairs(const pauli::ChunkedPauliReader& reader, Cache& cache,
                       const std::vector<std::vector<std::uint32_t>>& active_in,
                       runtime::ThreadPool* pool, unsigned workers,
-                      const PicassoParams& params,
+                      const PicassoParams& params, int iteration,
                       std::vector<std::vector<std::uint32_t>>& parts,
                       util::ScopedCharge& coo_charge,
                       MakeRowScan&& make_row_scan) {
   const std::size_t num_chunks = reader.num_chunks();
+  // Chunk-pair count for progress reporting: k active chunks scan
+  // k * (k + 1) / 2 pairs.
+  std::size_t active_chunks = 0;
+  for (const auto& bucket : active_in) {
+    if (!bucket.empty()) ++active_chunks;
+  }
+  const std::size_t pairs_total = active_chunks * (active_chunks + 1) / 2;
+  std::size_t pairs_done = 0;
   for (std::size_t ci = 0; ci < num_chunks; ++ci) {
     if (active_in[ci].empty()) continue;
     const auto set_a = cache.get(ci);
     const std::size_t begin_a = reader.chunk_begin(ci);
     for (std::size_t cj = ci; cj < num_chunks; ++cj) {
       if (active_in[cj].empty()) continue;
+      // Chunk-boundary checkpoint: a requested stop cancels before the next
+      // pair is loaded or scanned; RAII drops the partial COO partitions.
+      detail::throw_if_stopped(params.stop);
       const auto set_b = cj == ci ? set_a : cache.get(cj);
       const std::size_t begin_b = reader.chunk_begin(cj);
       const auto& us = active_in[ci];
@@ -100,6 +111,15 @@ void scan_chunk_pairs(const pauli::ChunkedPauliReader& reader, Cache& cache,
         coo_bytes += parts[p].capacity() * sizeof(std::uint32_t);
       }
       coo_charge.resize(coo_bytes);
+      ++pairs_done;
+      if (params.progress) {
+        ProgressEvent event;
+        event.stage = ProgressStage::ChunkPairScanned;
+        event.iteration = iteration;
+        event.chunk_pair = pairs_done;
+        event.chunk_pairs_total = pairs_total;
+        params.progress(event);
+      }
     }
   }
 }
@@ -112,10 +132,11 @@ void scan_chunk_pairs_scalar(
     const std::vector<std::vector<std::uint32_t>>& active_in,
     const std::vector<std::uint32_t>& active, const ColorLists& lists,
     runtime::ThreadPool* pool, unsigned workers, const PicassoParams& params,
-    std::vector<std::vector<std::uint32_t>>& parts,
+    int iteration, std::vector<std::vector<std::uint32_t>>& parts,
     util::ScopedCharge& coo_charge) {
   scan_chunk_pairs(
-      reader, cache, active_in, pool, workers, params, parts, coo_charge,
+      reader, cache, active_in, pool, workers, params, iteration, parts,
+      coo_charge,
       [&active, &lists](const pauli::PauliSet& set_a,
                         const pauli::PauliSet& set_b, std::size_t begin_a,
                         std::size_t begin_b) {
@@ -151,7 +172,8 @@ void scan_chunk_pairs_packed(
     const std::vector<std::vector<std::uint32_t>>& active_in,
     const std::vector<std::uint32_t>& active, const ColorLists& lists,
     runtime::ThreadPool* pool, unsigned workers, const PicassoParams& params,
-    pauli::SimdLevel simd, std::vector<std::vector<std::uint32_t>>& parts,
+    int iteration, pauli::SimdLevel simd,
+    std::vector<std::vector<std::uint32_t>>& parts,
     util::ScopedCharge& coo_charge) {
   const std::size_t words = pauli::packed_words(reader.num_qubits());
   const pauli::AnticommuteBlockFn kernel =
@@ -163,7 +185,8 @@ void scan_chunk_pairs_packed(
     BlockScanBuffers buf;
   };
   scan_chunk_pairs(
-      reader, cache, active_in, pool, workers, params, parts, coo_charge,
+      reader, cache, active_in, pool, workers, params, iteration, parts,
+      coo_charge,
       [&active, &lists, words, kernel](const pauli::PackedPauliSet& set_a,
                                        const pauli::PackedPauliSet& set_b,
                                        std::size_t begin_a,
@@ -206,8 +229,8 @@ void scan_chunk_pairs_packed(
 
 }  // namespace
 
-PicassoResult picasso_color_pauli_chunked(
-    const pauli::ChunkedPauliReader& reader, const PicassoParams& params) {
+PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
+                                  const PicassoParams& params) {
   util::WallTimer total_timer;
   util::MemoryRegistry& memory = util::global_memory();
   util::MemoryRunScope run_scope(params.memory_budget_bytes, memory);
@@ -236,6 +259,7 @@ PicassoResult picasso_color_pauli_chunked(
   int iteration = 0;
 
   while (!active.empty() && iteration < params.max_iterations) {
+    detail::throw_if_stopped(params.stop);
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
     const IterationPalette palette = compute_palette(
@@ -277,11 +301,11 @@ PicassoResult picasso_color_pauli_chunked(
                                     memory);
       if (backend == PauliBackend::Scalar) {
         scan_chunk_pairs_scalar(reader, cache, active_in, active, lists, pool,
-                                workers, params, parts, coo_charge);
+                                workers, params, iteration, parts, coo_charge);
       } else {
         scan_chunk_pairs_packed(reader, packed_cache, active_in, active,
-                                lists, pool, workers, params, simd, parts,
-                                coo_charge);
+                                lists, pool, workers, params, iteration, simd,
+                                parts, coo_charge);
       }
       // csr_from_partitions charges its own assembly block (a full COO copy
       // + the CSR rows) and frees the partitions as it folds them in; drop
@@ -334,6 +358,10 @@ PicassoResult picasso_color_pauli_chunked(
     result.peak_logical_bytes =
         std::max(result.peak_logical_bytes, stats.logical_bytes);
 
+    detail::report_iteration(params.progress, iteration, stats.n_active,
+                             stats.colored, stats.uncolored,
+                             stats.conflict_edges);
+
     base_color += palette.palette_size;
     active = std::move(next_active);
     ++iteration;
@@ -365,9 +393,9 @@ PicassoResult picasso_color_pauli_chunked(
   return result;
 }
 
-PicassoResult picasso_color_pauli_budgeted(const pauli::PauliSet& set,
-                                           const PicassoParams& params,
-                                           const StreamingOptions& options) {
+PicassoResult solve_pauli_budgeted(const pauli::PauliSet& set,
+                                   const PicassoParams& params,
+                                   const StreamingOptions& options) {
   const std::size_t budget = params.memory_budget_bytes;
   const std::size_t input_bytes = set.logical_bytes();
   // Stream when asked to (explicit chunk size) or when holding the whole
@@ -375,7 +403,7 @@ PicassoResult picasso_color_pauli_budgeted(const pauli::PauliSet& set,
   // for lists + conflict CSR.
   const bool stream =
       options.chunk_strings > 0 || (budget != 0 && 2 * input_bytes > budget);
-  if (!stream || set.empty()) return picasso_color_pauli(set, params);
+  if (!stream || set.empty()) return solve_pauli(set, params);
 
   std::size_t chunk_strings = options.chunk_strings;
   if (chunk_strings == 0) {
@@ -407,7 +435,7 @@ PicassoResult picasso_color_pauli_budgeted(const pauli::PauliSet& set,
   try {
     const pauli::ChunkedPauliReader reader(spill_path.string(),
                                            chunk_strings);
-    result = picasso_color_pauli_chunked(reader, params);
+    result = solve_pauli_chunked(reader, params);
   } catch (...) {
     std::error_code ec;
     fs::remove(spill_path, ec);

@@ -85,8 +85,17 @@ class FileEdgeStream {
 /// on the same graph: each pass reconstructs exactly the conflict edges the
 /// oracle path would have found.
 template <typename EdgeSource>
+PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
+                           const PicassoParams& params);
+
+/// Deprecated name for solve_stream; new code goes through
+/// picasso::api::Session with Problem::edge_stream().
+template <typename EdgeSource>
+[[deprecated("use picasso::api::Session with Problem::edge_stream() instead")]]
 PicassoResult picasso_color_stream(std::uint32_t n, const EdgeSource& source,
-                                   const PicassoParams& params);
+                                   const PicassoParams& params) {
+  return solve_stream(n, source, params);
+}
 
 // ---------------------------------------------------------------------------
 // Memory-budgeted Pauli streaming pipeline.
@@ -101,19 +110,32 @@ struct StreamingOptions {
   bool keep_spill = false;
 };
 
-/// Memory-budgeted entry point. With no budget and no explicit chunk size
-/// this is exactly picasso_color_pauli; when the encoded set does not fit
-/// comfortably in the budget (or chunk_strings forces it) the set is
-/// spilled to disk and colored through the chunked engine below. The
-/// coloring is bit-identical to picasso_color_pauli for equal params.
-PicassoResult picasso_color_pauli_budgeted(
-    const pauli::PauliSet& set, const PicassoParams& params,
-    const StreamingOptions& options = {});
+/// Memory-budgeted engine. With no budget and no explicit chunk size this
+/// is exactly solve_pauli; when the encoded set does not fit comfortably in
+/// the budget (or chunk_strings forces it) the set is spilled to disk and
+/// colored through the chunked engine below. The coloring is bit-identical
+/// to solve_pauli for equal params.
+PicassoResult solve_pauli_budgeted(const pauli::PauliSet& set,
+                                   const PicassoParams& params,
+                                   const StreamingOptions& options = {});
 
 /// Chunked engine: colors the anticommutation-complement graph of the
 /// spilled Pauli set behind `reader`, holding at most the chunks the
 /// budget admits resident at a time (plus one iteration's lists and the
 /// conflict CSR). Chunk-pair scans run on the configured runtime pool.
+PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
+                                  const PicassoParams& params);
+
+// Deprecated names for the two engines above; new code goes through
+// picasso::api::Session, which plans streaming from the memory budget (or
+// takes a spill file / reader directly via Problem::pauli_spill() /
+// Problem::spill_reader()).
+[[deprecated("use picasso::api::Session with a memory budget instead")]]
+PicassoResult picasso_color_pauli_budgeted(
+    const pauli::PauliSet& set, const PicassoParams& params,
+    const StreamingOptions& options = {});
+
+[[deprecated("use picasso::api::Session with Problem::spill_reader() instead")]]
 PicassoResult picasso_color_pauli_chunked(
     const pauli::ChunkedPauliReader& reader, const PicassoParams& params);
 
@@ -121,8 +143,8 @@ PicassoResult picasso_color_pauli_chunked(
 // Implementation.
 
 template <typename EdgeSource>
-PicassoResult picasso_color_stream(std::uint32_t n, const EdgeSource& source,
-                                   const PicassoParams& params) {
+PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
+                           const PicassoParams& params) {
   util::WallTimer total_timer;
   PicassoResult result;
   result.colors.assign(n, 0xffffffffu);
@@ -141,6 +163,7 @@ PicassoResult picasso_color_stream(std::uint32_t n, const EdgeSource& source,
   int iteration = 0;
 
   while (!active.empty() && iteration < params.max_iterations) {
+    detail::throw_if_stopped(params.stop);
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
     const IterationPalette palette = compute_palette(
@@ -207,6 +230,10 @@ PicassoResult picasso_color_stream(std::uint32_t n, const EdgeSource& source,
         std::max(result.max_conflict_edges, stats.conflict_edges);
     result.peak_logical_bytes =
         std::max(result.peak_logical_bytes, stats.logical_bytes);
+
+    detail::report_iteration(params.progress, iteration, stats.n_active,
+                             stats.colored, stats.uncolored,
+                             stats.conflict_edges);
 
     base_color += palette.palette_size;
     active = std::move(next_active);

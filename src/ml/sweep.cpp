@@ -25,7 +25,7 @@ std::vector<SweepPoint> parameter_sweep(const pauli::PauliSet& set,
       core::PicassoParams params = base;
       params.palette_percent = percent;
       params.alpha = alpha;
-      const core::PicassoResult r = core::picasso_color_pauli(set, params);
+      const core::PicassoResult r = core::solve_pauli(set, params);
       sweep.push_back({percent, alpha, r.num_colors, r.max_conflict_edges,
                        r.total_seconds});
     }

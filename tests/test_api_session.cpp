@@ -1,0 +1,433 @@
+// The public session front-end: builder validation (structured ApiErrors),
+// plan selection (budget forces streaming, a device list forces sharding,
+// spill/stream problems pick their pipelines), cooperative cancellation
+// (including the no-spill-left-behind guarantee), progress reporting,
+// async solves, problem factories, and parse_pauli_backend.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "api/version.hpp"
+#include "coloring/verify.hpp"
+#include "graph/graph_gen.hpp"
+#include "pauli/pauli_stream.hpp"
+#include "util/rng.hpp"
+
+namespace papi = picasso::api;
+namespace pcore = picasso::core;
+namespace pg = picasso::graph;
+namespace pp = picasso::pauli;
+namespace fs = std::filesystem;
+
+namespace {
+
+pp::PauliSet random_set(std::size_t count, std::size_t qubits,
+                        std::uint64_t seed) {
+  picasso::util::Xoshiro256 rng(seed);
+  std::vector<pp::PauliString> strings;
+  for (std::size_t i = 0; i < count; ++i) {
+    pp::PauliString s(qubits);
+    for (std::size_t q = 0; q < qubits; ++q) {
+      s.set_op(q, static_cast<pp::PauliOp>(rng.bounded(4)));
+    }
+    strings.push_back(s);
+  }
+  return pp::PauliSet(strings);
+}
+
+/// Expects fn() to throw ApiError with the given code and field.
+template <typename Fn>
+void expect_api_error(Fn&& fn, papi::ErrorCode code, const std::string& field) {
+  try {
+    fn();
+    FAIL() << "expected ApiError " << to_string(code) << " on " << field;
+  } catch (const papi::ApiError& e) {
+    EXPECT_EQ(e.code(), code) << e.what();
+    EXPECT_EQ(e.field(), field) << e.what();
+  }
+}
+
+}  // namespace
+
+// --- Builder validation ------------------------------------------------------
+
+TEST(SessionBuilder, RejectsOutOfDomainPalette) {
+  for (double bad : {0.0, -3.0, 101.0}) {
+    expect_api_error([&] { papi::SessionBuilder().palette(bad, 2.0).build(); },
+                     papi::ErrorCode::InvalidArgument, "palette_percent");
+  }
+  expect_api_error([&] { papi::SessionBuilder().palette(12.5, 0.0).build(); },
+                   papi::ErrorCode::InvalidArgument, "alpha");
+}
+
+TEST(SessionBuilder, RejectsNonPositiveIterations) {
+  expect_api_error([&] { papi::SessionBuilder().max_iterations(0).build(); },
+                   papi::ErrorCode::InvalidArgument, "max_iterations");
+}
+
+TEST(SessionBuilder, RejectsZeroCapacityDevices) {
+  expect_api_error([&] { papi::SessionBuilder().devices(2, 0).build(); },
+                   papi::ErrorCode::InvalidArgument, "devices");
+}
+
+TEST(SessionBuilder, RejectsMultiDeviceStrategyWithoutDevices) {
+  expect_api_error(
+      [&] {
+        papi::SessionBuilder()
+            .strategy(papi::ExecutionStrategy::MultiDevice)
+            .build();
+      },
+      papi::ErrorCode::InvalidConfiguration, "strategy");
+}
+
+TEST(SessionBuilder, RejectsStreamingStrategyWithoutBudgetOrChunks) {
+  expect_api_error(
+      [&] {
+        papi::SessionBuilder()
+            .strategy(papi::ExecutionStrategy::BudgetedStreaming)
+            .build();
+      },
+      papi::ErrorCode::InvalidConfiguration, "strategy");
+  // Either a budget or an explicit chunk size satisfies it.
+  EXPECT_NO_THROW(papi::SessionBuilder()
+                      .strategy(papi::ExecutionStrategy::BudgetedStreaming)
+                      .memory_budget(1 << 20)
+                      .build());
+  pcore::StreamingOptions options;
+  options.chunk_strings = 64;
+  EXPECT_NO_THROW(papi::SessionBuilder()
+                      .strategy(papi::ExecutionStrategy::BudgetedStreaming)
+                      .streaming(options)
+                      .build());
+}
+
+TEST(SessionBuilder, RejectsDeviceAndDevicesTogether) {
+  picasso::device::DeviceContext ctx(64u << 20);
+  expect_api_error(
+      [&] {
+        papi::SessionBuilder().device(&ctx).devices(2, 64u << 20).build();
+      },
+      papi::ErrorCode::InvalidConfiguration, "devices");
+}
+
+// --- Plan selection ----------------------------------------------------------
+
+TEST(SessionPlan, DefaultsToInMemory) {
+  const auto g = pg::erdos_renyi_dense(60, 0.4, 1);
+  const auto plan = papi::Session().plan(papi::Problem::dense(g));
+  EXPECT_EQ(plan.strategy, papi::ExecutionStrategy::InMemory);
+  EXPECT_EQ(plan.num_devices, 0u);
+}
+
+TEST(SessionPlan, TightBudgetForcesStreamingForPauli) {
+  const auto set = random_set(300, 16, 3);
+  const auto problem = papi::Problem::pauli(set);
+  // Budget below twice the encoded bytes => stream; chunk size derived.
+  const auto tight = papi::SessionBuilder()
+                         .memory_budget(set.logical_bytes())
+                         .build()
+                         .plan(problem);
+  EXPECT_EQ(tight.strategy, papi::ExecutionStrategy::BudgetedStreaming);
+  EXPECT_GT(tight.chunk_strings, 0u);
+  EXPECT_LE(tight.chunk_strings, set.size());
+
+  // A roomy budget keeps it in memory.
+  const auto roomy = papi::SessionBuilder()
+                         .memory_budget(16 * set.logical_bytes())
+                         .build()
+                         .plan(problem);
+  EXPECT_EQ(roomy.strategy, papi::ExecutionStrategy::InMemory);
+}
+
+TEST(SessionPlan, ExplicitChunkSizeForcesStreaming) {
+  const auto set = random_set(100, 10, 5);
+  pcore::StreamingOptions options;
+  options.chunk_strings = 25;
+  const auto plan = papi::SessionBuilder()
+                        .streaming(options)
+                        .build()
+                        .plan(papi::Problem::pauli(set));
+  EXPECT_EQ(plan.strategy, papi::ExecutionStrategy::BudgetedStreaming);
+  EXPECT_EQ(plan.chunk_strings, 25u);
+}
+
+TEST(SessionPlan, DeviceListForcesSharding) {
+  const auto g = pg::erdos_renyi_dense(80, 0.3, 7);
+  const auto plan = papi::SessionBuilder()
+                        .devices(4, 64u << 20)
+                        .build()
+                        .plan(papi::Problem::dense(g));
+  EXPECT_EQ(plan.strategy, papi::ExecutionStrategy::MultiDevice);
+  EXPECT_EQ(plan.num_devices, 4u);
+}
+
+TEST(SessionPlan, ProblemKindPicksItsPipeline) {
+  const auto set = random_set(60, 8, 9);
+  const auto dir = fs::temp_directory_path() / "picasso_api_plan";
+  fs::create_directories(dir);
+  const auto spill = (dir / "plan.pset").string();
+  pp::spill_pauli_set(set, spill);
+
+  const papi::Session session;
+  EXPECT_EQ(session.plan(papi::Problem::pauli_spill(spill)).strategy,
+            papi::ExecutionStrategy::BudgetedStreaming);
+
+  const pp::ChunkedPauliReader reader(spill, 16);
+  const auto reader_plan = session.plan(papi::Problem::spill_reader(reader));
+  EXPECT_EQ(reader_plan.strategy, papi::ExecutionStrategy::BudgetedStreaming);
+  EXPECT_EQ(reader_plan.chunk_strings, 16u);  // the reader's chunking wins
+
+  const pcore::VectorEdgeStream stream({{0, 1}, {1, 2}});
+  EXPECT_EQ(session.plan(papi::Problem::edge_stream(3, stream)).strategy,
+            papi::ExecutionStrategy::SemiStreaming);
+
+  fs::remove_all(dir);
+}
+
+TEST(SessionPlan, ForcedStrategyMismatchThrows) {
+  const auto g = pg::erdos_renyi_dense(40, 0.3, 2);
+  const auto problem = papi::Problem::dense(g);
+  expect_api_error(
+      [&] {
+        papi::SessionBuilder()
+            .strategy(papi::ExecutionStrategy::SemiStreaming)
+            .build()
+            .plan(problem);
+      },
+      papi::ErrorCode::IncompatibleStrategy, "strategy");
+  expect_api_error(
+      [&] {
+        papi::SessionBuilder()
+            .strategy(papi::ExecutionStrategy::BudgetedStreaming)
+            .memory_budget(1 << 20)
+            .build()
+            .plan(problem);
+      },
+      papi::ErrorCode::IncompatibleStrategy, "strategy");
+}
+
+TEST(SessionPlan, ReportCarriesTheExecutedPlan) {
+  const auto set = random_set(200, 12, 11);
+  pcore::StreamingOptions options;
+  options.chunk_strings = 50;
+  const auto report = papi::SessionBuilder()
+                          .streaming(options)
+                          .build()
+                          .solve(papi::Problem::pauli(set));
+  EXPECT_EQ(report.plan.strategy, papi::ExecutionStrategy::BudgetedStreaming);
+  EXPECT_EQ(report.plan.chunk_strings, 50u);
+  EXPECT_TRUE(report.result.memory.streamed);
+  EXPECT_FALSE(report.plan.summary().empty());
+}
+
+// --- Progress and cancellation ----------------------------------------------
+
+TEST(SessionProgress, IterationEventsCoverTheWholeSolve) {
+  const auto g = pg::erdos_renyi_dense(200, 0.4, 21);
+  std::vector<pcore::ProgressEvent> events;
+  papi::SolveOptions options;
+  options.progress = [&events](const pcore::ProgressEvent& e) {
+    events.push_back(e);
+  };
+  const auto report =
+      papi::Session().solve(papi::Problem::dense(g), options);
+  ASSERT_FALSE(events.empty());
+  std::uint32_t colored = 0;
+  int last_iteration = -1;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.stage, pcore::ProgressStage::IterationDone);
+    EXPECT_GT(e.iteration, last_iteration);
+    last_iteration = e.iteration;
+    colored += e.colored;
+  }
+  EXPECT_EQ(events.size(), report.result.iterations.size());
+  // converged => every vertex was colored through an iteration event.
+  ASSERT_TRUE(report.result.converged);
+  EXPECT_EQ(colored, g.num_vertices());
+}
+
+TEST(SessionCancel, PreRequestedStopCancelsImmediately) {
+  const auto g = pg::erdos_renyi_dense(100, 0.4, 23);
+  pcore::StopSource stop;
+  stop.request_stop();
+  papi::SolveOptions options;
+  options.stop = stop.token();
+  EXPECT_THROW(papi::Session().solve(papi::Problem::dense(g), options),
+               pcore::SolveCancelled);
+}
+
+TEST(SessionCancel, MidSolveCancellationStopsAtIterationBoundary) {
+  const auto g = pg::erdos_renyi_dense(300, 0.4, 25);
+  pcore::StopSource stop;
+  papi::SolveOptions options;
+  options.stop = stop.token();
+  int events_seen = 0;
+  options.progress = [&](const pcore::ProgressEvent&) {
+    if (++events_seen == 1) stop.request_stop();
+  };
+  EXPECT_THROW(papi::Session().solve(papi::Problem::dense(g), options),
+               pcore::SolveCancelled);
+  EXPECT_EQ(events_seen, 1);  // no further iterations ran
+}
+
+TEST(SessionCancel, CancelledStreamingSolveLeavesNoSpillFiles) {
+  const auto set = random_set(400, 16, 27);
+  const auto dir = fs::temp_directory_path() / "picasso_api_cancel_spill";
+  fs::remove_all(dir);
+
+  pcore::StreamingOptions streaming;
+  streaming.chunk_strings = 50;  // 8 chunks => 36 pair scans per iteration
+  streaming.spill_dir = dir.string();
+
+  pcore::StopSource stop;
+  papi::SolveOptions options;
+  options.stop = stop.token();
+  options.progress = [&](const pcore::ProgressEvent& e) {
+    // Cancel from deep inside the first conflict build.
+    if (e.stage == pcore::ProgressStage::ChunkPairScanned) stop.request_stop();
+  };
+
+  const auto session = papi::SessionBuilder().streaming(streaming).build();
+  EXPECT_THROW(session.solve(papi::Problem::pauli(set), options),
+               pcore::SolveCancelled);
+
+  // The spill directory exists (the run created it) but holds nothing: the
+  // cancelled solve removed its spill file on unwind.
+  ASSERT_TRUE(fs::exists(dir));
+  EXPECT_TRUE(fs::is_empty(dir));
+  fs::remove_all(dir);
+}
+
+TEST(SessionAsync, CompletesAndReturnsReport) {
+  const auto g = pg::erdos_renyi_dense(150, 0.4, 29);
+  auto async = papi::Session().solve_async(papi::Problem::dense(g));
+  const auto report = async.get();
+  EXPECT_TRUE(picasso::coloring::is_valid_coloring(g, report.result.colors));
+  // Matches the synchronous solve bit for bit.
+  const auto sync = papi::Session().solve(papi::Problem::dense(g));
+  EXPECT_EQ(report.result.colors, sync.result.colors);
+}
+
+TEST(SessionAsync, RequestStopCancelsTheWorker) {
+  const auto g = pg::erdos_renyi_dense(300, 0.4, 31);
+  // Deterministic cancellation: the worker's own first progress event waits
+  // for the handle to be published, then triggers its stop source.
+  std::atomic<papi::AsyncSolve*> handle{nullptr};
+  papi::SolveOptions options;
+  options.progress = [&](const pcore::ProgressEvent&) {
+    papi::AsyncSolve* h = nullptr;
+    while ((h = handle.load()) == nullptr) std::this_thread::yield();
+    h->request_stop();
+  };
+  auto async =
+      papi::Session().solve_async(papi::Problem::dense(g), options);
+  handle.store(&async);
+  EXPECT_THROW(async.get(), pcore::SolveCancelled);
+}
+
+TEST(SessionAsync, CallerSuppliedTokenAlsoCancels) {
+  // solve_async must observe a caller-provided token alongside the
+  // handle's own source, not replace it.
+  const auto g = pg::erdos_renyi_dense(200, 0.4, 33);
+  pcore::StopSource caller;
+  caller.request_stop();  // already stopped: first checkpoint cancels
+  papi::SolveOptions options;
+  options.stop = caller.token();
+  auto async = papi::Session().solve_async(papi::Problem::dense(g), options);
+  EXPECT_THROW(async.get(), pcore::SolveCancelled);
+}
+
+TEST(SessionAsync, BuilderLevelTokenAlsoCancels) {
+  // A session-wide stop_token() composes with the handle's source too.
+  const auto g = pg::erdos_renyi_dense(200, 0.4, 34);
+  pcore::StopSource builder_stop;
+  builder_stop.request_stop();
+  auto async = papi::SessionBuilder()
+                   .stop_token(builder_stop.token())
+                   .build()
+                   .solve_async(papi::Problem::dense(g));
+  EXPECT_THROW(async.get(), pcore::SolveCancelled);
+}
+
+TEST(StopToken, AnyOfObservesEverySource) {
+  pcore::StopSource a, b, c;
+  const auto ab = pcore::StopToken::any_of(a.token(), b.token());
+  const auto abc = pcore::StopToken::any_of(ab, c.token());
+  EXPECT_TRUE(abc.stop_possible());
+  EXPECT_FALSE(abc.stop_requested());
+  c.request_stop();  // the nested source still counts
+  EXPECT_TRUE(abc.stop_requested());
+  EXPECT_FALSE(ab.stop_requested());
+  a.request_stop();
+  EXPECT_TRUE(ab.stop_requested());
+}
+
+// --- Problem factories -------------------------------------------------------
+
+TEST(Problem, FileFactoriesReportStructuredIoErrors) {
+  expect_api_error([] { papi::Problem::matrix_market("/nonexistent/x.mtx"); },
+                   papi::ErrorCode::IoError, "matrix_market");
+  expect_api_error([] { papi::Problem::edge_list("/nonexistent/x.el"); },
+                   papi::ErrorCode::IoError, "edge_list");
+  expect_api_error([] { papi::Problem::pauli_spill("/nonexistent/x.pset"); },
+                   papi::ErrorCode::IoError, "pauli_spill");
+  expect_api_error(
+      [] { papi::Problem::edge_stream_file("/nonexistent/x.el"); },
+      papi::ErrorCode::IoError, "edge_stream_file");
+}
+
+TEST(Problem, IntrospectionMatchesThePayload) {
+  const auto set = random_set(42, 6, 33);
+  const auto problem = papi::Problem::pauli(set);
+  EXPECT_EQ(problem.kind(), papi::ProblemKind::Pauli);
+  EXPECT_EQ(problem.num_vertices(), 42u);
+  EXPECT_EQ(problem.logical_bytes(), set.logical_bytes());
+
+  const auto g = pg::erdos_renyi_dense(30, 0.5, 35);
+  EXPECT_EQ(papi::Problem::dense(g).kind(), papi::ProblemKind::Dense);
+  EXPECT_EQ(papi::Problem::dense(g).num_vertices(), 30u);
+}
+
+TEST(Problem, OwningFactoryKeepsThePayloadAlive) {
+  auto problem = papi::Problem::pauli(random_set(50, 6, 37));
+  const auto report = papi::Session().solve(problem);
+  EXPECT_EQ(report.result.colors.size(), 50u);
+  // A copy shares the payload.
+  const papi::Problem copy = problem;
+  EXPECT_EQ(papi::Session().solve(copy).result.colors,
+            report.result.colors);
+}
+
+// --- parse_pauli_backend and version ----------------------------------------
+
+TEST(ParseBackend, RoundTripsEveryBackend) {
+  for (auto backend :
+       {pcore::PauliBackend::Auto, pcore::PauliBackend::Scalar,
+        pcore::PauliBackend::Packed, pcore::PauliBackend::PackedScalar}) {
+    EXPECT_EQ(pcore::parse_pauli_backend(pcore::to_string(backend)), backend);
+  }
+}
+
+TEST(ParseBackend, RejectsUnknownNamesWithTheValidList) {
+  try {
+    pcore::parse_pauli_backend("avx512");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("avx512"), std::string::npos);
+    EXPECT_NE(message.find("packed-scalar"), std::string::npos);
+  }
+}
+
+TEST(ApiVersion, MacrosAndHelpersAgree) {
+  EXPECT_EQ(papi::kVersionMajor, PICASSO_API_VERSION_MAJOR);
+  EXPECT_STREQ(papi::version_string(), PICASSO_API_VERSION);
+  EXPECT_EQ(PICASSO_API_VERSION_CODE,
+            PICASSO_API_VERSION_MAJOR * 10000 +
+                PICASSO_API_VERSION_MINOR * 100 + PICASSO_API_VERSION_PATCH);
+}

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "api/session.hpp"
 #include "coloring/refine.hpp"
 #include "coloring/verify.hpp"
 #include "core/clique_partition.hpp"
@@ -22,6 +23,7 @@ namespace pp = picasso::pauli;
 namespace pg = picasso::graph;
 namespace pc = picasso::coloring;
 namespace pcore = picasso::core;
+namespace papi = picasso::api;
 
 namespace {
 
@@ -178,8 +180,10 @@ TEST_P(StreamingEquivalence, MatchesOracleDriverExactly) {
   params.palette_percent = percent;
   params.seed = seed;
   const auto streamed =
-      pcore::picasso_color_stream(g.num_vertices(), stream, params);
-  const auto oracled = pcore::picasso_color_csr(g, params);
+      papi::Session::from_params(params)
+          .solve(papi::Problem::edge_stream(g.num_vertices(), stream))
+          .result;
+  const auto oracled = papi::Session::from_params(params).solve(papi::Problem::csr(g)).result;
   EXPECT_EQ(streamed.colors, oracled.colors);
   EXPECT_EQ(streamed.num_colors, oracled.num_colors);
   EXPECT_EQ(streamed.iterations.size(), oracled.iterations.size());
@@ -202,8 +206,10 @@ TEST(Streaming, FileStreamNeverHoldsTheGraph) {
   pcore::PicassoParams params;
   params.seed = 11;
   const auto streamed =
-      pcore::picasso_color_stream(stream.num_vertices(), stream, params);
-  const auto oracled = pcore::picasso_color_csr(g, params);
+      papi::Session::from_params(params)
+          .solve(papi::Problem::edge_stream(stream.num_vertices(), stream))
+          .result;
+  const auto oracled = papi::Session::from_params(params).solve(papi::Problem::csr(g)).result;
   EXPECT_EQ(streamed.colors, oracled.colors);
   std::filesystem::remove(path);
 }
@@ -231,8 +237,11 @@ TEST(Streaming, ValidOnPauliDerivedEdges) {
   params.palette_percent = 40.0;
   params.alpha = 30.0;
   params.seed = 3;
-  const auto r = pcore::picasso_color_stream(
-      static_cast<std::uint32_t>(set.size()), stream, params);
+  const auto r =
+      papi::Session::from_params(params)
+          .solve(papi::Problem::edge_stream(
+              static_cast<std::uint32_t>(set.size()), stream))
+          .result;
   EXPECT_TRUE(pc::is_valid_coloring_oracle(oracle, r.colors));
 }
 
@@ -259,20 +268,21 @@ TEST_P(MultiDeviceSweep, ColoringMatchesSingleDeviceDriver) {
   pcore::PicassoParams params;
   params.seed = 13;
 
-  const auto single = pcore::picasso_color_dense(g, params);
-  pcore::MultiDeviceConfig config;
-  config.num_devices = num_devices;
-  config.device_capacity_bytes = 64u << 20;
-  const auto multi = pcore::picasso_color_multi_device(oracle, params, config);
+  const auto single = papi::Session::from_params(params).solve(papi::Problem::dense(g)).result;
+  const auto multi = papi::SessionBuilder()
+                         .params(params)
+                         .devices(num_devices, 64u << 20)
+                         .build()
+                         .solve(papi::Problem::oracle(oracle));
 
-  EXPECT_EQ(multi.coloring.colors, single.colors);
+  EXPECT_EQ(multi.result.colors, single.colors);
   EXPECT_EQ(multi.devices.size(), num_devices);
   // Shards cover all conflict edges across all iterations.
   std::uint64_t iter_edges = 0;
-  for (const auto& it : multi.coloring.iterations) {
+  for (const auto& it : multi.result.iterations) {
     iter_edges += it.conflict_edges;
   }
-  EXPECT_EQ(multi.total_edges(), iter_edges);
+  EXPECT_EQ(multi.total_shard_edges(), iter_edges);
 }
 
 INSTANTIATE_TEST_SUITE_P(DeviceCounts, MultiDeviceSweep,
@@ -284,15 +294,19 @@ TEST(MultiDevice, LoadIsReasonablyBalancedAndPeaksShrink) {
   pcore::PicassoParams params;
   params.seed = 17;
 
-  pcore::MultiDeviceConfig one;
-  one.num_devices = 1;
-  const auto single = pcore::picasso_color_multi_device(oracle, params, one);
+  const auto single = papi::SessionBuilder()
+                          .params(params)
+                          .devices(1, 256u << 20)
+                          .build()
+                          .solve(papi::Problem::oracle(oracle));
 
-  pcore::MultiDeviceConfig four;
-  four.num_devices = 4;
-  const auto sharded = pcore::picasso_color_multi_device(oracle, params, four);
+  const auto sharded = papi::SessionBuilder()
+                           .params(params)
+                           .devices(4, 256u << 20)
+                           .build()
+                           .solve(papi::Problem::oracle(oracle));
 
-  EXPECT_LT(sharded.imbalance(), 1.3);
+  EXPECT_LT(sharded.shard_imbalance(), 1.3);
   // Per-device peak drops substantially (not exactly 1/4: counters are
   // replicated per device).
   EXPECT_LT(sharded.max_device_peak_bytes(),
@@ -305,10 +319,11 @@ TEST(MultiDevice, TinyBudgetThrows) {
   pcore::PicassoParams params;
   params.palette_percent = 5.0;
   params.alpha = 4.0;
-  pcore::MultiDeviceConfig config;
-  config.num_devices = 2;
-  config.device_capacity_bytes = 8 << 10;  // 8 KB: cannot hold the counters
-  EXPECT_THROW(pcore::picasso_color_multi_device(oracle, params, config),
+  const auto session = papi::SessionBuilder()
+                           .params(params)
+                           .devices(2, 8 << 10)  // 8 KB: cannot hold counters
+                           .build();
+  EXPECT_THROW(session.solve(papi::Problem::oracle(oracle)),
                picasso::device::DeviceOutOfMemory);
 }
 
@@ -348,7 +363,7 @@ TEST(Refine, OracleOverloadImprovesPicassoOutput) {
   const pg::ComplementOracle oracle(set);
   pcore::PicassoParams params;
   params.seed = 23;
-  auto r = pcore::picasso_color_pauli(set, params);
+  auto r = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
   const std::uint32_t before = r.num_colors;
   const auto refined = pc::iterated_greedy_refine_oracle(oracle, r.colors, 3);
   EXPECT_LE(refined.colors_after, before);
@@ -377,9 +392,9 @@ TEST(AutoKernel, ProducesIdenticalColoringsToBothKernels) {
     params.alpha = alpha;
     params.seed = 29;
     params.kernel = pcore::ConflictKernel::Auto;
-    const auto auto_r = pcore::picasso_color_dense(g, params);
+    const auto auto_r = papi::Session::from_params(params).solve(papi::Problem::dense(g)).result;
     params.kernel = pcore::ConflictKernel::Reference;
-    const auto ref_r = pcore::picasso_color_dense(g, params);
+    const auto ref_r = papi::Session::from_params(params).solve(papi::Problem::dense(g)).result;
     EXPECT_EQ(auto_r.colors, ref_r.colors);
   }
 }

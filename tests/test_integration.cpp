@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/session.hpp"
 #include "coloring/greedy.hpp"
 #include "coloring/verify.hpp"
 #include "core/clique_partition.hpp"
@@ -17,6 +18,7 @@ namespace pp = picasso::pauli;
 namespace pg = picasso::graph;
 namespace pc = picasso::coloring;
 namespace pcore = picasso::core;
+namespace papi = picasso::api;
 
 namespace {
 
@@ -53,7 +55,7 @@ TEST(Integration, PicassoMatchesExplicitGraphColoringValidity) {
   const pg::ComplementOracle oracle(set);
   const auto dense = pg::materialize_dense(oracle);
 
-  const auto r = pcore::picasso_color_pauli(set, {});
+  const auto r = papi::Session::from_params({}).solve(papi::Problem::pauli(set)).result;
   EXPECT_TRUE(pc::is_valid_coloring(dense, r.colors));
   EXPECT_TRUE(pc::is_valid_coloring_oracle(oracle, r.colors));
 }
@@ -64,15 +66,15 @@ TEST(Integration, AllExecutionPathsProduceTheSameColoring) {
   params.seed = 5;
 
   params.kernel = pcore::ConflictKernel::Indexed;
-  const auto indexed = pcore::picasso_color_pauli(set, params);
+  const auto indexed = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
   params.kernel = pcore::ConflictKernel::Reference;
-  const auto reference = pcore::picasso_color_pauli(set, params);
+  const auto reference = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
   EXPECT_EQ(indexed.colors, reference.colors);
 
   picasso::device::DeviceContext ctx(512u << 20);
   params.device = &ctx;
   params.kernel = pcore::ConflictKernel::Indexed;
-  const auto device = pcore::picasso_color_pauli(set, params);
+  const auto device = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
   EXPECT_EQ(indexed.colors, device.colors);
 }
 
@@ -83,7 +85,7 @@ TEST(Integration, PicassoPeakMemoryBeatsExplicitCsr) {
   const pg::ComplementOracle oracle(set);
   const auto csr = pg::materialize_csr(oracle);
 
-  const auto r = pcore::picasso_color_pauli(set, {});
+  const auto r = papi::Session::from_params({}).solve(papi::Problem::pauli(set)).result;
   EXPECT_LT(r.peak_logical_bytes, csr.logical_bytes())
       << "Picasso peak " << r.peak_logical_bytes << " vs CSR "
       << csr.logical_bytes();
@@ -106,7 +108,7 @@ TEST(Integration, PicassoQualityIsWithinRangeOfGreedyBaselines) {
   pcore::PicassoParams aggressive;
   aggressive.palette_percent = 3.0;
   aggressive.alpha = 30.0;
-  const auto r = pcore::picasso_color_pauli(set, aggressive);
+  const auto r = papi::Session::from_params(aggressive).solve(papi::Problem::pauli(set)).result;
   EXPECT_LT(r.num_colors,
             static_cast<std::uint32_t>(1.25 * static_cast<double>(best_greedy)))
       << "picasso " << r.num_colors << " vs best greedy " << best_greedy;
@@ -119,7 +121,7 @@ TEST(Integration, DatasetRegistrySmallEntriesAreColorable) {
     const auto& set = pp::load_dataset(spec);
     pcore::PicassoParams params;
     params.seed = 2;
-    const auto r = pcore::picasso_color_pauli(set, params);
+    const auto r = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
     const pg::ComplementOracle oracle(set);
     EXPECT_TRUE(pc::is_valid_coloring_oracle(oracle, r.colors)) << spec.name;
     EXPECT_LT(r.color_percent(), 50.0) << spec.name;

@@ -7,12 +7,14 @@
 #include <thread>
 #include <vector>
 
+#include "api/session.hpp"
 #include "core/picasso.hpp"
 #include "graph/graph_gen.hpp"
 #include "util/memory.hpp"
 
 namespace pu = picasso::util;
 namespace pcore = picasso::core;
+namespace papi = picasso::api;
 namespace pg = picasso::graph;
 
 TEST(MemoryRegistry, HighWaterMarkPerSubsystemAndTotal) {
@@ -142,7 +144,7 @@ TEST(MemoryReport, PicassoRunFillsSubsystemPeaks) {
   pcore::PicassoParams params;
   params.seed = 5;
   params.memory_budget_bytes = 256 << 20;
-  const auto r = pcore::picasso_color_dense(g, params);
+  const auto r = papi::Session::from_params(params).solve(papi::Problem::dense(g)).result;
   EXPECT_EQ(r.memory.budget_bytes, 256u << 20);
   EXPECT_TRUE(r.memory.within_budget());
   EXPECT_GT(r.memory.peak_tracked_bytes, 0u);
@@ -168,7 +170,7 @@ TEST(MemoryReport, TrackedListsPeakMatchesDriverAccounting) {
   const auto g = pg::erdos_renyi_dense(300, 0.4, 9);
   pcore::PicassoParams params;
   params.seed = 2;
-  const auto r = pcore::picasso_color_dense(g, params);
+  const auto r = papi::Session::from_params(params).solve(papi::Problem::dense(g)).result;
   std::size_t expected = 0;
   for (const auto& it : r.iterations) {
     // List entries plus the one-word-per-vertex palette signatures the

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <complex>
 
+#include "api/session.hpp"
 #include "coloring/greedy.hpp"
 #include "coloring/jones_plassmann.hpp"
 #include "coloring/speculative.hpp"
@@ -24,6 +25,7 @@ namespace pp = picasso::pauli;
 namespace pg = picasso::graph;
 namespace pc = picasso::coloring;
 namespace pcore = picasso::core;
+namespace papi = picasso::api;
 
 namespace {
 
@@ -167,7 +169,7 @@ TEST(Lemma2, ConflictFractionFallsWithVertexCount) {
     const auto g = pg::erdos_renyi_dense(n, 0.5, 13);
     pcore::PicassoParams params;
     params.seed = 13;
-    const auto r = pcore::picasso_color_dense(g, params);
+    const auto r = papi::Session::from_params(params).solve(papi::Problem::dense(g)).result;
     const double fraction = static_cast<double>(r.max_conflict_edges) /
                             static_cast<double>(g.num_edges());
     EXPECT_LT(fraction, previous_fraction) << "n=" << n;
@@ -198,7 +200,7 @@ TEST_P(AllColorers, AgreeOnValidityAcrossTheBoard) {
   check(pc::speculative_color(g).colors, "speculative");
   pcore::PicassoParams params;
   params.seed = seed;
-  check(pcore::picasso_color_dense(g, params).colors, "picasso");
+  check(papi::Session::from_params(params).solve(papi::Problem::dense(g)).result.colors, "picasso");
 }
 
 TEST_P(AllColorers, PicassoColorCountIsAtMostPaletteTotalAndAtLeastClique) {
@@ -209,7 +211,7 @@ TEST_P(AllColorers, PicassoColorCountIsAtMostPaletteTotalAndAtLeastClique) {
   params.seed = seed;
   params.palette_percent = 30.0;
   params.alpha = 4.0;
-  const auto r = pcore::picasso_color_dense(g, params);
+  const auto r = papi::Session::from_params(params).solve(papi::Problem::dense(g)).result;
   EXPECT_GE(r.num_colors, 12u);
   EXPECT_LE(r.num_colors, r.palette_total);
   const pg::DenseOracle oracle(g);

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "core/picasso.hpp"
 #include "core/streaming.hpp"
 #include "graph/graph_gen.hpp"
@@ -28,6 +29,7 @@
 #include "util/rng.hpp"
 
 namespace pcore = picasso::core;
+namespace papi = picasso::api;
 namespace pp = picasso::pauli;
 namespace pg = picasso::graph;
 namespace pu = picasso::util;
@@ -130,11 +132,11 @@ TEST(DifferentialProperties, PauliBackendsAgreeAndColoringsAreConflictFree) {
     }
 
     params.pauli_backend = pcore::PauliBackend::Scalar;
-    const auto ref = pcore::picasso_color_pauli(set, params);
+    const auto ref = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
     params.pauli_backend = pcore::PauliBackend::Packed;
-    const auto pk = pcore::picasso_color_pauli(set, params);
+    const auto pk = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
     params.pauli_backend = pcore::PauliBackend::PackedScalar;
-    const auto pks = pcore::picasso_color_pauli(set, params);
+    const auto pks = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
 
     ASSERT_EQ(pk.colors, ref.colors) << key;
     ASSERT_EQ(pks.colors, ref.colors) << key;
@@ -159,7 +161,7 @@ TEST(DifferentialProperties, RmatColoringsAreConflictFreeAndStreamsAgree) {
                             std::to_string(g.num_edges()) + " seed=" +
                             std::to_string(params.seed);
 
-    const auto ref = pcore::picasso_color_csr(g, params);
+    const auto ref = papi::Session::from_params(params).solve(papi::Problem::csr(g)).result;
     ASSERT_TRUE(coloring_conflict_free_graph(g, ref.colors)) << key;
 
     // The one-pass-per-iteration edge-stream driver sees the same conflict
@@ -173,7 +175,9 @@ TEST(DifferentialProperties, RmatColoringsAreConflictFreeAndStreamsAgree) {
     }
     const pcore::VectorEdgeStream stream(std::move(edge_list));
     const auto streamed =
-        pcore::picasso_color_stream(g.num_vertices(), stream, params);
+        papi::Session::from_params(params)
+            .solve(papi::Problem::edge_stream(g.num_vertices(), stream))
+            .result;
     ASSERT_EQ(streamed.colors, ref.colors) << key;
   }
 }
@@ -197,7 +201,7 @@ TEST(DifferentialProperties, StreamingAgreesUnderRandomBudgetsAndThreads) {
         std::to_string(qubits) + " seed=" + std::to_string(params.seed) +
         " backend=" + pcore::to_string(params.pauli_backend);
 
-    const auto ref = pcore::picasso_color_pauli(set, params);
+    const auto ref = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
 
     pcore::StreamingOptions options;
     options.chunk_strings = 1 + rng.bounded(n);  // [1, n]
@@ -213,7 +217,7 @@ TEST(DifferentialProperties, StreamingAgreesUnderRandomBudgetsAndThreads) {
     params.runtime.serial_cutoff = 0;  // engage the pool even at these sizes
 
     const auto streamed =
-        pcore::picasso_color_pauli_budgeted(set, params, options);
+        papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
     ASSERT_TRUE(streamed.memory.streamed) << key;
     ASSERT_EQ(streamed.colors, ref.colors)
         << key << " chunk=" << options.chunk_strings

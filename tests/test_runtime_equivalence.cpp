@@ -1,7 +1,7 @@
 // Serial-vs-parallel equivalence: with RuntimeConfig::deterministic (the
 // default), every runtime-powered path must be bit-identical to the serial
 // num_threads = 1 reference — the conflict CSR (both kernels), the full
-// picasso_color driver, Jones-Plassmann, and the multi-device driver — on
+// core solve_oracle driver, Jones-Plassmann, and the multi-device driver — on
 // every test graph family. This is the contract that lets the paper's
 // tables be reproduced at any thread count.
 
@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/session.hpp"
 #include "coloring/jones_plassmann.hpp"
 #include "coloring/verify.hpp"
 #include "core/multi_device.hpp"
@@ -20,6 +21,7 @@
 #include "runtime/runtime_config.hpp"
 
 namespace pcore = picasso::core;
+namespace papi = picasso::api;
 namespace pg = picasso::graph;
 namespace pc = picasso::coloring;
 namespace rt = picasso::runtime;
@@ -117,11 +119,11 @@ TEST_P(PicassoEquivalenceFamilies, ColorsBitIdenticalAcrossThreadCounts) {
   params.runtime = serial_config();
 
   auto run_both = [&params](const auto& oracle) {
-    const auto serial = pcore::picasso_color(oracle, params);
+    const auto serial = papi::Session::from_params(params).solve(papi::Problem::oracle(oracle)).result;
     for (std::uint32_t threads : {2u, 4u}) {
       auto p = params;
       p.runtime = parallel_config(threads);
-      const auto parallel = pcore::picasso_color(oracle, p);
+      const auto parallel = papi::Session::from_params(p).solve(papi::Problem::oracle(oracle)).result;
       EXPECT_EQ(serial.colors, parallel.colors) << threads << " threads";
       EXPECT_EQ(serial.num_colors, parallel.num_colors);
       EXPECT_EQ(serial.palette_total, parallel.palette_total);
@@ -179,9 +181,9 @@ TEST(PicassoEquivalence, AggressiveConfigAndReferenceKernel) {
   params.kernel = pcore::ConflictKernel::Reference;
   params.seed = 11;
   params.runtime = serial_config();
-  const auto serial = pcore::picasso_color(oracle, params);
+  const auto serial = papi::Session::from_params(params).solve(papi::Problem::oracle(oracle)).result;
   params.runtime = parallel_config(4);
-  const auto parallel = pcore::picasso_color(oracle, params);
+  const auto parallel = papi::Session::from_params(params).solve(papi::Problem::oracle(oracle)).result;
   EXPECT_EQ(serial.colors, parallel.colors);
 }
 
@@ -222,23 +224,26 @@ TEST(MultiDeviceEquivalence, ConcurrentShardsMatchSerialAndSingleDevice) {
   const pg::CsrOracle oracle(g);
   pcore::PicassoParams params;
   params.seed = 2;
-  pcore::MultiDeviceConfig config;
-  config.num_devices = 3;
-  config.device_capacity_bytes = 64u << 20;
+  auto sharded_solve = [&g](const pcore::PicassoParams& p) {
+    return papi::SessionBuilder()
+        .params(p)
+        .devices(3, 64u << 20)
+        .build()
+        .solve(papi::Problem::csr(g));
+  };
 
   params.runtime = serial_config();
-  const auto serial = pcore::picasso_color_multi_device(oracle, params, config);
+  const auto serial = sharded_solve(params);
   // Multi-device coloring must equal the plain single-driver coloring...
-  const auto single = pcore::picasso_color(oracle, params);
-  EXPECT_EQ(serial.coloring.colors, single.colors);
+  const auto single = papi::Session::from_params(params).solve(papi::Problem::oracle(oracle)).result;
+  EXPECT_EQ(serial.result.colors, single.colors);
 
   // ...and the concurrent-shard run must equal both, with identical
   // per-device edge routing and deterministic per-device peaks.
   for (std::uint32_t threads : {2u, 4u}) {
     params.runtime = parallel_config(threads);
-    const auto parallel =
-        pcore::picasso_color_multi_device(oracle, params, config);
-    EXPECT_EQ(serial.coloring.colors, parallel.coloring.colors);
+    const auto parallel = sharded_solve(params);
+    EXPECT_EQ(serial.result.colors, parallel.result.colors);
     ASSERT_EQ(serial.devices.size(), parallel.devices.size());
     for (std::size_t d = 0; d < serial.devices.size(); ++d) {
       EXPECT_EQ(serial.devices[d].edges, parallel.devices[d].edges) << d;

@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "api/session.hpp"
 #include "coloring/verify.hpp"
 #include "core/picasso.hpp"
 #include "core/streaming.hpp"
@@ -19,6 +20,7 @@
 #include "util/rng.hpp"
 
 namespace pcore = picasso::core;
+namespace papi = picasso::api;
 namespace pp = picasso::pauli;
 namespace pg = picasso::graph;
 namespace pc = picasso::coloring;
@@ -161,13 +163,13 @@ TEST_P(StreamingEquivalence, ChunkSizeDoesNotChangeTheColoring) {
   pcore::PicassoParams params;
   params.seed = 11;
 
-  const auto reference = pcore::picasso_color_pauli(set, params);
+  const auto reference = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
 
   pcore::StreamingOptions options;
   options.chunk_strings = chunk_strings;  // forces the streaming engine
   options.spill_dir = temp_spill_dir().string();
   const auto streamed =
-      pcore::picasso_color_pauli_budgeted(set, params, options);
+      papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
 
   EXPECT_TRUE(streamed.memory.streamed);
   EXPECT_EQ(streamed.colors, reference.colors);
@@ -194,7 +196,7 @@ TEST(StreamingPipeline, SinglePassAndMultiPassAreBitIdentical) {
   pcore::StreamingOptions one_chunk;
   one_chunk.chunk_strings = set.size();
   one_chunk.spill_dir = temp_spill_dir().string();
-  const auto single = pcore::picasso_color_pauli_budgeted(set, params, one_chunk);
+  const auto single = papi::SessionBuilder().params(params).streaming(one_chunk).build().solve(papi::Problem::pauli(set)).result;
   EXPECT_EQ(single.memory.num_chunks, 1u);
 
   // Multi pass: tiny chunks under a budget that cannot hold them all, so
@@ -203,7 +205,7 @@ TEST(StreamingPipeline, SinglePassAndMultiPassAreBitIdentical) {
   pcore::StreamingOptions small_chunks;
   small_chunks.chunk_strings = 32;
   small_chunks.spill_dir = temp_spill_dir().string();
-  const auto multi = pcore::picasso_color_pauli_budgeted(set, params, small_chunks);
+  const auto multi = papi::SessionBuilder().params(params).streaming(small_chunks).build().solve(papi::Problem::pauli(set)).result;
   EXPECT_GT(multi.memory.num_chunks, 4u);
   EXPECT_GT(multi.memory.chunk_loads, multi.memory.num_chunks)
       << "a budget this small must force at least one re-scan";
@@ -224,9 +226,9 @@ TEST(StreamingPipeline, ParallelChunkScanMatchesSerial) {
   options.spill_dir = temp_spill_dir().string();
 
   params.runtime.num_threads = 1;
-  const auto serial = pcore::picasso_color_pauli_budgeted(set, params, options);
+  const auto serial = papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
   params.runtime.num_threads = 4;
-  const auto parallel = pcore::picasso_color_pauli_budgeted(set, params, options);
+  const auto parallel = papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
 
   EXPECT_EQ(serial.colors, parallel.colors);
   EXPECT_EQ(serial.num_colors, parallel.num_colors);
@@ -239,7 +241,7 @@ TEST(StreamingPipeline, EmptyPauliSet) {
   const pp::PauliSet empty;
   pcore::PicassoParams params;
   params.memory_budget_bytes = 1 << 20;
-  const auto r = pcore::picasso_color_pauli_budgeted(empty, params);
+  const auto r = papi::Session::from_params(params).solve(papi::Problem::pauli(empty)).result;
   EXPECT_TRUE(r.colors.empty());
   EXPECT_EQ(r.num_colors, 0u);
   EXPECT_TRUE(r.converged);
@@ -250,14 +252,14 @@ TEST(StreamingPipeline, BudgetSmallerThanOneChunkStillColors) {
   const auto set = random_set(200, 10, 31);
   pcore::PicassoParams params;
   params.seed = 13;
-  const auto reference = pcore::picasso_color_pauli(set, params);
+  const auto reference = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
 
   // A 1-byte budget cannot admit any chunk: the cache must degrade to
   // load-scan-evict (recording over-budget events) instead of failing.
   params.memory_budget_bytes = 1;
   pcore::StreamingOptions options;
   options.spill_dir = temp_spill_dir().string();
-  const auto r = pcore::picasso_color_pauli_budgeted(set, params, options);
+  const auto r = papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
   EXPECT_TRUE(r.memory.streamed);
   EXPECT_EQ(r.colors, reference.colors);
   EXPECT_FALSE(r.memory.within_budget());
@@ -268,10 +270,10 @@ TEST(StreamingPipeline, UnbudgetedRunDelegatesToInMemoryDriver) {
   const auto set = random_set(150, 9, 41);
   pcore::PicassoParams params;
   params.seed = 19;
-  const auto r = pcore::picasso_color_pauli_budgeted(set, params);
+  const auto r = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
   EXPECT_FALSE(r.memory.streamed);
   EXPECT_EQ(r.memory.spill_bytes, 0u);
-  EXPECT_EQ(r.colors, pcore::picasso_color_pauli(set, params).colors);
+  EXPECT_EQ(r.colors, papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result.colors);
 }
 
 TEST(StreamingPipeline, GenerousBudgetStaysWithinItAndKeepsInputResident) {
@@ -279,7 +281,7 @@ TEST(StreamingPipeline, GenerousBudgetStaysWithinItAndKeepsInputResident) {
   pcore::PicassoParams params;
   params.seed = 53;
   params.memory_budget_bytes = 64 << 20;
-  const auto r = pcore::picasso_color_pauli_budgeted(set, params);
+  const auto r = papi::Session::from_params(params).solve(papi::Problem::pauli(set)).result;
   EXPECT_TRUE(r.memory.within_budget());
   EXPECT_GT(r.memory.peak_tracked_bytes, 0u);
   EXPECT_EQ(r.memory.over_budget_events, 0u);
@@ -291,7 +293,7 @@ TEST(StreamingPipeline, SpillFileIsRemovedByDefaultAndKeptOnRequest) {
   pcore::StreamingOptions options;
   options.chunk_strings = 16;
   options.spill_dir = (temp_spill_dir() / "spill_keep").string();
-  pcore::picasso_color_pauli_budgeted(set, params, options);
+  papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
   // Default: directory holds no leftover spill files.
   std::size_t pset_files = 0;
   for (const auto& e :
@@ -301,7 +303,7 @@ TEST(StreamingPipeline, SpillFileIsRemovedByDefaultAndKeptOnRequest) {
   EXPECT_EQ(pset_files, 0u);
 
   options.keep_spill = true;
-  pcore::picasso_color_pauli_budgeted(set, params, options);
+  papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
   pset_files = 0;
   for (const auto& e :
        std::filesystem::directory_iterator(options.spill_dir)) {
@@ -317,7 +319,7 @@ TEST(StreamingPipeline, ReportCountsChunksAndSpillBytes) {
   pcore::StreamingOptions options;
   options.chunk_strings = 64;
   options.spill_dir = temp_spill_dir().string();
-  const auto r = pcore::picasso_color_pauli_budgeted(set, params, options);
+  const auto r = papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
   EXPECT_EQ(r.memory.num_chunks, 4u);
   EXPECT_GE(r.memory.chunk_loads, 4u);
   EXPECT_GT(r.memory.spill_bytes, 0u);
