@@ -80,15 +80,21 @@ int main() {
                    util::Table::fmt(ref.conflict_seconds, 3),
                    util::Table::fmt(idx.conflict_seconds, 3),
                    util::Table::fmt(aut.conflict_seconds, 3),
+                   // Label with blocked_oracle=true: the Auto timing run
+                   // above goes through the packed (block-capable) oracle,
+                   // so this is the crossover it actually resolved with.
                    core::to_string(core::resolve_kernel(
                        core::ConflictKernel::Auto, palette.palette_size,
-                       palette.list_size))});
+                       palette.list_size, /*blocked_oracle=*/true))});
   }
   table.print("Kernel ablation: build time vs alpha (identical colorings checked)");
   std::printf(
-      "\nShape: indexed wins while L^2/P < 1, reference wins beyond it, and\n"
-      "Auto follows the winner across the crossover — the policy Picasso\n"
-      "defaults to.\n");
+      "\nShape: indexed wins while L^2/P is small, reference wins beyond\n"
+      "the crossover, and Auto follows the winner — with the packed\n"
+      "(block-capable) oracle the model moves the switch to L^2/P >= 1/%llu\n"
+      "(core::kBlockedOraclePairCost), since batched SIMD answers make\n"
+      "reference slots cheaper than the index's per-pair merges.\n",
+      static_cast<unsigned long long>(core::kBlockedOraclePairCost));
 
   // ------------------------------------------------------------------
   // Part 2: packed-vs-scalar anticommutation backends. Single-threaded so

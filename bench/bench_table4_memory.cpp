@@ -13,6 +13,8 @@
 // Kokkos-EB is the most memory-hungry explicit tool; the ratio grows with
 // instance size.
 
+#include <algorithm>
+
 #include "api/session.hpp"
 #include "bench_common.hpp"
 #include "coloring/greedy.hpp"
@@ -26,10 +28,11 @@ int main() {
   bench::print_banner("Table IV", "peak memory on the small dataset");
 
   util::Table table({"problem", "|V|", "ColPack*", "Picasso Norm.",
-                     "Picasso Aggr.", "Kokkos-EB*", "ECL-GC-R*",
-                     "ColPack/Norm"});
+                     "Picasso Fused", "Picasso Aggr.", "Kokkos-EB*",
+                     "ECL-GC-R*", "ColPack/Norm"});
 
   util::RunningStats ratios;
+  util::RunningStats fused_time_ratios;  // fused / materialized-indexed time
   for (const auto& spec : pauli::datasets_in_class(pauli::SizeClass::Small)) {
     const auto& set = pauli::load_dataset(spec);
     const graph::ComplementOracle oracle(set);
@@ -47,24 +50,61 @@ int main() {
     const std::size_t kokkos = 2 * csr + 6 * n * sizeof(std::uint32_t);
     const std::size_t eclgc = csr + n * (sizeof(std::uint64_t) + 3 * sizeof(std::uint32_t));
 
-    auto picasso_peak = [&](double percent, double alpha, const char* tag) {
+    // Single-threaded so the tracked peak is machine-independent — these
+    // records feed the CI regression gate. The materialized run pins the
+    // Indexed kernel (the optimised CSR build) so the fused timing ratio
+    // below is against the strongest CSR path.
+    auto run = [&](double percent, double alpha, bool fused) {
       core::PicassoParams params;
       params.palette_percent = percent;
       params.alpha = alpha;
       params.seed = 1;
-      // Single-threaded so the tracked peak is machine-independent — these
-      // records feed the CI regression gate.
       params.runtime.num_threads = 1;
-      const auto r =
-          api::Session::from_params(params).solve(api::Problem::pauli(set))
-              .result;
-      bench::emit_json_record("table4_memory",
-                              spec.name + std::string("/") + tag, r.memory);
-      // Picasso's working set: encoded input + per-iteration structures.
-      return set.logical_bytes() + r.peak_logical_bytes;
+      auto builder = api::SessionBuilder().params(params);
+      if (fused) {
+        builder.strategy(api::ExecutionStrategy::Fused);
+      } else {
+        builder.kernel(core::ConflictKernel::Indexed);
+      }
+      return builder.build().solve(api::Problem::pauli(set)).result;
     };
-    const std::size_t norm = picasso_peak(12.5, 2.0, "normal");
-    const std::size_t aggr = picasso_peak(3.0, 30.0, "aggressive");
+    auto emit = [&](const core::PicassoResult& r, const std::string& tag) {
+      char extra[64];
+      std::snprintf(extra, sizeof(extra), "\"seconds\":%.6f",
+                    r.total_seconds);
+      bench::emit_json_record("table4_memory", spec.name + "/" + tag,
+                              r.memory, extra);
+    };
+
+    const auto norm_r = run(12.5, 2.0, false);
+    emit(norm_r, "normal");
+    const auto fused_r = run(12.5, 2.0, true);
+    emit(fused_r, "normal_fused");
+    if (fused_r.colors != norm_r.colors) {
+      std::fprintf(stderr,
+                   "FATAL: fused coloring diverged from materialized on %s\n",
+                   spec.name.c_str());
+      return 1;
+    }
+    fused_time_ratios.add(fused_r.total_seconds /
+                          std::max(1e-9, norm_r.total_seconds));
+    const auto aggr_r = run(3.0, 30.0, false);
+    emit(aggr_r, "aggressive");
+    const auto aggr_fused_r = run(3.0, 30.0, true);
+    emit(aggr_fused_r, "aggressive_fused");
+    if (aggr_fused_r.colors != aggr_r.colors) {
+      std::fprintf(stderr,
+                   "FATAL: fused coloring diverged from materialized on %s "
+                   "(aggressive)\n",
+                   spec.name.c_str());
+      return 1;
+    }
+
+    // Working sets: encoded input + per-iteration structures.
+    const std::size_t norm = set.logical_bytes() + norm_r.peak_logical_bytes;
+    const std::size_t fused =
+        set.logical_bytes() + fused_r.peak_logical_bytes;
+    const std::size_t aggr = set.logical_bytes() + aggr_r.peak_logical_bytes;
 
     const double ratio =
         static_cast<double>(colpack) / static_cast<double>(norm);
@@ -72,6 +112,7 @@ int main() {
     table.add_row({spec.name,
                    util::Table::fmt_int(static_cast<long long>(n)),
                    util::Table::fmt_bytes(colpack), util::Table::fmt_bytes(norm),
+                   util::Table::fmt_bytes(fused),
                    util::Table::fmt_bytes(aggr), util::Table::fmt_bytes(kokkos),
                    util::Table::fmt_bytes(eclgc),
                    util::Table::fmt(ratio, 1) + "x"});
@@ -80,10 +121,15 @@ int main() {
   std::printf(
       "\n*Explicit-graph tools: resident complement CSR + algorithm\n"
       " auxiliaries (see source for the accounting). Picasso columns are\n"
-      " measured peaks: encoded input + lists + conflict CSR + buckets.\n"
+      " measured peaks: encoded input + lists + conflict CSR + buckets;\n"
+      " the Fused column colors edge-free off the palette buckets and\n"
+      " never stages a conflict CSR at all (colorings bit-identical).\n"
       "ColPack/Picasso-Normal ratio: geomean %.1fx, max %.1fx\n"
-      "(paper: 14-68x depending on instance, growing with size).\n",
-      ratios.geomean(), util::max_of(ratios.values()));
+      "(paper: 14-68x depending on instance, growing with size).\n"
+      "Fused/Indexed-CSR end-to-end time: geomean %.2fx (<= 1 expected:\n"
+      "strikes visit only still-uncolored bucket members).\n",
+      ratios.geomean(), util::max_of(ratios.values()),
+      fused_time_ratios.geomean());
 
   // ------------------------------------------------------------------
   // Memory-budgeted streaming pipeline on the H6 datasets, two regimes:
@@ -111,9 +157,12 @@ int main() {
         // Force streaming (either budget keeps the small H6 encoding
         // resident otherwise) with ~16 chunks per dataset.
         options.chunk_strings = (set.size() + 15) / 16;
+        // Strategy pinned: these rows measure the materialized chunk-pair
+        // engine (Auto escalates the 256 KiB cap to fused nowadays).
         const auto r = api::SessionBuilder()
                            .params(params)
                            .streaming(options)
+                           .strategy(api::ExecutionStrategy::BudgetedStreaming)
                            .build()
                            .solve(api::Problem::pauli(set))
                            .result;
@@ -131,6 +180,32 @@ int main() {
         bench::emit_json_record(
             "table4_memory", spec.name + "/" + tag, r.memory,
             "\"colors\":" + std::to_string(r.num_colors));
+
+        // Fused twin: same spill + chunk cache, but bucket strikes replace
+        // the chunk-pair CSR assembly entirely.
+        const auto f = api::SessionBuilder()
+                           .params(params)
+                           .streaming(options)
+                           .strategy(api::ExecutionStrategy::Fused)
+                           .build()
+                           .solve(api::Problem::pauli(set))
+                           .result;
+        if (f.colors != r.colors) {
+          std::fprintf(stderr,
+                       "FATAL: fused streamed coloring diverged on %s\n",
+                       spec.name.c_str());
+          return 1;
+        }
+        std::printf(
+            "%-24s peak %-10s (fused) within=%-3s chunks=%zu loads=%llu\n",
+            (spec.name + "/fused").c_str(),
+            util::format_bytes(f.memory.peak_tracked_bytes, peak_buf,
+                               sizeof(peak_buf)),
+            f.memory.within_budget() ? "yes" : "NO", f.memory.num_chunks,
+            static_cast<unsigned long long>(f.memory.chunk_loads));
+        bench::emit_json_record(
+            "table4_memory", spec.name + "/" + tag + "_fused", f.memory,
+            "\"colors\":" + std::to_string(f.num_colors));
       }
       if (bench::quick_mode()) break;  // one H6 instance is enough for CI
     }

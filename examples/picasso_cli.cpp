@@ -14,7 +14,13 @@
 //   --seed S        RNG seed (default 1)
 //   --mode M        partition relation: unitary | commute | qwc
 //   --backend B     Pauli backend: auto | scalar | packed | packed-scalar
-//   --budget BYTES  memory budget (0 = unlimited; may plan streaming)
+//   --strategy S    execution strategy: auto | in-memory (inmemory) |
+//                   budgeted-streaming (streaming) | semi-streaming |
+//                   multi-device | fused. Applies to `color` and (for
+//                   unitary mode) `partition`; `fused` colors edge-free off
+//                   the palette buckets, never building the conflict CSR.
+//   --budget BYTES  memory budget (0 = unlimited; may plan streaming or
+//                   the fused engine)
 //   --mtx           color: parse --file as MatrixMarket (auto-detected for
 //                   .mtx extensions)
 //   --stream        color: re-read the file per pass (semi-streaming mode)
@@ -22,8 +28,10 @@
 //   --csv           machine-readable output where supported
 //
 // Exit codes: 0 success, 1 runtime failure (unreadable input, invalid
-// result), 2 usage error (unknown command/flag/value). Every failure prints
-// exactly one diagnostic line to stderr.
+// result), 2 usage error (unknown command/flag/value, or a flag
+// combination the session planner rejects — invalid-argument /
+// invalid-configuration / incompatible-strategy ApiErrors). Every failure
+// prints exactly one diagnostic line to stderr.
 //
 // Examples:
 //   picasso_cli partition H6_2D_sto3g --percent 3 --alpha 30
@@ -65,6 +73,7 @@ struct CliOptions {
   std::uint64_t seed = 1;
   core::GroupingMode mode = core::GroupingMode::Unitary;
   core::PauliBackend backend = core::PauliBackend::Auto;
+  api::ExecutionStrategy strategy = api::ExecutionStrategy::Auto;
   std::size_t budget_bytes = 0;
   bool mtx = false;
   bool stream = false;
@@ -75,8 +84,9 @@ struct CliOptions {
 const char* kUsage =
     "usage: picasso_cli <list|info|partition|color|sweep> [target] "
     "[--percent P] [--alpha A] [--seed S] [--mode unitary|commute|qwc] "
-    "[--backend auto|scalar|packed|packed-scalar] [--budget BYTES] "
-    "[--file path] [--mtx] [--stream] [--refine] [--csv]";
+    "[--backend auto|scalar|packed|packed-scalar] "
+    "[--strategy auto|inmemory|streaming|semi-streaming|multi-device|fused] "
+    "[--budget BYTES] [--file path] [--mtx] [--stream] [--refine] [--csv]";
 
 double parse_double(const char* flag, const std::string& text) {
   char* end = nullptr;
@@ -140,6 +150,13 @@ CliOptions parse_args(int argc, char** argv) {
       } catch (const std::invalid_argument& e) {
         throw UsageError(e.what());
       }
+    } else if (arg == "--strategy") {
+      // parse_strategy's invalid_argument lists the valid spellings.
+      try {
+        opt.strategy = api::parse_strategy(next("--strategy"));
+      } catch (const std::invalid_argument& e) {
+        throw UsageError(e.what());
+      }
     } else if (arg == "--mtx") {
       opt.mtx = true;
     } else if (arg == "--stream") {
@@ -173,7 +190,10 @@ core::PicassoParams params_from(const CliOptions& opt) {
 /// class as an unparsable flag.
 api::Session session_from(const CliOptions& opt) {
   try {
-    return api::SessionBuilder().params(params_from(opt)).build();
+    return api::SessionBuilder()
+        .params(params_from(opt))
+        .strategy(opt.strategy)
+        .build();
   } catch (const api::ApiError& e) {
     throw UsageError(e.what());
   }
@@ -216,11 +236,23 @@ int cmd_info(const CliOptions& opt) {
 
 int cmd_partition(const CliOptions& opt) {
   if (opt.target.empty()) throw UsageError("partition requires a dataset name");
-  session_from(opt);  // validate numeric flags eagerly (UsageError on bad ones)
+  // Validates numeric flags eagerly (UsageError on bad ones).
+  const api::Session session = session_from(opt);
   const auto& spec = pauli::dataset_by_name(opt.target);
   const auto& set = pauli::load_dataset(spec);
-  const auto result =
-      core::partition_pauli_strings(set, params_from(opt), opt.mode);
+  core::PartitionResult result;
+  if (opt.strategy == api::ExecutionStrategy::Auto) {
+    result = core::partition_pauli_strings(set, params_from(opt), opt.mode);
+  } else if (opt.mode == core::GroupingMode::Unitary) {
+    // A forced strategy routes the coloring through the session planner
+    // (e.g. --strategy fused colors edge-free); grouping is unchanged.
+    result.coloring = session.solve(api::Problem::pauli(set)).result;
+    result.groups = core::groups_from_coloring(set, result.coloring.colors);
+  } else {
+    throw UsageError(
+        "--strategy overrides apply to unitary partitioning only; commute/qwc "
+        "run the default pipeline");
+  }
   const std::string violation =
       core::verify_partition(set, result.groups, opt.mode);
   if (!violation.empty()) {
@@ -341,7 +373,18 @@ int main(int argc, char** argv) {
     return 2;
   } catch (const picasso::api::ApiError& e) {
     std::fprintf(stderr, "picasso_cli: %s\n", e.what());
-    return 1;
+    // Configuration-class errors (a flag combination the planner rejects,
+    // e.g. --stream with --strategy fused) are operator mistakes -> usage
+    // exit code; IO and internal failures stay runtime errors.
+    switch (e.code()) {
+      case picasso::api::ErrorCode::InvalidArgument:
+      case picasso::api::ErrorCode::InvalidConfiguration:
+      case picasso::api::ErrorCode::IncompatibleStrategy:
+        std::fprintf(stderr, "%s\n", kUsage);
+        return 2;
+      default:
+        return 1;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "picasso_cli: error: %s\n", e.what());
     return 1;

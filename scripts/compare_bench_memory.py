@@ -13,7 +13,12 @@ Records are keyed by (bench, name). The gate fails when
     --tolerance (default 10%), or
   * a record that was within_budget in the baseline is over budget now, or
   * a baseline record is missing from the current run (coverage loss),
-    unless --allow-missing is given.
+    unless --allow-missing is given, or
+  * a fused-engine record (name ending in "_fused") has a materialized
+    sibling in the current run and its TOTAL peak-tracked bytes do not stay
+    strictly below the sibling's conflict_csr subsystem high-water mark, or
+    the fused run charged conflict_csr at all — the edge-free contract of
+    the fused engine, gated on the Table-4 dataset records.
 
 New records (present now, absent from the baseline) are reported but do not
 fail the gate — refresh the baseline to start tracking them.
@@ -92,13 +97,45 @@ def main():
     for key in sorted(set(current) - set(baseline)):
         print(f"new        {key[0]}/{key[1]}: not in baseline (refresh to track)")
 
+    # Fused-engine contract: a "<name>_fused" record's whole tracked peak
+    # must undercut its materialized sibling's conflict_csr HWM alone, and a
+    # fused run must never charge conflict_csr.
+    fused_checked = 0
+    for (bench, name), row in sorted(current.items()):
+        if not name.endswith("_fused"):
+            continue
+        label = f"{bench}/{name}"
+        subsystems = row.get("report", {}).get("subsystems", {})
+        if subsystems.get("conflict_csr", 0):
+            failures.append(
+                f"FUSED    {label}: charged conflict_csr "
+                f"({subsystems['conflict_csr']} B) — the engine must be edge-free")
+            continue
+        sibling = current.get((bench, name[: -len("_fused")]))
+        if sibling is None:
+            continue
+        csr_hwm = sibling.get("report", {}).get("subsystems", {}).get(
+            "conflict_csr", 0)
+        if not csr_hwm:
+            continue
+        fused_checked += 1
+        fused_peak = row.get("peak_tracked_bytes", 0)
+        if fused_peak >= csr_hwm:
+            failures.append(
+                f"FUSED    {label}: peak {fused_peak} B not below the "
+                f"materialized conflict_csr HWM {csr_hwm} B")
+        else:
+            print(f"fused ok   {label}: peak {fused_peak} B < "
+                  f"materialized conflict_csr {csr_hwm} B")
+
     if failures:
         print("\nbench memory gate FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
     print(f"\nbench memory gate passed "
-          f"({len(baseline)} records, tolerance +{args.tolerance:.0%})")
+          f"({len(baseline)} records, {fused_checked} fused-vs-materialized "
+          f"checks, tolerance +{args.tolerance:.0%})")
     return 0
 
 

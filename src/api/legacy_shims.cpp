@@ -44,14 +44,12 @@ PicassoResult picasso_color_dense(const graph::DenseGraph& g,
 PicassoResult picasso_color_pauli_budgeted(const pauli::PauliSet& set,
                                            const PicassoParams& params,
                                            const StreamingOptions& options) {
-  // Auto planning reproduces the engine's own stream-or-not gate, so this
-  // matches the historical fallback-to-in-memory behavior exactly.
-  return api::SessionBuilder()
-      .params(params)
-      .streaming(options)
-      .build()
-      .solve(api::Problem::pauli(set))
-      .result;
+  // Pinned to the materialized budgeted engine (not Auto planning): the
+  // planner may nowadays escalate tight-budget solves to the fused
+  // streaming engine, but this shim's contract is the historical behavior
+  // — the engine's own stream-or-not gate, chunk-pair scans, conflict-CSR
+  // telemetry and all.
+  return solve_pauli_budgeted(set, params, options);
 }
 
 PicassoResult picasso_color_pauli_chunked(

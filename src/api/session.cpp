@@ -56,8 +56,25 @@ const char* to_string(ExecutionStrategy strategy) noexcept {
     case ExecutionStrategy::BudgetedStreaming: return "budgeted-streaming";
     case ExecutionStrategy::SemiStreaming: return "semi-streaming";
     case ExecutionStrategy::MultiDevice: return "multi-device";
+    case ExecutionStrategy::Fused: return "fused";
   }
   return "?";
+}
+
+ExecutionStrategy parse_strategy(std::string_view name) {
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::Auto, ExecutionStrategy::InMemory,
+        ExecutionStrategy::BudgetedStreaming, ExecutionStrategy::SemiStreaming,
+        ExecutionStrategy::MultiDevice, ExecutionStrategy::Fused}) {
+    if (name == to_string(strategy)) return strategy;
+  }
+  // CLI shorthands.
+  if (name == "inmemory") return ExecutionStrategy::InMemory;
+  if (name == "streaming") return ExecutionStrategy::BudgetedStreaming;
+  throw std::invalid_argument(
+      "unknown execution strategy '" + std::string(name) +
+      "' (valid: auto, in-memory (inmemory), budgeted-streaming (streaming), "
+      "semi-streaming, multi-device, fused)");
 }
 
 std::string SolvePlan::summary() const {
@@ -106,6 +123,13 @@ Session SessionBuilder::build() const {
                    "BudgetedStreaming requires .memory_budget(bytes) or "
                    "streaming chunk_strings");
   }
+  if (session_.strategy_ == ExecutionStrategy::Fused &&
+      (p.device != nullptr || session_.num_devices_ > 0)) {
+    throw ApiError(ErrorCode::InvalidConfiguration, "strategy",
+                   "the Fused strategy colors straight off the oracle and "
+                   "does not run the simulated-device pipelines; drop "
+                   ".device()/.devices() or pick another strategy");
+  }
   return session_;
 }
 
@@ -125,6 +149,18 @@ SolvePlan Session::plan(const Problem& problem) const {
     if (kind == ProblemKind::SpillFile || kind == ProblemKind::SpillReader) {
       strategy = ExecutionStrategy::BudgetedStreaming;
       plan.reason = "problem is spill-backed";
+      // Same escalation as the Pauli spill gate below: honor the cap with
+      // the fused streaming engine when the projected CSR would not fit.
+      if (params_.memory_budget_bytes > 0 && n > 0 &&
+          core::projected_conflict_csr_bytes(static_cast<std::uint32_t>(n),
+                                             params_.palette_percent,
+                                             params_.alpha) >
+              params_.memory_budget_bytes) {
+        strategy = ExecutionStrategy::Fused;
+        plan.reason =
+            "spill-backed input + projected conflict CSR exceeds the memory "
+            "budget";
+      }
     } else if (kind == ProblemKind::EdgeStream) {
       strategy = ExecutionStrategy::SemiStreaming;
       plan.reason = "problem is an edge stream";
@@ -141,6 +177,29 @@ SolvePlan Session::plan(const Problem& problem) const {
       plan.reason = streaming_.chunk_strings > 0
                         ? "explicit chunk size forces streaming"
                         : "encoded input exceeds half the memory budget";
+      // Escalate to the fused streaming engine when even the projected
+      // conflict-CSR assembly would blow the budget: the materialized
+      // chunk-pair engine would honor the spill but not the cap. When the
+      // CSR fits, the materialized engine keeps its I/O-optimal ordered
+      // chunk-pair scans (fused strikes load chunks on demand).
+      if (params_.memory_budget_bytes > 0 &&
+          core::projected_conflict_csr_bytes(static_cast<std::uint32_t>(n),
+                                             params_.palette_percent,
+                                             params_.alpha) >
+              params_.memory_budget_bytes) {
+        strategy = ExecutionStrategy::Fused;
+        plan.reason =
+            "spilled input + projected conflict CSR exceeds the memory budget";
+      }
+    } else if (oracle_capable(kind) && params_.device == nullptr && n > 0 &&
+               params_.memory_budget_bytes > 0 &&
+               core::projected_conflict_csr_bytes(
+                   static_cast<std::uint32_t>(n), params_.palette_percent,
+                   params_.alpha) > params_.memory_budget_bytes) {
+      // The input fits, but materialising the conflict CSR would not: color
+      // edge-free off the palette buckets instead of building it.
+      strategy = ExecutionStrategy::Fused;
+      plan.reason = "projected conflict CSR exceeds the memory budget";
     } else {
       strategy = ExecutionStrategy::InMemory;
       plan.reason = "input fits the configuration in memory";
@@ -182,6 +241,15 @@ SolvePlan Session::plan(const Problem& problem) const {
                            to_string(kind) + " problem");
       }
       break;
+    case ExecutionStrategy::Fused:
+      if (!oracle_capable(kind) && kind != ProblemKind::SpillFile &&
+          kind != ProblemKind::SpillReader) {
+        throw ApiError(ErrorCode::IncompatibleStrategy, "strategy",
+                       std::string("Fused needs an oracle-capable or "
+                                   "spill-backed problem, got ") +
+                           to_string(kind));
+      }
+      break;
     case ExecutionStrategy::Auto:
       break;  // resolved above
   }
@@ -191,6 +259,23 @@ SolvePlan Session::plan(const Problem& problem) const {
     if (kind == ProblemKind::SpillReader) {
       plan.chunk_strings = problem.reader().strings_per_chunk();
     } else {
+      plan.chunk_strings =
+          planned_chunk_strings(streaming_.chunk_strings,
+                                params_.memory_budget_bytes, per_string, n);
+    }
+  } else if (strategy == ExecutionStrategy::Fused) {
+    // A fused solve streams only when spill-backed input or the budgeted
+    // engine's own gate forces it; chunk_strings == 0 means the in-memory
+    // fused engine runs. Mirrors solve_pauli_budgeted_fused so plan ==
+    // execution.
+    if (kind == ProblemKind::SpillReader) {
+      plan.chunk_strings = problem.reader().strings_per_chunk();
+    } else if (kind == ProblemKind::SpillFile ||
+               (kind == ProblemKind::Pauli &&
+                (streaming_.chunk_strings > 0 ||
+                 (params_.memory_budget_bytes > 0 &&
+                  2 * problem.logical_bytes() >
+                      params_.memory_budget_bytes)))) {
       plan.chunk_strings =
           planned_chunk_strings(streaming_.chunk_strings,
                                 params_.memory_budget_bytes, per_string, n);
@@ -265,6 +350,53 @@ SolveReport Session::solve(const Problem& problem,
       report.result = core::solve_stream(problem.num_vertices(),
                                          problem.edge_source(), params);
       break;
+    case ExecutionStrategy::Fused: {
+      switch (problem.kind()) {
+        case ProblemKind::Pauli: {
+          // The budgeted-fused wrapper re-evaluates the planned chunking and
+          // falls back to the in-memory fused engine when nothing forces a
+          // spill (plan.chunk_strings == 0).
+          core::StreamingOptions options_with_chunk = streaming_;
+          options_with_chunk.chunk_strings = report.plan.chunk_strings;
+          report.result = core::solve_pauli_budgeted_fused(
+              problem.pauli_set(), params, options_with_chunk);
+          break;
+        }
+        case ProblemKind::SpillReader:
+          report.result =
+              core::solve_pauli_chunked_fused(problem.reader(), params);
+          break;
+        case ProblemKind::SpillFile: {
+          const pauli::ChunkedPauliReader reader(problem.path(),
+                                                 report.plan.chunk_strings);
+          report.result = core::solve_pauli_chunked_fused(reader, params);
+          break;
+        }
+        case ProblemKind::PackedPauli: {
+          const pauli::PackedPauliSet& set = problem.packed_set();
+          util::ScopedCharge input_charge(util::MemSubsystem::PauliInput,
+                                          set.logical_bytes());
+          const graph::PackedComplementOracle oracle(
+              set.view(), simd_for(params.pauli_backend));
+          report.result = core::solve_fused(oracle, params);
+          break;
+        }
+        case ProblemKind::Csr: {
+          const graph::CsrOracle oracle(problem.csr_graph());
+          report.result = core::solve_fused(oracle, params);
+          break;
+        }
+        case ProblemKind::Dense: {
+          const graph::DenseOracle oracle(problem.dense_graph());
+          report.result = core::solve_fused(oracle, params);
+          break;
+        }
+        default:
+          report.result = core::solve_fused(problem.oracle_ref(), params);
+          break;
+      }
+      break;
+    }
     case ExecutionStrategy::MultiDevice: {
       core::MultiDeviceConfig config;
       config.num_devices = num_devices_;

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <future>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/problem.hpp"
@@ -34,6 +35,7 @@
 #include "core/multi_device.hpp"
 #include "core/picasso.hpp"
 #include "core/solve_control.hpp"
+#include "core/solve_fused.hpp"
 #include "core/streaming.hpp"
 
 namespace picasso::api {
@@ -47,9 +49,19 @@ enum class ExecutionStrategy {
   BudgetedStreaming,  // spill + chunked pair-scan under the memory budget
   SemiStreaming,      // one edge pass per iteration over an edge stream
   MultiDevice,        // conflict build sharded over simulated devices
+  Fused,              // edge-free engine: no conflict CSR is ever built
+                      // (spills + strikes off chunked records when the
+                      // budget/chunking forces streaming)
 };
 
 const char* to_string(ExecutionStrategy strategy) noexcept;
+
+/// Inverse of to_string(ExecutionStrategy): parses "auto" / "in-memory" /
+/// "budgeted-streaming" / "semi-streaming" / "multi-device" / "fused" (plus
+/// the CLI shorthands "inmemory" and "streaming"). Throws
+/// std::invalid_argument naming the valid spellings on anything else — the
+/// CLI surfaces that message verbatim with exit code 2.
+ExecutionStrategy parse_strategy(std::string_view name);
 
 /// The execution decision solve() made (or plan() previews), returned
 /// alongside the result.

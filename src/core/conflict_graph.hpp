@@ -42,19 +42,35 @@ enum class ConflictKernel {
   Auto,       // Indexed when lists are sparse in the palette, else Reference
 };
 
+/// Relative per-examined-pair cost of the indexed kernel when the oracle is
+/// block-capable (edge_block). The reference scan answers its survivors
+/// through the batched SIMD kernel (~4-8x cheaper per pair at the kernel
+/// level, bench_ablation_kernels part 2), while the indexed kernel's dedup
+/// runs a per-pair list merge plus a per-pair oracle call it cannot batch —
+/// so with a packed backend the index must win by a wider margin before it
+/// beats the all-pairs scan.
+inline constexpr std::uint64_t kBlockedOraclePairCost = 4;
+
 /// Cost model for Auto: the indexed kernel examines ~n^2 L^2 / (2P) pair
 /// slots, the reference kernel n^2/2 — the index only pays off while
-/// L^2 < P. In the aggressive regime (L ~ P) every vertex sits in every
+/// c * L^2 < P, where c is the indexed kernel's per-pair cost relative to
+/// the reference scan's (1 for per-pair oracles, kBlockedOraclePairCost for
+/// block-capable SIMD oracles, whose batched answers make reference slots
+/// cheaper). In the aggressive regime (L ~ P) every vertex sits in every
 /// color bucket and the index degenerates, so Auto falls back to the
-/// all-pairs scan there.
+/// all-pairs scan there. The conflict builders pass `blocked_oracle` from
+/// the oracle's static capability, which is how the Pauli backend choice
+/// (PauliBackend::Packed vs Scalar) reaches the heuristic.
 constexpr ConflictKernel resolve_kernel(ConflictKernel kernel,
                                         std::uint32_t palette_size,
-                                        std::uint32_t list_size) noexcept {
+                                        std::uint32_t list_size,
+                                        bool blocked_oracle = false) noexcept {
   if (kernel != ConflictKernel::Auto) return kernel;
-  const std::uint64_t l2 =
-      static_cast<std::uint64_t>(list_size) * list_size;
-  return l2 >= palette_size ? ConflictKernel::Reference
-                            : ConflictKernel::Indexed;
+  const std::uint64_t cost =
+      static_cast<std::uint64_t>(list_size) * list_size *
+      (blocked_oracle ? kBlockedOraclePairCost : 1);
+  return cost >= palette_size ? ConflictKernel::Reference
+                              : ConflictKernel::Indexed;
 }
 
 const char* to_string(ConflictKernel k) noexcept;
@@ -315,7 +331,8 @@ ConflictBuildResult build_conflict_graph(
   util::WallTimer timer;
   ConflictBuildResult result;
   const auto n = static_cast<std::uint32_t>(active.size());
-  kernel = resolve_kernel(kernel, palette_size, lists.list_size());
+  kernel = resolve_kernel(kernel, palette_size, lists.list_size(),
+                          BlockConflictOracle<Oracle>);
   // Gate on size before touching the pool: small inputs must not pay
   // (or trigger) shared-pool construction.
   runtime::ThreadPool* pool =
@@ -361,7 +378,8 @@ ConflictBuildResult build_conflict_graph_device(
   const auto n = static_cast<std::uint32_t>(active.size());
   const std::uint64_t worst_case =
       static_cast<std::uint64_t>(n) * (n > 0 ? n - 1 : 0) / 2;
-  kernel = resolve_kernel(kernel, palette_size, lists.list_size());
+  kernel = resolve_kernel(kernel, palette_size, lists.list_size(),
+                          BlockConflictOracle<Oracle>);
   device::DeviceCsrResult dres;
   if (kernel == ConflictKernel::Reference) {
     dres = device::build_conflict_csr(ctx, n, worst_case, [&](auto&& emit) {

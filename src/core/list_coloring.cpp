@@ -1,11 +1,6 @@
 #include "core/list_coloring.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <queue>
 #include <stdexcept>
-
-#include "util/bucket_queue.hpp"
 
 namespace picasso::core {
 
@@ -22,100 +17,13 @@ const char* to_string(ConflictColoringScheme s) noexcept {
 
 namespace {
 
-/// Mutable view over the (immutable, sorted) color lists: a per-vertex
-/// presence bitmask tracks which entries are still alive. Removal is a
-/// binary search + bit clear (O(log L)); selecting the k-th surviving color
-/// is a popcount scan over ceil(L/64) words. This keeps the Algorithm-2
-/// inner loop O(|Ec| log L) even in the aggressive regime where L = P and
-/// a swap-removal list would cost O(|Ec| L).
-class WorkingLists {
- public:
-  explicit WorkingLists(const ColorLists& lists)
-      : lists_(&lists),
-        l_(lists.list_size()),
-        words_(std::max<std::uint32_t>(1, (lists.list_size() + 63) / 64)),
-        mask_(static_cast<std::size_t>(lists.num_vertices()) * words_, 0),
-        size_(lists.num_vertices(), lists.list_size()) {
-    for (std::uint32_t v = 0; v < lists.num_vertices(); ++v) {
-      std::uint64_t* m = mask_.data() + static_cast<std::size_t>(v) * words_;
-      for (std::uint32_t i = 0; i < l_; ++i) m[i >> 6] |= 1ull << (i & 63u);
-    }
-  }
-
-  std::uint32_t size_of(std::uint32_t v) const { return size_[v]; }
-
-  /// The idx-th (0-based) surviving color of v's list.
-  std::uint32_t color_at(std::uint32_t v, std::uint32_t idx) const {
-    const std::uint64_t* m = mask_.data() + static_cast<std::size_t>(v) * words_;
-    for (std::uint32_t w = 0; w < words_; ++w) {
-      const auto count = static_cast<std::uint32_t>(std::popcount(m[w]));
-      if (idx < count) {
-        std::uint64_t bits = m[w];
-        for (std::uint32_t k = 0; k < idx; ++k) bits &= bits - 1;
-        const auto bit = static_cast<std::uint32_t>(std::countr_zero(bits));
-        return lists_->list(v)[w * 64 + bit];
-      }
-      idx -= count;
-    }
-    return kNotPresent;  // unreachable for idx < size_of(v)
-  }
-
-  /// Removes `color` from v's list if still present; returns the new size,
-  /// or kNotPresent if absent (already removed or never sampled).
-  static constexpr std::uint32_t kNotPresent = 0xffffffffu;
-  std::uint32_t remove_color(std::uint32_t v, std::uint32_t color) {
-    const auto list = lists_->list(v);
-    const auto it = std::lower_bound(list.begin(), list.end(), color);
-    if (it == list.end() || *it != color) return kNotPresent;
-    const auto idx = static_cast<std::uint32_t>(it - list.begin());
-    std::uint64_t& word =
-        mask_[static_cast<std::size_t>(v) * words_ + (idx >> 6)];
-    const std::uint64_t bit = 1ull << (idx & 63u);
-    if ((word & bit) == 0) return kNotPresent;
-    word &= ~bit;
-    return --size_[v];
-  }
-
-  std::size_t logical_bytes() const {
-    return mask_.capacity() * sizeof(std::uint64_t) +
-           size_.capacity() * sizeof(std::uint32_t);
-  }
-
- private:
-  const ColorLists* lists_;
-  std::uint32_t l_;
-  std::uint32_t words_;
-  std::vector<std::uint64_t> mask_;
-  std::vector<std::uint32_t> size_;
-};
-
-/// Shared epilogue: finalize counters and sort V_u.
-void finalize(ListColoringResult& result) {
-  std::sort(result.uncolored.begin(), result.uncolored.end());
-  result.num_colored = 0;
-  for (std::uint32_t c : result.assigned) {
-    result.num_colored += c != ListColoringResult::kNoColorLocal ? 1 : 0;
-  }
-}
-
-/// Strikes `color` from the lists of v's uncolored neighbors; vertices whose
-/// list empties are marked uncolored. `on_resize(u, new_size)` lets the
-/// caller update its priority structure.
-template <typename OnResize, typename OnEmpty>
-void strike_neighbors(const graph::CsrGraph& gc, std::uint32_t v,
-                      std::uint32_t color, WorkingLists& work,
-                      const std::vector<std::uint32_t>& assigned,
-                      OnResize&& on_resize, OnEmpty&& on_empty) {
-  for (std::uint32_t u : gc.neighbors(v)) {
-    if (assigned[u] != ListColoringResult::kNoColorLocal) continue;
-    const std::uint32_t new_size = work.remove_color(u, color);
-    if (new_size == WorkingLists::kNotPresent) continue;
-    if (new_size == 0) {
-      on_empty(u);
-    } else {
-      on_resize(u, new_size);
-    }
-  }
+/// CSR strike enumerator: every conflict-graph neighbor, ascending (CSR rows
+/// are sorted). The shared body filters colored vertices and absent colors.
+auto csr_strikes(const graph::CsrGraph& gc) {
+  return [&gc](std::uint32_t v, std::uint32_t /*color*/,
+               const std::vector<std::uint32_t>& /*assigned*/, auto&& strike) {
+    for (std::uint32_t u : gc.neighbors(v)) strike(u);
+  };
 }
 
 }  // namespace
@@ -123,173 +31,36 @@ void strike_neighbors(const graph::CsrGraph& gc, std::uint32_t v,
 ListColoringResult color_conflict_graph_dynamic(const graph::CsrGraph& gc,
                                                 const ColorLists& lists,
                                                 util::Xoshiro256& rng) {
-  const std::uint32_t n = gc.num_vertices();
-  const std::uint32_t l = lists.list_size();
-  ListColoringResult result;
-  result.assigned.assign(n, ListColoringResult::kNoColorLocal);
-  if (n == 0) return result;
-
-  WorkingLists work(lists);
-  util::BucketQueue queue(n, l);
-  for (std::uint32_t v = 0; v < n; ++v) queue.insert(v, l);
-
-  while (!queue.empty()) {
-    // Uniformly random vertex from the lowest non-empty bucket (Line 8).
-    const std::uint32_t key = queue.min_key();
-    const auto& bucket = queue.bucket(key);
-    const std::uint32_t v =
-        bucket[static_cast<std::size_t>(rng.bounded(bucket.size()))];
-    queue.erase(v);
-
-    // Uniformly random color from the current list (Line 9).
-    const std::uint32_t color =
-        work.color_at(v, static_cast<std::uint32_t>(rng.bounded(key)));
-    result.assigned[v] = color;
-
-    strike_neighbors(
-        gc, v, color, work, result.assigned,
-        [&](std::uint32_t u, std::uint32_t new_size) {
-          if (queue.contains(u)) queue.update_key(u, new_size);
-        },
-        [&](std::uint32_t u) {
-          if (queue.contains(u)) queue.erase(u);
-          result.uncolored.push_back(u);
-        });
-  }
-
-  result.aux_peak_bytes = work.logical_bytes() + queue.logical_bytes() +
-                          result.assigned.capacity() * sizeof(std::uint32_t);
-  finalize(result);
-  return result;
+  return detail::color_lists_dynamic(gc.num_vertices(), lists, rng,
+                                     csr_strikes(gc));
 }
 
 ListColoringResult color_conflict_graph_heap(const graph::CsrGraph& gc,
                                              const ColorLists& lists,
                                              util::Xoshiro256& rng) {
-  const std::uint32_t n = gc.num_vertices();
-  const std::uint32_t l = lists.list_size();
-  ListColoringResult result;
-  result.assigned.assign(n, ListColoringResult::kNoColorLocal);
-  if (n == 0) return result;
-
-  WorkingLists work(lists);
-  // Min-heap on (list size, random tie-break); lazy deletion via stale
-  // size entries — the textbook O(log n)-per-update structure Algorithm 2's
-  // buckets replace.
-  struct Entry {
-    std::uint32_t size;
-    std::uint32_t tie;
-    std::uint32_t vertex;
-    bool operator>(const Entry& o) const {
-      if (size != o.size) return size > o.size;
-      if (tie != o.tie) return tie > o.tie;
-      return vertex > o.vertex;
-    }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  std::vector<char> done(n, 0);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    heap.push({l, static_cast<std::uint32_t>(rng() & 0xffffffffu), v});
-  }
-  std::size_t heap_peak = heap.size();
-
-  while (!heap.empty()) {
-    const Entry top = heap.top();
-    heap.pop();
-    const std::uint32_t v = top.vertex;
-    if (done[v] || top.size != work.size_of(v)) continue;  // stale
-    done[v] = 1;
-
-    const std::uint32_t color = work.color_at(
-        v, static_cast<std::uint32_t>(rng.bounded(work.size_of(v))));
-    result.assigned[v] = color;
-
-    strike_neighbors(
-        gc, v, color, work, result.assigned,
-        [&](std::uint32_t u, std::uint32_t new_size) {
-          if (!done[u]) {
-            heap.push({new_size, static_cast<std::uint32_t>(rng() & 0xffffffffu), u});
-            heap_peak = std::max(heap_peak, heap.size());
-          }
-        },
-        [&](std::uint32_t u) {
-          if (!done[u]) {
-            done[u] = 1;
-            result.uncolored.push_back(u);
-          }
-        });
-  }
-
-  result.aux_peak_bytes = work.logical_bytes() + heap_peak * sizeof(Entry) +
-                          done.capacity() +
-                          result.assigned.capacity() * sizeof(std::uint32_t);
-  finalize(result);
-  return result;
+  return detail::color_lists_heap(gc.num_vertices(), lists, rng,
+                                  csr_strikes(gc));
 }
 
 ListColoringResult color_conflict_graph_static(const graph::CsrGraph& gc,
                                                const ColorLists& lists,
                                                ConflictColoringScheme scheme,
                                                std::uint64_t seed) {
-  const std::uint32_t n = gc.num_vertices();
-  ListColoringResult result;
-  result.assigned.assign(n, ListColoringResult::kNoColorLocal);
-  if (n == 0) return result;
-
-  std::vector<std::uint32_t> order(n);
-  for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
   switch (scheme) {
     case ConflictColoringScheme::StaticNatural:
-      break;
-    case ConflictColoringScheme::StaticRandom: {
-      util::Xoshiro256 rng(seed);
-      util::shuffle(order, rng);
-      break;
-    }
+    case ConflictColoringScheme::StaticRandom:
     case ConflictColoringScheme::StaticLargestFirst:
-      std::stable_sort(order.begin(), order.end(),
-                       [&gc](std::uint32_t a, std::uint32_t b) {
-                         return gc.degree(a) > gc.degree(b);
-                       });
       break;
     default:
       throw std::invalid_argument(
           "color_conflict_graph_static: not a static scheme");
   }
-
-  // Stamp array over palette-local colors.
-  std::uint32_t max_color = 0;
-  for (std::uint32_t v = 0; v < n; ++v) {
-    for (std::uint32_t c : lists.list(v)) max_color = std::max(max_color, c);
-  }
-  std::vector<std::uint32_t> mark(static_cast<std::size_t>(max_color) + 1, 0);
-  std::uint32_t stamp = 0;
-
-  for (std::uint32_t v : order) {
-    ++stamp;
-    for (std::uint32_t u : gc.neighbors(v)) {
-      const std::uint32_t c = result.assigned[u];
-      if (c != ListColoringResult::kNoColorLocal) mark[c] = stamp;
-    }
-    std::uint32_t chosen = ListColoringResult::kNoColorLocal;
-    for (std::uint32_t c : lists.list(v)) {
-      if (mark[c] != stamp) {
-        chosen = c;
-        break;
-      }
-    }
-    if (chosen == ListColoringResult::kNoColorLocal) {
-      result.uncolored.push_back(v);
-    } else {
-      result.assigned[v] = chosen;
-    }
-  }
-
-  result.aux_peak_bytes = mark.capacity() * sizeof(std::uint32_t) +
-                          order.capacity() * sizeof(std::uint32_t) +
-                          result.assigned.capacity() * sizeof(std::uint32_t);
-  finalize(result);
-  return result;
+  return detail::color_lists_static(
+      gc.num_vertices(), lists, scheme, seed,
+      [&gc](std::uint32_t v) { return gc.degree(v); },
+      [&gc](std::uint32_t v, auto&& visit) {
+        for (std::uint32_t u : gc.neighbors(v)) visit(u);
+      });
 }
 
 ListColoringResult color_conflict_graph(const graph::CsrGraph& gc,

@@ -168,7 +168,8 @@ MultiDeviceResult solve_multi_device(const Oracle& oracle,
       // total, not one per device. Bucket order is deterministic: chunk
       // ordinal x shard hash, both schedule-independent.
       const ConflictKernel kernel = resolve_kernel(
-          params.kernel, palette.palette_size, palette.list_size);
+          params.kernel, palette.palette_size, palette.list_size,
+          BlockConflictOracle<Oracle>);
       std::vector<std::vector<std::vector<std::uint32_t>>> buckets;
       detail::enumerate_conflicts_chunked(
           pool, oracle, active, lists, palette.palette_size, kernel,

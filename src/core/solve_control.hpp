@@ -100,6 +100,7 @@ class StopSource {
 enum class ProgressStage {
   IterationDone,     // one Algorithm-1 iteration completed (all drivers)
   ChunkPairScanned,  // one chunk-pair scan completed (chunked engine only)
+  BucketScanned,     // a batch of fused bucket scans completed (fused engine)
 };
 
 /// Snapshot handed to the progress callback. Iteration-scoped fields are
@@ -114,6 +115,9 @@ struct ProgressEvent {
   // ChunkPairScanned extras (chunked engine).
   std::size_t chunk_pair = 0;        // ordinal of the finished pair scan
   std::size_t chunk_pairs_total = 0; // pairs this iteration will scan
+  // BucketScanned extras (fused engine): strike scans completed so far this
+  // iteration — at most n_active, shrinking work as the frontier empties.
+  std::size_t bucket_scans = 0;
 };
 
 /// Invoked from the driver thread between stages — keep it cheap; heavy

@@ -393,9 +393,13 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
   return result;
 }
 
-PicassoResult solve_pauli_budgeted(const pauli::PauliSet& set,
-                                   const PicassoParams& params,
-                                   const StreamingOptions& options) {
+PicassoResult detail::run_budgeted_spill(
+    const pauli::PauliSet& set, const PicassoParams& params,
+    const StreamingOptions& options,
+    const std::function<PicassoResult(const pauli::PauliSet&,
+                                      const PicassoParams&)>& solve_in_memory,
+    const std::function<PicassoResult(const pauli::ChunkedPauliReader&,
+                                      const PicassoParams&)>& solve_chunked) {
   const std::size_t budget = params.memory_budget_bytes;
   const std::size_t input_bytes = set.logical_bytes();
   // Stream when asked to (explicit chunk size) or when holding the whole
@@ -403,7 +407,7 @@ PicassoResult solve_pauli_budgeted(const pauli::PauliSet& set,
   // for lists + conflict CSR.
   const bool stream =
       options.chunk_strings > 0 || (budget != 0 && 2 * input_bytes > budget);
-  if (!stream || set.empty()) return solve_pauli(set, params);
+  if (!stream || set.empty()) return solve_in_memory(set, params);
 
   std::size_t chunk_strings = options.chunk_strings;
   if (chunk_strings == 0) {
@@ -435,7 +439,7 @@ PicassoResult solve_pauli_budgeted(const pauli::PauliSet& set,
   try {
     const pauli::ChunkedPauliReader reader(spill_path.string(),
                                            chunk_strings);
-    result = solve_pauli_chunked(reader, params);
+    result = solve_chunked(reader, params);
   } catch (...) {
     std::error_code ec;
     fs::remove(spill_path, ec);
@@ -450,6 +454,19 @@ PicassoResult solve_pauli_budgeted(const pauli::PauliSet& set,
     fs::remove(spill_path, ec);
   }
   return result;
+}
+
+PicassoResult solve_pauli_budgeted(const pauli::PauliSet& set,
+                                   const PicassoParams& params,
+                                   const StreamingOptions& options) {
+  return detail::run_budgeted_spill(
+      set, params, options,
+      [](const pauli::PauliSet& s, const PicassoParams& p) {
+        return solve_pauli(s, p);
+      },
+      [](const pauli::ChunkedPauliReader& r, const PicassoParams& p) {
+        return solve_pauli_chunked(r, p);
+      });
 }
 
 }  // namespace picasso::core

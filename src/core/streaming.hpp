@@ -139,6 +139,24 @@ PicassoResult picasso_color_pauli_budgeted(
 PicassoResult picasso_color_pauli_chunked(
     const pauli::ChunkedPauliReader& reader, const PicassoParams& params);
 
+namespace detail {
+
+/// Spill scaffold shared by the budgeted engines (materialized and fused):
+/// decides in-memory vs streamed from the budget / explicit chunk size,
+/// spills the set, derives the chunking, runs `solve_chunked` over a reader
+/// on the spill file, and removes the file afterwards (and on unwind). The
+/// two engine callbacks are what differ between solve_pauli_budgeted and
+/// solve_pauli_budgeted_fused — the lifecycle cannot drift.
+PicassoResult run_budgeted_spill(
+    const pauli::PauliSet& set, const PicassoParams& params,
+    const StreamingOptions& options,
+    const std::function<PicassoResult(const pauli::PauliSet&,
+                                      const PicassoParams&)>& solve_in_memory,
+    const std::function<PicassoResult(const pauli::ChunkedPauliReader&,
+                                      const PicassoParams&)>& solve_chunked);
+
+}  // namespace detail
+
 // ---------------------------------------------------------------------------
 // Implementation.
 

@@ -91,9 +91,10 @@ enum class MemSubsystem : unsigned {
   ColoringAux,   // list-coloring buckets / heaps / marks
   Arena,         // runtime thread-local scratch arenas
   MlFeatures,    // ML predictor feature/label matrices
+  FusedFrontier, // fused engine: color index + working lists + bucket queue
   Spill,         // bytes written to spill files on disk
 };
-inline constexpr std::size_t kNumMemSubsystems = 8;
+inline constexpr std::size_t kNumMemSubsystems = 9;
 
 const char* to_string(MemSubsystem s) noexcept;
 

@@ -127,18 +127,51 @@ TEST(SessionPlan, DefaultsToInMemory) {
 TEST(SessionPlan, TightBudgetForcesStreamingForPauli) {
   const auto set = random_set(300, 16, 3);
   const auto problem = papi::Problem::pauli(set);
-  // Budget below twice the encoded bytes => stream; chunk size derived.
+  // Budget below twice the encoded bytes => spill; and since the projected
+  // conflict CSR would blow a budget this small too, Auto escalates to the
+  // fused streaming engine. Chunk size still derived.
   const auto tight = papi::SessionBuilder()
                          .memory_budget(set.logical_bytes())
                          .build()
                          .plan(problem);
-  EXPECT_EQ(tight.strategy, papi::ExecutionStrategy::BudgetedStreaming);
+  ASSERT_GT(pcore::projected_conflict_csr_bytes(
+                static_cast<std::uint32_t>(set.size()), 12.5, 2.0),
+            set.logical_bytes());
+  EXPECT_EQ(tight.strategy, papi::ExecutionStrategy::Fused);
   EXPECT_GT(tight.chunk_strings, 0u);
   EXPECT_LE(tight.chunk_strings, set.size());
 
-  // A roomy budget keeps it in memory.
+  // Tight for the input but roomy for the conflict CSR (few long strings):
+  // the materialized streaming engine keeps its I/O-optimal chunk-pair
+  // scans.
+  const auto wide_set = random_set(60, 2000, 3);
+  const std::size_t wide_budget = 100 << 10;
+  ASSERT_GT(2 * wide_set.logical_bytes(), wide_budget);
+  ASSERT_LE(pcore::projected_conflict_csr_bytes(
+                static_cast<std::uint32_t>(wide_set.size()), 12.5, 2.0),
+            wide_budget);
+  const auto spilled = papi::SessionBuilder()
+                           .memory_budget(wide_budget)
+                           .build()
+                           .plan(papi::Problem::pauli(wide_set));
+  EXPECT_EQ(spilled.strategy, papi::ExecutionStrategy::BudgetedStreaming);
+  EXPECT_GT(spilled.chunk_strings, 0u);
+
+  // A budget roomy for the input but below the projected conflict-CSR
+  // assembly plans the edge-free fused engine instead of materialising.
+  const auto mid = papi::SessionBuilder()
+                       .memory_budget(16 * set.logical_bytes())
+                       .build()
+                       .plan(problem);
+  ASSERT_GT(pcore::projected_conflict_csr_bytes(
+                static_cast<std::uint32_t>(set.size()), 12.5, 2.0),
+            16 * set.logical_bytes());
+  EXPECT_EQ(mid.strategy, papi::ExecutionStrategy::Fused);
+  EXPECT_EQ(mid.chunk_strings, 0u);  // in-memory fused: nothing spills
+
+  // A budget above both gates keeps it fully in memory.
   const auto roomy = papi::SessionBuilder()
-                         .memory_budget(16 * set.logical_bytes())
+                         .memory_budget(std::size_t{1} << 30)
                          .build()
                          .plan(problem);
   EXPECT_EQ(roomy.strategy, papi::ExecutionStrategy::InMemory);
@@ -401,6 +434,161 @@ TEST(Problem, OwningFactoryKeepsThePayloadAlive) {
   const papi::Problem copy = problem;
   EXPECT_EQ(papi::Session().solve(copy).result.colors,
             report.result.colors);
+}
+
+// --- Fused strategy ----------------------------------------------------------
+
+TEST(SessionFused, ForcedFusedMatchesInMemoryAndSkipsTheCsr) {
+  const auto set = random_set(250, 18, 41);
+  const auto ref = papi::Session().solve(papi::Problem::pauli(set));
+  const auto fused = papi::SessionBuilder()
+                         .strategy(papi::ExecutionStrategy::Fused)
+                         .build()
+                         .solve(papi::Problem::pauli(set));
+  EXPECT_EQ(fused.plan.strategy, papi::ExecutionStrategy::Fused);
+  EXPECT_EQ(fused.result.colors, ref.result.colors);
+  EXPECT_EQ(fused.result.memory.subsystem_peak[static_cast<unsigned>(
+                picasso::util::MemSubsystem::ConflictCsr)],
+            0u);
+  EXPECT_GT(fused.result.memory.subsystem_peak[static_cast<unsigned>(
+                picasso::util::MemSubsystem::FusedFrontier)],
+            0u);
+}
+
+TEST(SessionFused, BudgetBelowTwiceTheInputStreamsTheFusedSolve) {
+  const auto set = random_set(300, 16, 43);
+  const auto report = papi::SessionBuilder()
+                          .strategy(papi::ExecutionStrategy::Fused)
+                          .memory_budget(set.logical_bytes())
+                          .build()
+                          .solve(papi::Problem::pauli(set));
+  EXPECT_EQ(report.plan.strategy, papi::ExecutionStrategy::Fused);
+  EXPECT_GT(report.plan.chunk_strings, 0u);
+  EXPECT_TRUE(report.result.memory.streamed);
+  EXPECT_EQ(report.result.memory.subsystem_peak[static_cast<unsigned>(
+                picasso::util::MemSubsystem::ConflictCsr)],
+            0u);
+  EXPECT_EQ(report.result.colors,
+            papi::Session().solve(papi::Problem::pauli(set)).result.colors);
+}
+
+TEST(SessionFused, TightBudgetEscalatesSpillBackedProblemsToFused) {
+  const auto set = random_set(300, 12, 45);
+  const auto dir = fs::temp_directory_path() / "picasso_api_fused_spill";
+  fs::create_directories(dir);
+  const auto spill = (dir / "escalate.pset").string();
+  pp::spill_pauli_set(set, spill);
+
+  // Budget below the projected conflict CSR: Auto must not plan an engine
+  // that materializes it.
+  const auto session =
+      papi::SessionBuilder().memory_budget(16 << 10).build();
+  const auto plan = session.plan(papi::Problem::pauli_spill(spill));
+  EXPECT_EQ(plan.strategy, papi::ExecutionStrategy::Fused);
+  EXPECT_GT(plan.chunk_strings, 0u);
+
+  const pp::ChunkedPauliReader reader(spill, 32);
+  const auto report = session.solve(papi::Problem::spill_reader(reader));
+  EXPECT_EQ(report.plan.strategy, papi::ExecutionStrategy::Fused);
+  EXPECT_EQ(report.plan.chunk_strings, 32u);  // the reader's chunking wins
+  EXPECT_TRUE(report.result.memory.streamed);
+  EXPECT_EQ(report.result.memory.subsystem_peak[static_cast<unsigned>(
+                picasso::util::MemSubsystem::ConflictCsr)],
+            0u);
+  EXPECT_EQ(report.result.colors,
+            papi::Session().solve(papi::Problem::pauli(set)).result.colors);
+  fs::remove_all(dir);
+}
+
+TEST(SessionFused, RejectsEdgeStreamProblems) {
+  const pcore::VectorEdgeStream stream({{0, 1}, {1, 2}});
+  const auto session = papi::SessionBuilder()
+                           .strategy(papi::ExecutionStrategy::Fused)
+                           .build();
+  expect_api_error(
+      [&] { session.plan(papi::Problem::edge_stream(3, stream)); },
+      papi::ErrorCode::IncompatibleStrategy, "strategy");
+}
+
+TEST(SessionFused, RejectsDeviceConfigurations) {
+  expect_api_error(
+      [] {
+        papi::SessionBuilder()
+            .strategy(papi::ExecutionStrategy::Fused)
+            .devices(2, 1 << 20)
+            .build();
+      },
+      papi::ErrorCode::InvalidConfiguration, "strategy");
+}
+
+TEST(SessionFused, BucketProgressEventsFireAndComposeWithIterations) {
+  const auto g = pg::erdos_renyi_dense(400, 0.4, 47);
+  std::size_t bucket_events = 0;
+  std::size_t iteration_events = 0;
+  papi::SolveOptions options;
+  options.progress = [&](const pcore::ProgressEvent& e) {
+    if (e.stage == pcore::ProgressStage::BucketScanned) {
+      EXPECT_GT(e.bucket_scans, 0u);
+      EXPECT_LE(e.bucket_scans, e.n_active);
+      ++bucket_events;
+    } else if (e.stage == pcore::ProgressStage::IterationDone) {
+      ++iteration_events;
+    }
+  };
+  const auto report = papi::SessionBuilder()
+                          .strategy(papi::ExecutionStrategy::Fused)
+                          .build()
+                          .solve(papi::Problem::dense(g), options);
+  EXPECT_GT(bucket_events, 0u);  // 400 first-iteration scans, cadence 256
+  EXPECT_EQ(iteration_events, report.result.iterations.size());
+}
+
+TEST(SessionFused, MidSolveCancellationStopsAtBucketBoundary) {
+  const auto g = pg::erdos_renyi_dense(400, 0.4, 49);
+  pcore::StopSource stop;
+  papi::SolveOptions options;
+  options.stop = stop.token();
+  std::size_t bucket_events = 0;
+  options.progress = [&](const pcore::ProgressEvent& e) {
+    if (e.stage == pcore::ProgressStage::BucketScanned &&
+        ++bucket_events == 1) {
+      stop.request_stop();  // next bucket scan must observe it
+    }
+  };
+  EXPECT_THROW(papi::SessionBuilder()
+                   .strategy(papi::ExecutionStrategy::Fused)
+                   .build()
+                   .solve(papi::Problem::dense(g), options),
+               pcore::SolveCancelled);
+  EXPECT_EQ(bucket_events, 1u);  // cancelled inside the first iteration
+}
+
+// --- parse_strategy ----------------------------------------------------------
+
+TEST(ParseStrategy, RoundTripsEveryStrategyAndAcceptsShorthands) {
+  for (auto strategy :
+       {papi::ExecutionStrategy::Auto, papi::ExecutionStrategy::InMemory,
+        papi::ExecutionStrategy::BudgetedStreaming,
+        papi::ExecutionStrategy::SemiStreaming,
+        papi::ExecutionStrategy::MultiDevice, papi::ExecutionStrategy::Fused}) {
+    EXPECT_EQ(papi::parse_strategy(papi::to_string(strategy)), strategy);
+  }
+  EXPECT_EQ(papi::parse_strategy("inmemory"),
+            papi::ExecutionStrategy::InMemory);
+  EXPECT_EQ(papi::parse_strategy("streaming"),
+            papi::ExecutionStrategy::BudgetedStreaming);
+}
+
+TEST(ParseStrategy, RejectsUnknownNamesWithTheValidList) {
+  try {
+    papi::parse_strategy("warp-drive");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("warp-drive"), std::string::npos);
+    EXPECT_NE(message.find("fused"), std::string::npos);
+    EXPECT_NE(message.find("budgeted-streaming"), std::string::npos);
+  }
 }
 
 // --- parse_pauli_backend and version ----------------------------------------

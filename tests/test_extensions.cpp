@@ -384,6 +384,37 @@ TEST(AutoKernel, ResolvesByListDensity) {
   EXPECT_EQ(pcore::resolve_kernel(K::Indexed, 100, 10), K::Indexed);
 }
 
+// Backend-dependent per-pair cost: a block-capable (packed SIMD) oracle
+// makes reference slots cheaper, so the crossover shifts by
+// kBlockedOraclePairCost. Pins the chosen kernel on both sides of the
+// threshold for both oracle classes.
+TEST(AutoKernel, BlockOracleShiftsTheCrossover) {
+  using K = pcore::ConflictKernel;
+  const std::uint64_t c = pcore::kBlockedOraclePairCost;
+  ASSERT_GT(c, 1u);
+  // L = 8, L^2 = 64. Per-pair oracle: crossover at P = 64. Blocked oracle:
+  // crossover at P = 64 * c.
+  EXPECT_EQ(pcore::resolve_kernel(K::Auto, 65, 8, /*blocked=*/false),
+            K::Indexed);
+  EXPECT_EQ(pcore::resolve_kernel(K::Auto, 64, 8, /*blocked=*/false),
+            K::Reference);
+  EXPECT_EQ(pcore::resolve_kernel(K::Auto, 64 * c + 1, 8, /*blocked=*/true),
+            K::Indexed);
+  EXPECT_EQ(pcore::resolve_kernel(K::Auto, 64 * c, 8, /*blocked=*/true),
+            K::Reference);
+  // The band in between is where the backend flips the decision: the same
+  // (P, L) point picks Indexed with a per-pair oracle and Reference with a
+  // blocked one — exactly the pauli_backend dependence the Auto model was
+  // missing.
+  EXPECT_EQ(pcore::resolve_kernel(K::Auto, 100, 8, /*blocked=*/false),
+            K::Indexed);
+  EXPECT_EQ(pcore::resolve_kernel(K::Auto, 100, 8, /*blocked=*/true),
+            K::Reference);
+  // Explicit choices still pass through untouched.
+  EXPECT_EQ(pcore::resolve_kernel(K::Indexed, 64, 8, true), K::Indexed);
+  EXPECT_EQ(pcore::resolve_kernel(K::Reference, 4096, 8, true), K::Reference);
+}
+
 TEST(AutoKernel, ProducesIdenticalColoringsToBothKernels) {
   const auto g = pg::erdos_renyi_dense(200, 0.5, 29);
   for (auto [percent, alpha] : {std::pair{12.5, 2.0}, std::pair{3.0, 30.0}}) {

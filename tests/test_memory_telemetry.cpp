@@ -161,6 +161,35 @@ TEST(MemoryReport, PicassoRunFillsSubsystemPeaks) {
   EXPECT_NE(json.find("\"peak_tracked_bytes\""), std::string::npos);
   EXPECT_NE(json.find("\"within_budget\":true"), std::string::npos);
   EXPECT_NE(json.find("\"palette_lists\""), std::string::npos);
+  EXPECT_NE(json.find("\"fused_frontier\""), std::string::npos);
+}
+
+TEST(MemoryReport, FusedRunChargesFrontierInsteadOfCsr) {
+  const auto g = pg::erdos_renyi_dense(400, 0.5, 3);
+  pcore::PicassoParams params;
+  params.seed = 5;
+  const auto r = papi::SessionBuilder()
+                     .params(params)
+                     .strategy(papi::ExecutionStrategy::Fused)
+                     .build()
+                     .solve(papi::Problem::dense(g))
+                     .result;
+  EXPECT_EQ(r.memory.subsystem_peak[static_cast<unsigned>(
+                pu::MemSubsystem::ConflictCsr)],
+            0u);
+  const auto frontier_peak = r.memory.subsystem_peak[static_cast<unsigned>(
+      pu::MemSubsystem::FusedFrontier)];
+  EXPECT_GT(frontier_peak, 0u);
+  // The frontier's floor is the inverted index itself: (nL + P + 1) words
+  // of the largest iteration.
+  std::size_t index_floor = 0;
+  for (const auto& it : r.iterations) {
+    index_floor = std::max(
+        index_floor,
+        (std::size_t{it.n_active} * it.list_size + it.palette_size + 1) *
+            sizeof(std::uint32_t));
+  }
+  EXPECT_GE(frontier_peak, index_floor);
 }
 
 TEST(MemoryReport, TrackedListsPeakMatchesDriverAccounting) {

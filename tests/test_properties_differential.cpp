@@ -11,7 +11,11 @@
 //      identical edge sets and the drivers built on them return identical
 //      colorings;
 //  (c) the streaming drivers agree with the in-memory driver under random
-//      budgets, chunk sizes, and thread counts.
+//      budgets, chunk sizes, and thread counts;
+//  (d) the edge-free fused engine (Strategy::Fused) is bit-identical to the
+//      materialized engines in deterministic mode — random seeds x backends
+//      x thread counts x budgets, in-memory and spill-backed alike — and
+//      its colorings are conflict-free against the brute-force oracle.
 
 #include <gtest/gtest.h>
 
@@ -226,4 +230,108 @@ TEST(DifferentialProperties, StreamingAgreesUnderRandomBudgetsAndThreads) {
     ASSERT_EQ(streamed.num_colors, ref.num_colors) << key;
   }
   std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------------------------
+// (d): the fused engine vs the materialized pipeline — random seeds,
+// backends, thread counts and budgets; forced through Strategy::Fused so
+// the whole session dispatch (in-memory and spill-backed) is exercised.
+
+TEST(DifferentialProperties, FusedAgreesWithMaterializedEverywhere) {
+  pu::Xoshiro256 rng(kHarnessSeed ^ 0xf05edull);
+  const std::string dir = spill_dir();
+  for (int c = 0; c < 60; ++c) {
+    const std::size_t n = 40 + rng.bounded(220);     // [40, 260)
+    const std::size_t qubits = 2 + rng.bounded(60);  // [2, 62)
+    const auto set = random_set(n, qubits, rng);
+    pcore::PicassoParams params = random_params(rng);
+    switch (rng.bounded(3)) {
+      case 0: params.pauli_backend = pcore::PauliBackend::Scalar; break;
+      case 1: params.pauli_backend = pcore::PauliBackend::Packed; break;
+      default: params.pauli_backend = pcore::PauliBackend::PackedScalar; break;
+    }
+    params.runtime.num_threads = 1 + rng.bounded(4);  // [1, 4]
+    params.runtime.serial_cutoff = 0;
+    const std::string key =
+        "case " + std::to_string(c) + ": n=" + std::to_string(n) + " q=" +
+        std::to_string(qubits) + " seed=" + std::to_string(params.seed) +
+        " backend=" + pcore::to_string(params.pauli_backend) +
+        " threads=" + std::to_string(params.runtime.num_threads);
+
+    const auto ref = papi::Session::from_params(params)
+                         .solve(papi::Problem::pauli(set))
+                         .result;
+
+    // In-memory fused.
+    const auto fused = papi::SessionBuilder()
+                           .params(params)
+                           .strategy(papi::ExecutionStrategy::Fused)
+                           .build()
+                           .solve(papi::Problem::pauli(set))
+                           .result;
+    ASSERT_EQ(fused.colors, ref.colors) << key;
+    ASSERT_EQ(fused.num_colors, ref.num_colors) << key;
+    ASSERT_EQ(fused.memory.subsystem_peak[static_cast<unsigned>(
+                  pu::MemSubsystem::ConflictCsr)],
+              0u)
+        << key;
+    ASSERT_TRUE(coloring_conflict_free_pauli(set, fused.colors)) << key;
+
+    // Spill-backed fused: explicit chunking and a random budget force the
+    // chunked strike engine.
+    pcore::StreamingOptions options;
+    options.chunk_strings = 1 + rng.bounded(n);
+    options.spill_dir = dir;
+    pcore::PicassoParams streamed_params = params;
+    switch (rng.bounded(3)) {
+      case 0: streamed_params.memory_budget_bytes = 8 << 10; break;
+      case 1: streamed_params.memory_budget_bytes = 1 << 20; break;
+      default: streamed_params.memory_budget_bytes = 0; break;
+    }
+    const auto fused_streamed = papi::SessionBuilder()
+                                    .params(streamed_params)
+                                    .streaming(options)
+                                    .strategy(papi::ExecutionStrategy::Fused)
+                                    .build()
+                                    .solve(papi::Problem::pauli(set))
+                                    .result;
+    ASSERT_TRUE(fused_streamed.memory.streamed) << key;
+    ASSERT_EQ(fused_streamed.colors, ref.colors)
+        << key << " chunk=" << options.chunk_strings
+        << " budget=" << streamed_params.memory_budget_bytes;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Fused colorings are also scheme-complete: every conflict-coloring scheme
+// lands on the materialized coloring (the scheme bodies are shared; this
+// pins the enumerator contracts).
+TEST(DifferentialProperties, FusedAgreesAcrossConflictSchemes) {
+  pu::Xoshiro256 rng(kHarnessSeed ^ 0x5c4e3e5ull);
+  constexpr pcore::ConflictColoringScheme kSchemes[] = {
+      pcore::ConflictColoringScheme::DynamicBucket,
+      pcore::ConflictColoringScheme::DynamicHeap,
+      pcore::ConflictColoringScheme::StaticNatural,
+      pcore::ConflictColoringScheme::StaticRandom,
+      pcore::ConflictColoringScheme::StaticLargestFirst,
+  };
+  for (int c = 0; c < 12; ++c) {
+    const std::size_t n = 40 + rng.bounded(140);
+    const std::size_t qubits = 2 + rng.bounded(40);
+    const auto set = random_set(n, qubits, rng);
+    pcore::PicassoParams params = random_params(rng);
+    params.conflict_scheme = kSchemes[c % 5];
+    const std::string key = "case " + std::to_string(c) + " scheme=" +
+                            pcore::to_string(params.conflict_scheme);
+    const auto ref = papi::Session::from_params(params)
+                         .solve(papi::Problem::pauli(set))
+                         .result;
+    const auto fused = papi::SessionBuilder()
+                           .params(params)
+                           .strategy(papi::ExecutionStrategy::Fused)
+                           .build()
+                           .solve(papi::Problem::pauli(set))
+                           .result;
+    ASSERT_EQ(fused.colors, ref.colors) << key;
+  }
 }

@@ -200,12 +200,20 @@ TEST(StreamingPipeline, SinglePassAndMultiPassAreBitIdentical) {
   EXPECT_EQ(single.memory.num_chunks, 1u);
 
   // Multi pass: tiny chunks under a budget that cannot hold them all, so
-  // inner chunks are evicted and re-read every outer pass.
+  // inner chunks are evicted and re-read every outer pass. The strategy is
+  // pinned: Auto escalates budgets this tight to the fused engine, but this
+  // test exercises the materialized chunk-pair re-scan path.
   params.memory_budget_bytes = 32 << 10;
   pcore::StreamingOptions small_chunks;
   small_chunks.chunk_strings = 32;
   small_chunks.spill_dir = temp_spill_dir().string();
-  const auto multi = papi::SessionBuilder().params(params).streaming(small_chunks).build().solve(papi::Problem::pauli(set)).result;
+  const auto multi = papi::SessionBuilder()
+                         .params(params)
+                         .streaming(small_chunks)
+                         .strategy(papi::ExecutionStrategy::BudgetedStreaming)
+                         .build()
+                         .solve(papi::Problem::pauli(set))
+                         .result;
   EXPECT_GT(multi.memory.num_chunks, 4u);
   EXPECT_GT(multi.memory.chunk_loads, multi.memory.num_chunks)
       << "a budget this small must force at least one re-scan";
@@ -256,10 +264,17 @@ TEST(StreamingPipeline, BudgetSmallerThanOneChunkStillColors) {
 
   // A 1-byte budget cannot admit any chunk: the cache must degrade to
   // load-scan-evict (recording over-budget events) instead of failing.
+  // Strategy pinned to the materialized engine (Auto would go fused here).
   params.memory_budget_bytes = 1;
   pcore::StreamingOptions options;
   options.spill_dir = temp_spill_dir().string();
-  const auto r = papi::SessionBuilder().params(params).streaming(options).build().solve(papi::Problem::pauli(set)).result;
+  const auto r = papi::SessionBuilder()
+                     .params(params)
+                     .streaming(options)
+                     .strategy(papi::ExecutionStrategy::BudgetedStreaming)
+                     .build()
+                     .solve(papi::Problem::pauli(set))
+                     .result;
   EXPECT_TRUE(r.memory.streamed);
   EXPECT_EQ(r.colors, reference.colors);
   EXPECT_FALSE(r.memory.within_budget());
