@@ -18,6 +18,7 @@
 
 #include "core/picasso.hpp"
 #include "graph/oracles.hpp"
+#include "obs/metrics.hpp"
 #include "pauli/datasets.hpp"
 #include "pauli/pauli_string.hpp"
 #include "util/rng.hpp"
@@ -120,6 +121,15 @@ inline void emit_json_line(const std::string& row) {
     std::ofstream out(path, std::ios::app);
     if (out) out << row << "\n";
   }
+}
+
+/// Extra-fields fragment carrying the solve's deterministic work counters
+/// (SessionBuilder::telemetry(Counters), SolveReport::telemetry). Counter
+/// totals from single-threaded runs are a pure function of (dataset, seed,
+/// params) — plus the host ISA for the avx2/scalar kernel split, whose sum
+/// is what the CI gate compares exactly (0% tolerance).
+inline std::string counters_field(const obs::CounterTotals& totals) {
+  return "\"counters\":" + totals.to_json();
 }
 
 /// Machine-readable memory record, one JSON-lines row keyed (bench, name).

@@ -56,21 +56,29 @@ int main() {
     bool fits = true;
     std::uint64_t max_ec = 0;
     core::MemoryReport memory;
+    obs::CounterTotals counters;
+    // Counter telemetry rides along into the CI record: single-threaded, so
+    // the totals are exact-match gated like the tracked bytes.
+    auto run_counted = [&set](const core::PicassoParams& p) {
+      return api::SessionBuilder()
+          .params(p)
+          .telemetry(obs::TelemetryLevel::Counters)
+          .build()
+          .solve(api::Problem::pauli(set));
+    };
     try {
-      const auto r = api::Session::from_params(params)
-                         .solve(api::Problem::pauli(set))
-                         .result;
-      max_ec = r.max_conflict_edges;
-      memory = r.memory;
+      const auto report = run_counted(params);
+      max_ec = report.result.max_conflict_edges;
+      memory = report.result.memory;
+      counters = report.telemetry.counters;
     } catch (const device::DeviceOutOfMemory&) {
       fits = false;
       // Re-run host-side to still report the conflict fraction.
       params.device = nullptr;
-      const auto r = api::Session::from_params(params)
-                         .solve(api::Problem::pauli(set))
-                         .result;
-      max_ec = r.max_conflict_edges;
-      memory = r.memory;
+      const auto report = run_counted(params);
+      max_ec = report.result.max_conflict_edges;
+      memory = report.result.memory;
+      counters = report.telemetry.counters;
     }
     // Packed-vs-scalar ablation on the host path (single-threaded): the
     // same iterations with the 3-bit per-pair oracle and with the packed
@@ -98,7 +106,7 @@ int main() {
     bench::emit_json_record(
         "fig2_scaling", spec.name, memory,
         "\"max_conflict_edges\":" + std::to_string(max_ec) + "," +
-            kernel_fields);
+            kernel_fields + "," + bench::counters_field(counters));
 
     // Largest |Ec|/|E| the device could hold: COO (8 B/edge) plus the CSR
     // copy (8 B/edge) must fit next to the per-vertex counters.

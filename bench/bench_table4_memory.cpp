@@ -60,26 +60,33 @@ int main() {
       params.alpha = alpha;
       params.seed = 1;
       params.runtime.num_threads = 1;
-      auto builder = api::SessionBuilder().params(params);
+      auto builder = api::SessionBuilder().params(params).telemetry(
+          obs::TelemetryLevel::Counters);
       if (fused) {
         builder.strategy(api::ExecutionStrategy::Fused);
       } else {
         builder.kernel(core::ConflictKernel::Indexed);
       }
-      return builder.build().solve(api::Problem::pauli(set)).result;
+      const api::SolveReport report =
+          builder.build().solve(api::Problem::pauli(set));
+      return std::pair<core::PicassoResult, obs::CounterTotals>(
+          report.result, report.telemetry.counters);
     };
-    auto emit = [&](const core::PicassoResult& r, const std::string& tag) {
+    auto emit = [&](const core::PicassoResult& r,
+                    const obs::CounterTotals& counters,
+                    const std::string& tag) {
       char extra[64];
       std::snprintf(extra, sizeof(extra), "\"seconds\":%.6f",
                     r.total_seconds);
       bench::emit_json_record("table4_memory", spec.name + "/" + tag,
-                              r.memory, extra);
+                              r.memory,
+                              extra + ("," + bench::counters_field(counters)));
     };
 
-    const auto norm_r = run(12.5, 2.0, false);
-    emit(norm_r, "normal");
-    const auto fused_r = run(12.5, 2.0, true);
-    emit(fused_r, "normal_fused");
+    const auto [norm_r, norm_c] = run(12.5, 2.0, false);
+    emit(norm_r, norm_c, "normal");
+    const auto [fused_r, fused_c] = run(12.5, 2.0, true);
+    emit(fused_r, fused_c, "normal_fused");
     if (fused_r.colors != norm_r.colors) {
       std::fprintf(stderr,
                    "FATAL: fused coloring diverged from materialized on %s\n",
@@ -88,10 +95,10 @@ int main() {
     }
     fused_time_ratios.add(fused_r.total_seconds /
                           std::max(1e-9, norm_r.total_seconds));
-    const auto aggr_r = run(3.0, 30.0, false);
-    emit(aggr_r, "aggressive");
-    const auto aggr_fused_r = run(3.0, 30.0, true);
-    emit(aggr_fused_r, "aggressive_fused");
+    const auto [aggr_r, aggr_c] = run(3.0, 30.0, false);
+    emit(aggr_r, aggr_c, "aggressive");
+    const auto [aggr_fused_r, aggr_fused_c] = run(3.0, 30.0, true);
+    emit(aggr_fused_r, aggr_fused_c, "aggressive_fused");
     if (aggr_fused_r.colors != aggr_r.colors) {
       std::fprintf(stderr,
                    "FATAL: fused coloring diverged from materialized on %s "
@@ -159,13 +166,15 @@ int main() {
         options.chunk_strings = (set.size() + 15) / 16;
         // Strategy pinned: these rows measure the materialized chunk-pair
         // engine (Auto escalates the 256 KiB cap to fused nowadays).
-        const auto r = api::SessionBuilder()
-                           .params(params)
-                           .streaming(options)
-                           .strategy(api::ExecutionStrategy::BudgetedStreaming)
-                           .build()
-                           .solve(api::Problem::pauli(set))
-                           .result;
+        const auto r_report =
+            api::SessionBuilder()
+                .params(params)
+                .streaming(options)
+                .strategy(api::ExecutionStrategy::BudgetedStreaming)
+                .telemetry(obs::TelemetryLevel::Counters)
+                .build()
+                .solve(api::Problem::pauli(set));
+        const core::PicassoResult& r = r_report.result;
         char peak_buf[32], budget_buf[32];
         std::printf(
             "%-24s peak %-10s budget %-10s within=%-3s chunks=%zu "
@@ -179,17 +188,20 @@ int main() {
             static_cast<unsigned long long>(r.memory.chunk_evictions));
         bench::emit_json_record(
             "table4_memory", spec.name + "/" + tag, r.memory,
-            "\"colors\":" + std::to_string(r.num_colors));
+            "\"colors\":" + std::to_string(r.num_colors) + "," +
+                bench::counters_field(r_report.telemetry.counters));
 
         // Fused twin: same spill + chunk cache, but bucket strikes replace
         // the chunk-pair CSR assembly entirely.
-        const auto f = api::SessionBuilder()
-                           .params(params)
-                           .streaming(options)
-                           .strategy(api::ExecutionStrategy::Fused)
-                           .build()
-                           .solve(api::Problem::pauli(set))
-                           .result;
+        const auto f_report =
+            api::SessionBuilder()
+                .params(params)
+                .streaming(options)
+                .strategy(api::ExecutionStrategy::Fused)
+                .telemetry(obs::TelemetryLevel::Counters)
+                .build()
+                .solve(api::Problem::pauli(set));
+        const core::PicassoResult& f = f_report.result;
         if (f.colors != r.colors) {
           std::fprintf(stderr,
                        "FATAL: fused streamed coloring diverged on %s\n",
@@ -205,7 +217,8 @@ int main() {
             static_cast<unsigned long long>(f.memory.chunk_loads));
         bench::emit_json_record(
             "table4_memory", spec.name + "/" + tag + "_fused", f.memory,
-            "\"colors\":" + std::to_string(f.num_colors));
+            "\"colors\":" + std::to_string(f.num_colors) + "," +
+                bench::counters_field(f_report.telemetry.counters));
       }
       if (bench::quick_mode()) break;  // one H6 instance is enough for CI
     }

@@ -26,6 +26,11 @@
 //   --stream        color: re-read the file per pass (semi-streaming mode)
 //   --refine        apply iterated-greedy refinement to the result
 //   --csv           machine-readable output where supported
+//   --metrics       collect the deterministic work counters during the solve
+//                   and print the telemetry JSON (stderr under --csv, so the
+//                   CSV stream stays clean)
+//   --trace FILE    record phase spans (TelemetryLevel::Full) and write a
+//                   chrome://tracing / Perfetto document to FILE
 //
 // Exit codes: 0 success, 1 runtime failure (unreadable input, invalid
 // result), 2 usage error (unknown command/flag/value, or a flag
@@ -79,6 +84,14 @@ struct CliOptions {
   bool stream = false;
   bool refine = false;
   bool csv = false;
+  bool metrics = false;
+  std::string trace_file;
+
+  obs::TelemetryLevel telemetry_level() const {
+    if (!trace_file.empty()) return obs::TelemetryLevel::Full;
+    if (metrics) return obs::TelemetryLevel::Counters;
+    return obs::TelemetryLevel::Off;
+  }
 };
 
 const char* kUsage =
@@ -86,7 +99,8 @@ const char* kUsage =
     "[--percent P] [--alpha A] [--seed S] [--mode unitary|commute|qwc] "
     "[--backend auto|scalar|packed|packed-scalar] "
     "[--strategy auto|inmemory|streaming|semi-streaming|multi-device|fused] "
-    "[--budget BYTES] [--file path] [--mtx] [--stream] [--refine] [--csv]";
+    "[--budget BYTES] [--file path] [--mtx] [--stream] [--refine] [--csv] "
+    "[--metrics] [--trace FILE]";
 
 double parse_double(const char* flag, const std::string& text) {
   char* end = nullptr;
@@ -157,6 +171,10 @@ CliOptions parse_args(int argc, char** argv) {
       } catch (const std::invalid_argument& e) {
         throw UsageError(e.what());
       }
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
+    } else if (arg == "--trace") {
+      opt.trace_file = next("--trace");
     } else if (arg == "--mtx") {
       opt.mtx = true;
     } else if (arg == "--stream") {
@@ -193,9 +211,35 @@ api::Session session_from(const CliOptions& opt) {
     return api::SessionBuilder()
         .params(params_from(opt))
         .strategy(opt.strategy)
+        .telemetry(opt.telemetry_level())
         .build();
   } catch (const api::ApiError& e) {
     throw UsageError(e.what());
+  }
+}
+
+/// Post-solve telemetry output: the counters/memory JSON on stdout (stderr
+/// under --csv, keeping the CSV stream machine-clean) and the Chrome-trace
+/// document to --trace FILE. Throws std::runtime_error (exit 1) when the
+/// trace file cannot be written.
+void emit_telemetry(const api::SolveReport& report, const CliOptions& opt) {
+  if (opt.metrics || !opt.trace_file.empty()) {
+    std::fprintf(opt.csv ? stderr : stdout, "%s\n",
+                 report.telemetry.to_json().c_str());
+  }
+  if (!opt.trace_file.empty()) {
+    const std::string doc = report.telemetry.chrome_trace_json();
+    std::FILE* out = std::fopen(opt.trace_file.c_str(), "w");
+    if (out == nullptr || std::fwrite(doc.data(), 1, doc.size(), out) !=
+                              doc.size()) {
+      if (out != nullptr) std::fclose(out);
+      throw std::runtime_error("cannot write trace file " + opt.trace_file);
+    }
+    std::fclose(out);
+    std::fprintf(stderr,
+                 "picasso_cli: wrote %zu spans to %s (load in "
+                 "chrome://tracing or https://ui.perfetto.dev)\n",
+                 report.telemetry.spans.size(), opt.trace_file.c_str());
   }
 }
 
@@ -241,17 +285,22 @@ int cmd_partition(const CliOptions& opt) {
   const auto& spec = pauli::dataset_by_name(opt.target);
   const auto& set = pauli::load_dataset(spec);
   core::PartitionResult result;
-  if (opt.strategy == api::ExecutionStrategy::Auto) {
+  api::SolveReport report;
+  const bool want_telemetry =
+      opt.telemetry_level() != obs::TelemetryLevel::Off;
+  if (opt.strategy == api::ExecutionStrategy::Auto && !want_telemetry) {
     result = core::partition_pauli_strings(set, params_from(opt), opt.mode);
   } else if (opt.mode == core::GroupingMode::Unitary) {
-    // A forced strategy routes the coloring through the session planner
-    // (e.g. --strategy fused colors edge-free); grouping is unchanged.
-    result.coloring = session.solve(api::Problem::pauli(set)).result;
+    // A forced strategy (or a telemetry request) routes the coloring through
+    // the session planner (e.g. --strategy fused colors edge-free); grouping
+    // is unchanged and the coloring is bit-identical to the default path.
+    report = session.solve(api::Problem::pauli(set));
+    result.coloring = report.result;
     result.groups = core::groups_from_coloring(set, result.coloring.colors);
   } else {
     throw UsageError(
-        "--strategy overrides apply to unitary partitioning only; commute/qwc "
-        "run the default pipeline");
+        "--strategy/--metrics/--trace overrides apply to unitary "
+        "partitioning only; commute/qwc run the default pipeline");
   }
   const std::string violation =
       core::verify_partition(set, result.groups, opt.mode);
@@ -268,6 +317,7 @@ int cmd_partition(const CliOptions& opt) {
                     set.string(m).to_string().c_str(), set.coefficient(m));
       }
     }
+    emit_telemetry(report, opt);
     return 0;
   }
   std::printf("%s under %s: %zu strings -> %zu groups (%.2fx), "
@@ -277,6 +327,7 @@ int cmd_partition(const CliOptions& opt) {
               result.coloring.iterations.size(),
               static_cast<unsigned long long>(result.coloring.max_conflict_edges),
               util::format_duration(result.coloring.total_seconds).c_str());
+  emit_telemetry(report, opt);
   return 0;
 }
 
@@ -318,6 +369,7 @@ int cmd_color(const CliOptions& opt) {
     for (std::uint32_t v = 0; v < result.colors.size(); ++v) {
       std::printf("%u,%u\n", v, result.colors[v]);
     }
+    emit_telemetry(report, opt);
     return 0;
   }
   std::printf("%s: %zu vertices colored with %u colors in %zu iterations "
@@ -326,6 +378,7 @@ int cmd_color(const CliOptions& opt) {
               result.iterations.size(),
               util::format_duration(result.total_seconds).c_str(),
               to_string(report.plan.strategy));
+  emit_telemetry(report, opt);
   return 0;
 }
 

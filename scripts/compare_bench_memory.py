@@ -18,7 +18,15 @@ Records are keyed by (bench, name). The gate fails when
     sibling in the current run and its TOTAL peak-tracked bytes do not stay
     strictly below the sibling's conflict_csr subsystem high-water mark, or
     the fused run charged conflict_csr at all — the edge-free contract of
-    the fused engine, gated on the Table-4 dataset records.
+    the fused engine, gated on the Table-4 dataset records, or
+  * a record carries a "counters" object (the deterministic work counters of
+    obs::MetricsRegistry, emitted by single-threaded bench runs) in both
+    files and any deterministic counter differs AT ALL — 0% tolerance,
+    because logical work totals are a pure function of (dataset, seed,
+    params). The avx2/scalar kernel split depends on the host ISA, so those
+    two are gated on their SUM (total block-kernel invocations), not
+    individually. A baseline counter missing from the current record is a
+    coverage loss and fails too.
 
 New records (present now, absent from the baseline) are reported but do not
 fail the gate — refresh the baseline to start tracking them.
@@ -53,6 +61,39 @@ def load_records(path):
     return records
 
 
+# Counters whose value is machine-dependent (runtime ISA dispatch picks the
+# kernel); their sum — total block-kernel invocations — is deterministic and
+# is what gets compared.
+ISA_SPLIT_COUNTERS = ("edge_block_calls_avx2", "edge_block_calls_scalar")
+
+
+def compare_counters(label, base_counters, cur_counters, failures):
+    """Exact (0%-tolerance) comparison of deterministic work counters."""
+    mismatches = 0
+    for key in sorted(base_counters):
+        if key in ISA_SPLIT_COUNTERS:
+            continue
+        base_value = base_counters[key]
+        cur_value = cur_counters.get(key)
+        if cur_value is None:
+            failures.append(
+                f"COUNTER  {label}: '{key}' missing from current record")
+            mismatches += 1
+        elif cur_value != base_value:
+            failures.append(
+                f"COUNTER  {label}: {key} {cur_value} != baseline "
+                f"{base_value} (exact-match gate)")
+            mismatches += 1
+    base_kernel = sum(base_counters.get(k, 0) for k in ISA_SPLIT_COUNTERS)
+    cur_kernel = sum(cur_counters.get(k, 0) for k in ISA_SPLIT_COUNTERS)
+    if base_kernel != cur_kernel:
+        failures.append(
+            f"COUNTER  {label}: edge_block_calls (avx2+scalar) "
+            f"{cur_kernel} != baseline {base_kernel} (exact-match gate)")
+        mismatches += 1
+    return mismatches
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -67,6 +108,7 @@ def main():
     current = load_records(args.current)
 
     failures = []
+    counter_records = 0
     for key, base_row in sorted(baseline.items()):
         label = f"{key[0]}/{key[1]}"
         cur_row = current.get(key)
@@ -92,7 +134,24 @@ def main():
                 "within_budget", True):
             status = "REGRESSION"
             failures.append(f"BUDGET   {label}: run exceeded its memory budget")
-        print(f"{status:10s} {label}: {base_peak} -> {cur_peak} B ({delta:+.1f}%)")
+        base_counters = base_row.get("counters")
+        cur_counters = cur_row.get("counters")
+        counter_note = ""
+        if base_counters and cur_counters:
+            counter_records += 1
+            mismatches = compare_counters(label, base_counters, cur_counters,
+                                          failures)
+            if mismatches:
+                status = "REGRESSION"
+            counter_note = (f", counters {'DIVERGED' if mismatches else 'exact'}"
+                            f" ({len(base_counters)} gated)")
+        elif base_counters:
+            status = "REGRESSION"
+            failures.append(
+                f"COUNTER  {label}: baseline has counters, current record "
+                f"does not (coverage loss)")
+        print(f"{status:10s} {label}: {base_peak} -> {cur_peak} B "
+              f"({delta:+.1f}%){counter_note}")
 
     for key in sorted(set(current) - set(baseline)):
         print(f"new        {key[0]}/{key[1]}: not in baseline (refresh to track)")
@@ -135,7 +194,8 @@ def main():
         return 1
     print(f"\nbench memory gate passed "
           f"({len(baseline)} records, {fused_checked} fused-vs-materialized "
-          f"checks, tolerance +{args.tolerance:.0%})")
+          f"checks, {counter_records} counter records exact-matched, "
+          f"tolerance +{args.tolerance:.0%})")
     return 0
 
 

@@ -77,6 +77,21 @@ ExecutionStrategy parse_strategy(std::string_view name) {
       "semi-streaming, multi-device, fused)");
 }
 
+std::string SolveTelemetry::to_json() const {
+  std::string out = "{\"level\":\"";
+  out += obs::to_string(level);
+  out += "\",\"counters\":";
+  out += counters.to_json();
+  out += ",\"memory\":";
+  out += memory.to_json();
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), ",\"spans\":%zu,\"dropped_spans\":%llu}",
+                spans.size(),
+                static_cast<unsigned long long>(dropped_spans));
+  out += tail;
+  return out;
+}
+
 std::string SolvePlan::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -298,6 +313,14 @@ SolveReport Session::solve(const Problem& problem,
   }
   if (options.progress) params.progress = options.progress;
 
+  // Telemetry scope around the whole dispatch: the run scope zeroes the
+  // global counter registry and enables it per the session's level; a
+  // local recorder collects phase spans at Full (engines test one pointer
+  // per scope when it is absent, so Off/Counters pay nothing for tracing).
+  obs::MetricsRunScope metrics_scope(telemetry_ != obs::TelemetryLevel::Off);
+  obs::TraceRecorder recorder;
+  if (telemetry_ == obs::TelemetryLevel::Full) params.trace = &recorder;
+
   switch (report.plan.strategy) {
     case ExecutionStrategy::InMemory: {
       switch (problem.kind()) {
@@ -446,6 +469,16 @@ SolveReport Session::solve(const Problem& problem,
     }
     case ExecutionStrategy::Auto:
       break;  // unreachable: plan() always resolves Auto
+  }
+
+  if (telemetry_ != obs::TelemetryLevel::Off) {
+    report.telemetry.level = telemetry_;
+    // The engines' pools have joined by now, so the per-thread shards are
+    // quiescent and the totals are exact.
+    report.telemetry.counters = obs::global_metrics().totals();
+    report.telemetry.spans = recorder.take_spans();
+    report.telemetry.dropped_spans = recorder.dropped();
+    report.telemetry.memory = report.result.memory;
   }
   return report;
 }

@@ -37,6 +37,8 @@
 #include "core/solve_control.hpp"
 #include "core/solve_fused.hpp"
 #include "core/streaming.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace picasso::api {
 
@@ -77,11 +79,40 @@ struct SolvePlan {
   std::string summary() const;
 };
 
+/// What one solve did, in numbers: the deterministic work counters, the
+/// phase spans (TelemetryLevel::Full only) and the memory report, harvested
+/// by Session::solve when the session's telemetry level is not Off. The
+/// counter totals are bit-identical across thread counts and telemetry
+/// levels — they count logical algorithm work, not physical scheduling —
+/// except the avx2/scalar kernel split, which depends on the host ISA (its
+/// sum is deterministic; see obs::counter_is_deterministic).
+struct SolveTelemetry {
+  obs::TelemetryLevel level = obs::TelemetryLevel::Off;
+  obs::CounterTotals counters;
+  std::vector<obs::SpanRecord> spans;  // empty below Full
+  std::uint64_t dropped_spans = 0;
+  core::MemoryReport memory;
+
+  bool enabled() const noexcept { return level != obs::TelemetryLevel::Off; }
+
+  /// {"level":..,"counters":{..},"memory":{..},"spans":N,"dropped_spans":M}
+  std::string to_json() const;
+  /// chrome://tracing / Perfetto "traceEvents" document over spans.
+  std::string chrome_trace_json() const {
+    return obs::TraceRecorder::chrome_trace_json(spans);
+  }
+  /// One JSON object per span, newline-separated (jq-friendly).
+  std::string spans_json_lines() const {
+    return obs::TraceRecorder::json_lines(spans);
+  }
+};
+
 /// PicassoResult enriched with the plan that produced it (and, for
 /// multi-device runs, the per-shard stats of core::MultiDeviceResult).
 struct SolveReport {
   core::PicassoResult result;
   SolvePlan plan;
+  SolveTelemetry telemetry;  // empty unless SessionBuilder::telemetry()
   std::vector<core::DeviceShardStats> devices;  // empty unless MultiDevice
 
   std::uint64_t total_shard_edges() const noexcept {
@@ -157,6 +188,8 @@ class Session {
 
   const core::PicassoParams& params() const noexcept { return params_; }
 
+  obs::TelemetryLevel telemetry_level() const noexcept { return telemetry_; }
+
   /// Previews the execution decision for `problem` without solving.
   /// Throws ApiError(IncompatibleStrategy) when a forced strategy cannot
   /// run this problem kind.
@@ -183,6 +216,7 @@ class Session {
 
   core::PicassoParams params_;
   core::StreamingOptions streaming_;
+  obs::TelemetryLevel telemetry_ = obs::TelemetryLevel::Off;
   ExecutionStrategy strategy_ = ExecutionStrategy::Auto;
   std::uint32_t num_devices_ = 0;  // 0 = multi-device not configured
   std::size_t device_capacity_bytes_ = 256u << 20;
@@ -262,6 +296,17 @@ class SessionBuilder {
   /// Forces a pipeline instead of Auto planning.
   SessionBuilder& strategy(ExecutionStrategy strategy) {
     session_.strategy_ = strategy;
+    return *this;
+  }
+
+  /// Telemetry harvested into SolveReport::telemetry. Off (the default)
+  /// adds nothing to the solve; Counters enables the deterministic work
+  /// counters; Full additionally records nested phase spans exportable as
+  /// a chrome://tracing document. The global counter registry is run-scoped
+  /// per solve, so concurrent solves with telemetry enabled would mix
+  /// counts — run them sequentially when exact totals matter.
+  SessionBuilder& telemetry(obs::TelemetryLevel level) {
+    session_.telemetry_ = level;
     return *this;
   }
 

@@ -109,11 +109,13 @@ void enumerate_reference_range(const Oracle& oracle,
     }
   } else {
     for (std::uint32_t u = u_lo; u < u_hi; ++u) {
+      std::uint64_t evals = 0;  // flushed per row: schedule-independent
       for (std::uint32_t v = u + 1; v < n; ++v) {
-        if (lists.share_color(u, v) && oracle.edge(active[u], active[v])) {
-          emit(u, v);
-        }
+        if (!lists.share_color(u, v)) continue;
+        ++evals;
+        if (oracle.edge(active[u], active[v])) emit(u, v);
       }
+      obs::count(obs::Counter::OraclePairEvals, evals);
     }
   }
 }
@@ -151,6 +153,7 @@ void enumerate_indexed_range(const Oracle& oracle,
   for (std::uint32_t c = c_lo; c < c_hi; ++c) {
     const std::uint32_t lo = index.offsets[c];
     const std::uint32_t hi = index.offsets[c + 1];
+    std::uint64_t evals = 0;  // flushed per bucket: schedule-independent
     for (std::uint32_t a = lo; a < hi; ++a) {
       for (std::uint32_t b = a + 1; b < hi; ++b) {
         std::uint32_t u = index.members[a];
@@ -159,9 +162,11 @@ void enumerate_indexed_range(const Oracle& oracle,
         // Deduplicate: this pair belongs to color c's bucket for every
         // shared color; only the smallest one reports it.
         if (lists.first_shared_color(u, v) != c) continue;
+        ++evals;
         if (oracle.edge(active[u], active[v])) emit(u, v);
       }
     }
+    obs::count(obs::Counter::OraclePairEvals, evals);
   }
 }
 

@@ -30,6 +30,7 @@
 
 #include "core/palette.hpp"
 #include "graph/oracles.hpp"
+#include "obs/metrics.hpp"
 
 namespace picasso::core {
 
@@ -46,6 +47,21 @@ concept BlockConflictOracle =
              std::size_t count, std::uint8_t* out) {
       { o.edge_block(u, vs, count, out) };
     };
+
+/// Which dispatch counter a batched call against `oracle` charges. Packed
+/// oracles expose their resolved SIMD level; anything else batching through
+/// edge_block (CSR/dense adapters, test doubles) is scalar by construction.
+template <typename Oracle>
+obs::Counter edge_block_counter(const Oracle& oracle) noexcept {
+  if constexpr (requires { oracle.simd_level(); }) {
+    return oracle.simd_level() == pauli::SimdLevel::Avx2
+               ? obs::Counter::EdgeBlockCallsAvx2
+               : obs::Counter::EdgeBlockCallsScalar;
+  } else {
+    (void)oracle;
+    return obs::Counter::EdgeBlockCallsScalar;
+  }
+}
 
 /// Per-row candidate batch for the blocked pair-scan. One instance per
 /// worker/slab; reused across rows so the hot loop never allocates.
@@ -115,9 +131,14 @@ void blocked_row_scan(const Oracle& oracle,
                       BlockScanBuffers& buf) {
   const std::uint64_t sig_u = lists.signature(u);
   const std::uint32_t gu = active[u];
+  // Counter flushes happen per oracle batch / per row — boundaries that
+  // depend only on the candidate order within the row, never on the thread
+  // schedule, so totals stay bit-identical across thread counts.
   auto test = [&oracle, gu](const std::uint32_t* ids, std::size_t count,
                             std::uint8_t* out) {
+    obs::count(obs::Counter::OraclePairEvals, count);
     if constexpr (BlockConflictOracle<Oracle>) {
+      obs::count(edge_block_counter(oracle));
       oracle.edge_block(gu, ids, count, out);
     } else {
       for (std::size_t k = 0; k < count; ++k) {
@@ -127,12 +148,17 @@ void blocked_row_scan(const Oracle& oracle,
   };
   SurvivorBatch batch(buf, test,
                       [&emit, u](std::uint32_t v) { emit(u, v); });
+  std::uint64_t sig_exits = 0;
   for (std::uint32_t v = v_begin; v < v_end; ++v) {
-    if ((sig_u & lists.signature(v)) == 0) continue;  // no shared color
-    if (!lists.share_color(u, v)) continue;           // signature false hit
+    if ((sig_u & lists.signature(v)) == 0) {  // no shared color
+      ++sig_exits;
+      continue;
+    }
+    if (!lists.share_color(u, v)) continue;  // signature false hit
     batch.push(v, active[v]);
   }
   batch.flush();
+  obs::count(obs::Counter::SignatureFastExits, sig_exits);
 }
 
 }  // namespace picasso::core

@@ -116,6 +116,7 @@ MultiDeviceResult solve_multi_device(const Oracle& oracle,
                                      const MultiDeviceConfig& config) {
   MultiDeviceResult result;
   result.devices.assign(config.num_devices, {});
+  obs::ScopedSpan solve_span(params.trace, "solve_multi_device");
 
   // Per-device contexts persist across iterations so the reported peaks are
   // whole-run high-water marks, as in the single-device driver.
@@ -136,6 +137,8 @@ MultiDeviceResult solve_multi_device(const Oracle& oracle,
 
   while (!active.empty() && iteration < params.max_iterations) {
     detail::throw_if_stopped(params.stop);
+    obs::ScopedSpan iter_span(params.trace, "iteration",
+                              static_cast<std::uint64_t>(iteration));
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
     const IterationPalette palette = compute_palette(
@@ -145,7 +148,7 @@ MultiDeviceResult solve_multi_device(const Oracle& oracle,
 
     ColorLists lists;
     {
-      util::ScopedAccumulator acc(stats.assign_seconds);
+      obs::ScopedPhase acc(params.trace, "assign_lists", stats.assign_seconds);
       lists = assign_random_lists(stats.n_active, palette, params.seed,
                                   static_cast<std::uint64_t>(iteration));
     }
@@ -154,7 +157,8 @@ MultiDeviceResult solve_multi_device(const Oracle& oracle,
     // partition as COO plus per-vertex counters, charged to its own budget.
     ConflictBuildResult conflict;
     {
-      util::ScopedAccumulator acc(stats.conflict_seconds);
+      obs::ScopedPhase acc(params.trace, "conflict_shard",
+                           stats.conflict_seconds);
       const std::uint32_t d_count = config.num_devices;
       // Same gate as build_conflict_graph: small inputs must not pay (or
       // trigger) shared-pool construction.
@@ -223,6 +227,9 @@ MultiDeviceResult solve_multi_device(const Oracle& oracle,
           part = {};  // each device frees its bucket as it ingests it —
                       // only [d]-slots are touched, so tasks stay disjoint
         }
+        // Per-device flush: the splitmix routing fixes each shard's edge
+        // count, so the total is schedule-independent.
+        obs::count(obs::Counter::ShardEdgesRouted, edges);
         result.devices[d].edges += edges;
       };
       // One task per device; a shard blowing its budget throws
@@ -262,7 +269,7 @@ MultiDeviceResult solve_multi_device(const Oracle& oracle,
 
     ListColoringResult colored;
     {
-      util::ScopedAccumulator acc(stats.coloring_seconds);
+      obs::ScopedPhase acc(params.trace, "coloring", stats.coloring_seconds);
       colored = color_conflict_graph(conflict.graph, lists,
                                      params.conflict_scheme, coloring_rng);
     }
@@ -278,6 +285,7 @@ MultiDeviceResult solve_multi_device(const Oracle& oracle,
     }
     stats.colored = colored.num_colored;
     stats.uncolored = static_cast<std::uint32_t>(next_active.size());
+    obs::count(obs::Counter::RecolorEvents, stats.uncolored);
     stats.logical_bytes = lists.logical_bytes() + conflict.logical_bytes +
                           colored.aux_peak_bytes;
 

@@ -34,6 +34,9 @@ std::string MemoryReport::to_json() const {
   field("num_chunks", num_chunks);
   field("chunk_loads", chunk_loads);
   field("chunk_evictions", chunk_evictions);
+  field("cache_hits", cache_hits);
+  field("cache_misses", cache_misses);
+  field("chunk_re_reads", chunk_re_reads);
   json += "\"subsystems\":{";
   for (std::size_t i = 0; i < util::kNumMemSubsystems; ++i) {
     std::snprintf(buf, sizeof(buf), "\"%s\":%zu%s",

@@ -24,6 +24,8 @@
 #include "core/solve_control.hpp"
 #include "device/device_context.hpp"
 #include "graph/oracles.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/runtime_config.hpp"
 #include "util/memory.hpp"
@@ -95,6 +97,11 @@ struct PicassoParams {
   /// Per-iteration (and, in the chunked engine, per-chunk-pair) progress
   /// callback, invoked from the solving thread. Empty = no reporting.
   ProgressFn progress;
+  /// Phase-span recorder (obs/trace.hpp). When non-null every engine
+  /// records its nested phase/iteration/chunk-pair spans here; null (the
+  /// default) costs one pointer test per scope. Session installs one for
+  /// TelemetryLevel::Full.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Unified memory telemetry for one run: the registry's per-subsystem
@@ -114,6 +121,9 @@ struct MemoryReport {
   std::size_t num_chunks = 0;       // chunks the input was split into
   std::uint64_t chunk_loads = 0;    // disk chunk reads (loads > chunks ⇒ re-scan)
   std::uint64_t chunk_evictions = 0;
+  std::uint64_t cache_hits = 0;     // chunk requests served resident
+  std::uint64_t cache_misses = 0;   // chunk requests that loaded from disk
+  std::uint64_t chunk_re_reads = 0; // loads beyond the first per chunk
 
   bool within_budget() const noexcept {
     return budget_bytes == 0 || peak_tracked_bytes <= budget_bytes;
@@ -210,6 +220,7 @@ PicassoResult solve_oracle(const Oracle& oracle, const PicassoParams& params) {
   util::WallTimer total_timer;
   util::MemoryRegistry& memory = util::global_memory();
   util::MemoryRunScope run_scope(params.memory_budget_bytes, memory);
+  obs::ScopedSpan solve_span(params.trace, "solve_oracle");
   PicassoResult result;
   const std::uint32_t n = oracle.num_vertices();
   result.colors.assign(n, 0xffffffffu);
@@ -223,6 +234,8 @@ PicassoResult solve_oracle(const Oracle& oracle, const PicassoParams& params) {
 
   while (!active.empty() && iteration < params.max_iterations) {
     detail::throw_if_stopped(params.stop);
+    obs::ScopedSpan iter_span(params.trace, "iteration",
+                              static_cast<std::uint64_t>(iteration));
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
 
@@ -235,7 +248,7 @@ PicassoResult solve_oracle(const Oracle& oracle, const PicassoParams& params) {
     // Line 6: random color lists.
     ColorLists lists;
     {
-      util::ScopedAccumulator acc(stats.assign_seconds);
+      obs::ScopedPhase acc(params.trace, "assign_lists", stats.assign_seconds);
       lists = assign_random_lists(stats.n_active, palette, params.seed,
                                   static_cast<std::uint64_t>(iteration));
     }
@@ -245,7 +258,8 @@ PicassoResult solve_oracle(const Oracle& oracle, const PicassoParams& params) {
     // Line 7: conflict graph (host or simulated-device pipeline).
     ConflictBuildResult conflict;
     {
-      util::ScopedAccumulator acc(stats.conflict_seconds);
+      obs::ScopedPhase acc(params.trace, "conflict_graph",
+                           stats.conflict_seconds);
       if (params.device != nullptr) {
         conflict = build_conflict_graph_device(*params.device, oracle, active,
                                                lists, palette.palette_size,
@@ -267,7 +281,7 @@ PicassoResult solve_oracle(const Oracle& oracle, const PicassoParams& params) {
     // unconflicted set) as a special case of its main loop.
     ListColoringResult colored;
     {
-      util::ScopedAccumulator acc(stats.coloring_seconds);
+      obs::ScopedPhase acc(params.trace, "coloring", stats.coloring_seconds);
       colored = color_conflict_graph(conflict.graph, lists,
                                      params.conflict_scheme, coloring_rng);
     }
@@ -286,6 +300,7 @@ PicassoResult solve_oracle(const Oracle& oracle, const PicassoParams& params) {
     }
     stats.colored = colored.num_colored;
     stats.uncolored = static_cast<std::uint32_t>(next_active.size());
+    obs::count(obs::Counter::RecolorEvents, stats.uncolored);
     stats.logical_bytes = lists.logical_bytes() + conflict.logical_bytes +
                           colored.aux_peak_bytes +
                           active.capacity() * sizeof(std::uint32_t);

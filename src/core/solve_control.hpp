@@ -111,7 +111,18 @@ struct ProgressEvent {
   std::uint32_t n_active = 0;        // active vertices entering the iteration
   std::uint32_t colored = 0;         // vertices colored by this iteration
   std::uint32_t uncolored = 0;       // carried to the next iteration
-  std::uint64_t conflict_edges = 0;  // |Ec| of this iteration
+  /// Conflict edges of this iteration. Per-strategy meaning:
+  ///  * materializing engines (in-memory, semi-streaming, chunked,
+  ///    multi-device): exact |Ec| of the built conflict CSR, reported on
+  ///    IterationDone (and the running emission count mid-iteration on
+  ///    ChunkPairScanned events from the chunked engine);
+  ///  * fused static schemes: exact |Ec| (every pair enumerated at u < v);
+  ///  * fused dynamic schemes: the running strike-hit count — conflict
+  ///    edges actually struck so far. Scans stop at each vertex's first
+  ///    usable color, so this is a lower bound on |Ec| that grows
+  ///    monotonically across the iteration's BucketScanned events and
+  ///    lands on the iteration's total at IterationDone.
+  std::uint64_t conflict_edges = 0;
   // ChunkPairScanned extras (chunked engine).
   std::size_t chunk_pair = 0;        // ordinal of the finished pair scan
   std::size_t chunk_pairs_total = 0; // pairs this iteration will scan

@@ -69,8 +69,8 @@ class PackedChunkTester {
         active_(active),
         spc_(reader.strings_per_chunk()),
         words_(pauli::packed_words(reader.num_qubits())),
-        kernel_(pauli::resolve_block_kernel(
-            words_, pauli::resolve_simd_level(simd))) {
+        simd_(pauli::resolve_simd_level(simd)),
+        kernel_(pauli::resolve_block_kernel(words_, simd_)) {
     swapped_.resize(2 * words_);
   }
 
@@ -93,6 +93,11 @@ class PackedChunkTester {
       }
       const auto set_b = chunk == cv ? set_v : cache_->get(chunk);
       const pauli::PackedView view = set_b->view();
+      // One kernel call per same-chunk run — serial driver, so the count
+      // is schedule-independent.
+      obs::count(simd_ == pauli::SimdLevel::Avx2
+                     ? obs::Counter::EdgeBlockCallsAvx2
+                     : obs::Counter::EdgeBlockCallsScalar);
       kernel_(swapped_.data(), view.data, words_, rel_.data(), rel_.size(),
               hits + i);
       // Complement-graph edge: the strings do NOT anticommute (v is never
@@ -112,6 +117,7 @@ class PackedChunkTester {
   std::span<const std::uint32_t> active_;
   std::size_t spc_;
   std::size_t words_;
+  pauli::SimdLevel simd_;
   pauli::AnticommuteBlockFn kernel_;
   std::vector<std::uint64_t> swapped_;
   std::vector<std::uint32_t> rel_;
@@ -171,6 +177,7 @@ PicassoResult solve_pauli_chunked_fused(const pauli::ChunkedPauliReader& reader,
 
   PicassoResult result = detail::solve_fused_loop(
       static_cast<std::uint32_t>(reader.num_strings()), params,
+      "solve_fused_streaming",
       [&](std::span<const std::uint32_t> active, const ColorLists& lists,
           const detail::ColorIndex& index, const IterationPalette& palette,
           util::Xoshiro256& rng, int iteration,
@@ -204,6 +211,9 @@ PicassoResult solve_pauli_chunked_fused(const pauli::ChunkedPauliReader& reader,
   result.memory.num_chunks = reader.num_chunks();
   result.memory.chunk_loads = reader.chunk_loads();
   result.memory.chunk_evictions = cache.evictions() + packed_cache.evictions();
+  result.memory.cache_hits = cache.hits() + packed_cache.hits();
+  result.memory.cache_misses = cache.misses() + packed_cache.misses();
+  result.memory.chunk_re_reads = reader.re_reads();
   std::error_code ec;
   const auto file_bytes = std::filesystem::file_size(reader.path(), ec);
   if (!ec) result.memory.spill_bytes = static_cast<std::size_t>(file_bytes);

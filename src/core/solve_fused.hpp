@@ -71,10 +71,14 @@ namespace detail {
 /// many strike scans (every scan still checks the stop token).
 inline constexpr std::size_t kFusedProgressInterval = 256;
 
-/// Work counters one fused iteration accumulates.
+/// Work counters one fused iteration accumulates. The driver loop flushes
+/// them into obs::global_metrics() once per iteration — a schedule-
+/// independent boundary, so counter totals stay bit-identical across
+/// thread counts.
 struct FusedScanStats {
   std::uint64_t edges_struck = 0;  // oracle-confirmed strike targets
   std::uint64_t pairs_tested = 0;  // candidates handed to the oracle
+  std::uint64_t bucket_scans = 0;  // candidate-bucket scans issued
 };
 
 /// Strike enumerator the shared scheme bodies drive (ForEachStrike
@@ -131,12 +135,17 @@ class FusedStrikeEnumerator {
     if (any) (*touched_)[v] = 1;
 
     ++scans_;
+    ++stats_->bucket_scans;
     if (params_->progress && scans_ % kFusedProgressInterval == 0) {
       ProgressEvent event;
       event.stage = ProgressStage::BucketScanned;
       event.iteration = iteration_;
       event.n_active = n_active_;
       event.bucket_scans = scans_;
+      // Running strike-hit count — the fused dynamic schemes build no CSR,
+      // so this lower bound on |Ec| is what progress consumers get
+      // mid-iteration (see ProgressEvent::conflict_edges).
+      event.conflict_edges = stats_->edges_struck;
       params_->progress(event);
     }
   }
@@ -187,6 +196,7 @@ class FusedNeighborEnumerator {
   void operator()(std::uint32_t v, Visit&& visit) {
     throw_if_stopped(params_->stop);
     for (std::uint32_t c : lists_->list(v)) {
+      ++stats_->bucket_scans;
       cands_.clear();
       const std::uint32_t lo = index_->offsets[c];
       const std::uint32_t hi = index_->offsets[c + 1];
@@ -325,6 +335,13 @@ class OracleBatchTester {
       global_[i] = active_[cands[i]];
     }
     const std::uint32_t gu = active_[v];
+    if constexpr (BlockConflictOracle<Oracle>) {
+      // Logical batch count: the physical call count shifts with pool slab
+      // boundaries, so the dispatch counter charges ceil(|cands| / batch)
+      // — the serial batching — to stay bit-identical across threads.
+      obs::count(edge_block_counter(*oracle_),
+                 (cands.size() + kBlockScanBatch - 1) / kBlockScanBatch);
+    }
     auto test_range = [&](std::size_t lo, std::size_t hi) {
       if constexpr (BlockConflictOracle<Oracle>) {
         for (std::size_t b = lo; b < hi; b += kBlockScanBatch) {
@@ -418,13 +435,16 @@ ListColoringResult fused_color_iteration(
 /// rng, iteration, scan_stats, conflicted, scan_scratch)` colors one
 /// iteration (through fused_color_iteration with an engine-specific
 /// tester) and returns its ListColoringResult, adding any tester scratch
-/// into scan_scratch.
+/// into scan_scratch. `span_name` labels the root trace span ("solve_fused"
+/// vs "solve_fused_streaming").
 template <typename ColorIteration>
 PicassoResult solve_fused_loop(std::uint32_t n, const PicassoParams& params,
+                               const char* span_name,
                                ColorIteration&& color_iteration) {
   util::WallTimer total_timer;
   util::MemoryRegistry& memory = util::global_memory();
   util::MemoryRunScope run_scope(params.memory_budget_bytes, memory);
+  obs::ScopedSpan solve_span(params.trace, span_name);
   PicassoResult result;
   result.colors.assign(n, 0xffffffffu);
 
@@ -437,6 +457,8 @@ PicassoResult solve_fused_loop(std::uint32_t n, const PicassoParams& params,
 
   while (!active.empty() && iteration < params.max_iterations) {
     throw_if_stopped(params.stop);
+    obs::ScopedSpan iter_span(params.trace, "iteration",
+                              static_cast<std::uint64_t>(iteration));
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
 
@@ -448,7 +470,7 @@ PicassoResult solve_fused_loop(std::uint32_t n, const PicassoParams& params,
 
     ColorLists lists;
     {
-      util::ScopedAccumulator acc(stats.assign_seconds);
+      obs::ScopedPhase acc(params.trace, "assign_lists", stats.assign_seconds);
       lists = assign_random_lists(stats.n_active, palette, params.seed,
                                   static_cast<std::uint64_t>(iteration));
     }
@@ -471,7 +493,7 @@ PicassoResult solve_fused_loop(std::uint32_t n, const PicassoParams& params,
     std::size_t scan_scratch = 0;
     ListColoringResult colored;
     {
-      util::ScopedAccumulator acc(stats.coloring_seconds);
+      obs::ScopedPhase acc(params.trace, "coloring", stats.coloring_seconds);
       colored = color_iteration(std::span<const std::uint32_t>(active), lists,
                                 index, palette, coloring_rng, iteration,
                                 scan_stats, conflicted, scan_scratch);
@@ -502,6 +524,13 @@ PicassoResult solve_fused_loop(std::uint32_t n, const PicassoParams& params,
     stats.logical_bytes = lists.logical_bytes() + index_charge.bytes() +
                           colored.aux_peak_bytes +
                           active.capacity() * sizeof(std::uint32_t);
+
+    // Per-iteration counter flush (the testers only count their kernel
+    // dispatches; all pair/strike accounting funnels through scan_stats).
+    obs::count(obs::Counter::OraclePairEvals, scan_stats.pairs_tested);
+    obs::count(obs::Counter::StrikeHits, scan_stats.edges_struck);
+    obs::count(obs::Counter::BucketStrikeScans, scan_stats.bucket_scans);
+    obs::count(obs::Counter::RecolorEvents, stats.uncolored);
 
     result.iterations.push_back(stats);
     result.assign_seconds += stats.assign_seconds;
@@ -546,7 +575,7 @@ PicassoResult solve_fused_loop(std::uint32_t n, const PicassoParams& params,
 template <graph::GraphOracle Oracle>
 PicassoResult solve_fused(const Oracle& oracle, const PicassoParams& params) {
   return detail::solve_fused_loop(
-      oracle.num_vertices(), params,
+      oracle.num_vertices(), params, "solve_fused",
       [&](std::span<const std::uint32_t> active, const ColorLists& lists,
           const detail::ColorIndex& index, const IterationPalette& palette,
           util::Xoshiro256& rng, int iteration,

@@ -90,6 +90,8 @@ void scan_chunk_pairs(const pauli::ChunkedPauliReader& reader, Cache& cache,
       // Chunk-boundary checkpoint: a requested stop cancels before the next
       // pair is loaded or scanned; RAII drops the partial COO partitions.
       detail::throw_if_stopped(params.stop);
+      obs::ScopedSpan pair_span(params.trace, "chunk_pair",
+                                static_cast<std::uint64_t>(pairs_done));
       const auto set_b = cj == ci ? set_a : cache.get(cj);
       const std::size_t begin_b = reader.chunk_begin(cj);
       const auto& us = active_in[ci];
@@ -148,9 +150,13 @@ void scan_chunk_pairs_scalar(
                    const std::vector<std::uint32_t>& vs,
                    std::vector<std::uint32_t>& coo) {
           const std::uint64_t* eu = set_a.encoded3(active[lu] - begin_a);
+          // Row-local tallies flushed once per row: the per-row work is
+          // fixed by the candidate order, so totals are slab-schedule-free.
+          std::uint64_t evals = 0;
           for (std::size_t b = b0; b < vs.size(); ++b) {
             const std::uint32_t lv = vs[b];
             if (!lists.share_color(lu, lv)) continue;
+            ++evals;
             // Complement-graph edge: the strings do NOT anticommute.
             if (!pauli::anticommute3(
                     eu, set_b.encoded3(active[lv] - begin_b), words3)) {
@@ -158,6 +164,7 @@ void scan_chunk_pairs_scalar(
               coo.push_back(lv);
             }
           }
+          obs::count(obs::Counter::OraclePairEvals, evals);
         };
       });
 }
@@ -178,6 +185,10 @@ void scan_chunk_pairs_packed(
   const std::size_t words = pauli::packed_words(reader.num_qubits());
   const pauli::AnticommuteBlockFn kernel =
       pauli::resolve_block_kernel(words, simd);
+  const obs::Counter kernel_counter =
+      pauli::resolve_simd_level(simd) == pauli::SimdLevel::Avx2
+          ? obs::Counter::EdgeBlockCallsAvx2
+          : obs::Counter::EdgeBlockCallsScalar;
   // Per-slab scratch lives in the row-scan closure (one make_row_scan call
   // per slab), so concurrent slabs never share buffers.
   struct Scratch {
@@ -187,18 +198,18 @@ void scan_chunk_pairs_packed(
   scan_chunk_pairs(
       reader, cache, active_in, pool, workers, params, iteration, parts,
       coo_charge,
-      [&active, &lists, words, kernel](const pauli::PackedPauliSet& set_a,
-                                       const pauli::PackedPauliSet& set_b,
-                                       std::size_t begin_a,
-                                       std::size_t begin_b) {
+      [&active, &lists, words, kernel,
+       kernel_counter](const pauli::PackedPauliSet& set_a,
+                       const pauli::PackedPauliSet& set_b,
+                       std::size_t begin_a, std::size_t begin_b) {
         auto scratch = std::make_shared<Scratch>();
         scratch->swapped.resize(2 * words);
         scratch->buf.reserve(kBlockScanBatch);
         const pauli::PackedView view_b = set_b.view();
-        return [&, words, kernel, view_b, begin_a, begin_b, scratch](
-                   std::uint32_t lu, std::size_t b0,
-                   const std::vector<std::uint32_t>& vs,
-                   std::vector<std::uint32_t>& coo) {
+        return [&, words, kernel, kernel_counter, view_b, begin_a, begin_b,
+                scratch](std::uint32_t lu, std::size_t b0,
+                         const std::vector<std::uint32_t>& vs,
+                         std::vector<std::uint32_t>& coo) {
           Scratch& s = *scratch;
           pauli::make_swapped_record(set_a.record(active[lu] - begin_a),
                                      words, s.swapped.data());
@@ -206,9 +217,13 @@ void scan_chunk_pairs_packed(
           // Ids pushed into the batch are record indices within chunk B;
           // a complement-graph edge exists when the kernel reports NO
           // anticommutation, hence the inversion after the kernel call.
-          auto test = [&s, kernel, view_b, words](const std::uint32_t* ids,
-                                                  std::size_t count,
-                                                  std::uint8_t* out) {
+          // Batch flush boundaries are fixed by the candidate order within
+          // this row, so the per-flush counts are slab-schedule-free.
+          auto test = [&s, kernel, kernel_counter, view_b, words](
+                          const std::uint32_t* ids, std::size_t count,
+                          std::uint8_t* out) {
+            obs::count(obs::Counter::OraclePairEvals, count);
+            obs::count(kernel_counter);
             kernel(s.swapped.data(), view_b.data, words, ids, count, out);
             for (std::size_t k = 0; k < count; ++k) out[k] = !out[k];
           };
@@ -216,13 +231,18 @@ void scan_chunk_pairs_packed(
             coo.push_back(lu);
             coo.push_back(lv);
           });
+          std::uint64_t sig_exits = 0;
           for (std::size_t b = b0; b < vs.size(); ++b) {
             const std::uint32_t lv = vs[b];
-            if ((sig_u & lists.signature(lv)) == 0) continue;
+            if ((sig_u & lists.signature(lv)) == 0) {
+              ++sig_exits;
+              continue;
+            }
             if (!lists.share_color(lu, lv)) continue;
             batch.push(lv, static_cast<std::uint32_t>(active[lv] - begin_b));
           }
           batch.flush();
+          obs::count(obs::Counter::SignatureFastExits, sig_exits);
         };
       });
 }
@@ -234,6 +254,7 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
   util::WallTimer total_timer;
   util::MemoryRegistry& memory = util::global_memory();
   util::MemoryRunScope run_scope(params.memory_budget_bytes, memory);
+  obs::ScopedSpan solve_span(params.trace, "solve_chunked");
 
   PicassoResult result;
   const auto n = static_cast<std::uint32_t>(reader.num_strings());
@@ -260,6 +281,8 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
 
   while (!active.empty() && iteration < params.max_iterations) {
     detail::throw_if_stopped(params.stop);
+    obs::ScopedSpan iter_span(params.trace, "iteration",
+                              static_cast<std::uint64_t>(iteration));
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
     const IterationPalette palette = compute_palette(
@@ -269,7 +292,7 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
 
     ColorLists lists;
     {
-      util::ScopedAccumulator acc(stats.assign_seconds);
+      obs::ScopedPhase acc(params.trace, "assign_lists", stats.assign_seconds);
       lists = assign_random_lists(stats.n_active, palette, params.seed,
                                   static_cast<std::uint64_t>(iteration));
     }
@@ -289,7 +312,8 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
     // the result bit-identical to the oracle driver's regardless of order.
     ConflictBuildResult conflict;
     {
-      util::ScopedAccumulator acc(stats.conflict_seconds);
+      obs::ScopedPhase acc(params.trace, "conflict_scan",
+                           stats.conflict_seconds);
       runtime::ThreadPool* pool =
           stats.n_active >= params.runtime.serial_cutoff
               ? runtime::resolve_pool(params.runtime)
@@ -326,7 +350,7 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
 
     ListColoringResult colored;
     {
-      util::ScopedAccumulator acc(stats.coloring_seconds);
+      obs::ScopedPhase acc(params.trace, "coloring", stats.coloring_seconds);
       colored = color_conflict_graph(conflict.graph, lists,
                                      params.conflict_scheme, coloring_rng);
     }
@@ -345,6 +369,7 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
     }
     stats.colored = colored.num_colored;
     stats.uncolored = static_cast<std::uint32_t>(next_active.size());
+    obs::count(obs::Counter::RecolorEvents, stats.uncolored);
     stats.logical_bytes = lists.logical_bytes() + conflict.logical_bytes +
                           colored.aux_peak_bytes +
                           active.capacity() * sizeof(std::uint32_t);
@@ -387,6 +412,9 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
   result.memory.num_chunks = num_chunks;
   result.memory.chunk_loads = reader.chunk_loads();
   result.memory.chunk_evictions = cache.evictions() + packed_cache.evictions();
+  result.memory.cache_hits = cache.hits() + packed_cache.hits();
+  result.memory.cache_misses = cache.misses() + packed_cache.misses();
+  result.memory.chunk_re_reads = reader.re_reads();
   std::error_code ec;
   const auto file_bytes = std::filesystem::file_size(reader.path(), ec);
   if (!ec) result.memory.spill_bytes = static_cast<std::size_t>(file_bytes);

@@ -164,6 +164,7 @@ template <typename EdgeSource>
 PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
                            const PicassoParams& params) {
   util::WallTimer total_timer;
+  obs::ScopedSpan solve_span(params.trace, "solve_stream");
   PicassoResult result;
   result.colors.assign(n, 0xffffffffu);
 
@@ -182,6 +183,8 @@ PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
 
   while (!active.empty() && iteration < params.max_iterations) {
     detail::throw_if_stopped(params.stop);
+    obs::ScopedSpan iter_span(params.trace, "iteration",
+                              static_cast<std::uint64_t>(iteration));
     IterationStats stats;
     stats.n_active = static_cast<std::uint32_t>(active.size());
     const IterationPalette palette = compute_palette(
@@ -191,7 +194,7 @@ PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
 
     ColorLists lists;
     {
-      util::ScopedAccumulator acc(stats.assign_seconds);
+      obs::ScopedPhase acc(params.trace, "assign_lists", stats.assign_seconds);
       lists = assign_random_lists(stats.n_active, palette, params.seed,
                                   static_cast<std::uint64_t>(iteration));
     }
@@ -199,10 +202,13 @@ PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
     // One pass: keep exactly the conflicted edges among active vertices.
     ConflictBuildResult conflict;
     {
-      util::ScopedAccumulator acc(stats.conflict_seconds);
+      obs::ScopedPhase acc(params.trace, "conflict_pass",
+                           stats.conflict_seconds);
+      std::uint64_t edges_seen = 0;  // flushed per pass (serial stream)
       conflict.graph = detail::csr_from_enumerator(
           stats.n_active, [&](auto&& emit) {
             source.for_each_edge([&](std::uint32_t gu, std::uint32_t gv) {
+              ++edges_seen;
               std::uint32_t lu = local_of[gu];
               std::uint32_t lv = local_of[gv];
               if (lu == kInactive || lv == kInactive) return;
@@ -210,6 +216,7 @@ PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
               if (lists.share_color(lu, lv)) emit(lu, lv);
             });
           });
+      obs::count(obs::Counter::StreamEdgesScanned, edges_seen);
       conflict.num_edges = conflict.graph.num_edges();
       conflict.num_conflicted_vertices =
           detail::count_conflicted(conflict.graph);
@@ -220,7 +227,7 @@ PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
 
     ListColoringResult colored;
     {
-      util::ScopedAccumulator acc(stats.coloring_seconds);
+      obs::ScopedPhase acc(params.trace, "coloring", stats.coloring_seconds);
       colored = color_conflict_graph(conflict.graph, lists,
                                      params.conflict_scheme, coloring_rng);
     }
@@ -236,6 +243,7 @@ PicassoResult solve_stream(std::uint32_t n, const EdgeSource& source,
     }
     stats.colored = colored.num_colored;
     stats.uncolored = static_cast<std::uint32_t>(next_active.size());
+    obs::count(obs::Counter::RecolorEvents, stats.uncolored);
     stats.logical_bytes = lists.logical_bytes() + conflict.logical_bytes +
                           colored.aux_peak_bytes +
                           local_of.capacity() * sizeof(std::uint32_t);

@@ -185,10 +185,11 @@ class PackedAnticommuteOracle {
   explicit PackedAnticommuteOracle(
       pauli::PackedView view, pauli::SimdLevel simd = pauli::SimdLevel::Auto)
       : view_(view),
-        kernel_(pauli::resolve_block_kernel(view.words,
-                                            pauli::resolve_simd_level(simd))) {}
+        simd_(pauli::resolve_simd_level(simd)),
+        kernel_(pauli::resolve_block_kernel(view.words, simd_)) {}
 
   VertexId num_vertices() const { return static_cast<VertexId>(view_.size); }
+  pauli::SimdLevel simd_level() const noexcept { return simd_; }
 
   bool edge(VertexId u, VertexId v) const {
     return u != v && pauli::anticommute_record_scalar(
@@ -203,6 +204,7 @@ class PackedAnticommuteOracle {
 
  private:
   pauli::PackedView view_;
+  pauli::SimdLevel simd_;
   pauli::AnticommuteBlockFn kernel_;
 };
 

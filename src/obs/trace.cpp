@@ -1,0 +1,59 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace picasso::obs {
+
+namespace {
+
+// Span names are static identifiers ([a-z0-9_.:-]); escaping is still
+// done defensively so a stray quote cannot corrupt the JSON.
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out += '\\';
+    out += *p;
+  }
+}
+
+}  // namespace
+
+std::string TraceRecorder::chrome_trace_json(
+    const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, span.name);
+    // Complete events: ph "X" with microsecond ts/dur. One process/thread
+    // — spans are recorded on the driver thread only.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"args\":{\"arg\":%llu}}",
+                  span.start_seconds * 1e6, span.duration_seconds * 1e6,
+                  static_cast<unsigned long long>(span.arg));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceRecorder::json_lines(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  char buf[160];
+  for (const SpanRecord& span : spans) {
+    out += "{\"name\":\"";
+    append_escaped(out, span.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"arg\":%llu,\"start_s\":%.9f,\"dur_s\":%.9f,"
+                  "\"depth\":%d}\n",
+                  static_cast<unsigned long long>(span.arg),
+                  span.start_seconds, span.duration_seconds, span.depth);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace picasso::obs

@@ -43,10 +43,13 @@ std::size_t spill_pauli_set(const PauliSet& set, const std::string& path) {
   if (!out) {
     throw std::runtime_error("spill_pauli_set: write failed for " + path);
   }
-  return kHeaderBytes +
-         set.size() * (set.words_per_string() * sizeof(std::uint64_t) +
-                       sizeof(double)) +
-         packed_words_total * sizeof(std::uint64_t);
+  const std::size_t total_bytes =
+      kHeaderBytes +
+      set.size() * (set.words_per_string() * sizeof(std::uint64_t) +
+                    sizeof(double)) +
+      packed_words_total * sizeof(std::uint64_t);
+  obs::count(obs::Counter::SpillBytesWritten, total_bytes);
+  return total_bytes;
 }
 
 ChunkedPauliReader::ChunkedPauliReader(std::string path,
@@ -100,6 +103,19 @@ std::size_t ChunkedPauliReader::chunk_packed_resident_bytes(
   return chunk_size(chunk) * 2 * words2_ * sizeof(std::uint64_t);
 }
 
+void ChunkedPauliReader::note_load(std::size_t chunk,
+                                   std::size_t bytes) const {
+  ++chunk_loads_;
+  if (loaded_.empty()) loaded_.resize(num_chunks(), false);
+  if (loaded_[chunk]) {
+    ++re_reads_;
+    obs::count(obs::Counter::ChunkReReads);
+  } else {
+    loaded_[chunk] = true;
+  }
+  obs::count(obs::Counter::SpillBytesRead, bytes);
+}
+
 PauliSet ChunkedPauliReader::load_chunk(std::size_t chunk) const {
   const std::size_t begin = chunk_begin(chunk);
   const std::size_t count = chunk_size(chunk);
@@ -130,7 +146,8 @@ PauliSet ChunkedPauliReader::load_chunk(std::size_t chunk) const {
   for (std::size_t i = 0; i < count; ++i) {
     strings.push_back(decode3(packed.data() + i * words3_, num_qubits_));
   }
-  ++chunk_loads_;
+  note_load(chunk, packed.size() * sizeof(std::uint64_t) +
+                       coefs.size() * sizeof(double));
   return PauliSet(strings, std::move(coefs));
 }
 
@@ -160,7 +177,7 @@ PackedPauliSet ChunkedPauliReader::load_chunk_packed(std::size_t chunk) const {
     throw std::runtime_error("ChunkedPauliReader: truncated packed chunk in " +
                              path_);
   }
-  ++chunk_loads_;
+  note_load(chunk, words.size() * sizeof(std::uint64_t));
   return PackedPauliSet::from_raw(num_qubits_, count, std::move(words));
 }
 

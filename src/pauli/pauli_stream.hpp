@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pauli/pauli_packed.hpp"
 #include "pauli/pauli_set.hpp"
 #include "util/memory.hpp"
@@ -96,7 +97,16 @@ class ChunkedPauliReader {
   /// load beyond the first per chunk is a budget-forced re-scan).
   std::uint64_t chunk_loads() const noexcept { return chunk_loads_; }
 
+  /// Loads beyond the first per chunk — the budget-forced re-scans, broken
+  /// out of chunk_loads() (which also counts each chunk's cold read).
+  std::uint64_t re_reads() const noexcept { return re_reads_; }
+
  private:
+  /// Telemetry for one completed chunk read of `bytes` payload bytes:
+  /// counts the load, classifies it as cold read vs re-read, and feeds the
+  /// global work counters.
+  void note_load(std::size_t chunk, std::size_t bytes) const;
+
   std::string path_;
   std::size_t strings_per_chunk_ = 0;
   std::size_t num_strings_ = 0;
@@ -105,6 +115,8 @@ class ChunkedPauliReader {
   std::size_t words2_ = 0;
   bool has_packed_ = false;
   mutable std::uint64_t chunk_loads_ = 0;
+  mutable std::uint64_t re_reads_ = 0;
+  mutable std::vector<bool> loaded_;  // per chunk: read at least once
 };
 
 namespace detail {
@@ -157,9 +169,13 @@ class BasicPauliChunkCache {
     for (Entry& e : entries_) {
       if (e.chunk == chunk) {
         e.last_use = clock_;
+        ++hits_;
+        obs::count(obs::Counter::ChunkCacheHits);
         return e.set;
       }
     }
+    ++misses_;
+    obs::count(obs::Counter::ChunkCacheMisses);
 
     // Miss: make room under the budget, oldest chunks first. try_charge is
     // the admission test; eviction only drops the cache's reference, so a
@@ -175,6 +191,7 @@ class BasicPauliChunkCache {
                                      });
       entries_.erase(oldest);
       ++evictions_;
+      obs::count(obs::Counter::ChunkCacheEvictions);
       charged =
           registry_->try_charge(util::MemSubsystem::ChunkCache, bytes);
     }
@@ -196,6 +213,8 @@ class BasicPauliChunkCache {
     return set;
   }
 
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
 
   /// Drops every cached chunk (charges release as references expire).
@@ -212,6 +231,8 @@ class BasicPauliChunkCache {
   util::MemoryRegistry* registry_;
   std::vector<Entry> entries_;
   std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
 };
 
