@@ -31,6 +31,13 @@
 //                   CSV stream stays clean)
 //   --trace FILE    record phase spans (TelemetryLevel::Full) and write a
 //                   chrome://tracing / Perfetto document to FILE
+//   --update FILE   partition: solve the dataset as an incremental baseline
+//                   (Session::solve_incremental), then ingest FILE — a .pset
+//                   written by PauliSet::save_binary — through
+//                   Session::update(), printing one work summary per update.
+//                   Repeatable; files apply in command-line order. Combine
+//                   with --budget to grow a disk spill instead of resident
+//                   memory.
 //
 // Exit codes: 0 success, 1 runtime failure (unreadable input, invalid
 // result), 2 usage error (unknown command/flag/value, or a flag
@@ -47,6 +54,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -86,6 +94,7 @@ struct CliOptions {
   bool csv = false;
   bool metrics = false;
   std::string trace_file;
+  std::vector<std::string> update_files;
 
   obs::TelemetryLevel telemetry_level() const {
     if (!trace_file.empty()) return obs::TelemetryLevel::Full;
@@ -100,7 +109,7 @@ const char* kUsage =
     "[--backend auto|scalar|packed|packed-scalar] "
     "[--strategy auto|inmemory|streaming|semi-streaming|multi-device|fused] "
     "[--budget BYTES] [--file path] [--mtx] [--stream] [--refine] [--csv] "
-    "[--metrics] [--trace FILE]";
+    "[--metrics] [--trace FILE] [--update FILE]...";
 
 double parse_double(const char* flag, const std::string& text) {
   char* end = nullptr;
@@ -175,6 +184,8 @@ CliOptions parse_args(int argc, char** argv) {
       opt.metrics = true;
     } else if (arg == "--trace") {
       opt.trace_file = next("--trace");
+    } else if (arg == "--update") {
+      opt.update_files.push_back(next("--update"));
     } else if (arg == "--mtx") {
       opt.mtx = true;
     } else if (arg == "--stream") {
@@ -278,17 +289,70 @@ int cmd_info(const CliOptions& opt) {
   return 0;
 }
 
+/// --update path of `partition`: incremental baseline over the dataset,
+/// then one Session::update() per file, each with a work-summary line.
+/// Returns the final report; appends every delta's strings to `strings` so
+/// the caller can group and verify the combined set.
+api::SolveReport run_updates(api::Session& session, const CliOptions& opt,
+                             const pauli::PauliSet& set,
+                             std::vector<pauli::PauliString>& strings) {
+  api::SolveReport report =
+      session.solve_incremental(api::Problem::pauli(set));
+  std::fprintf(stderr,
+               "picasso_cli: baseline %zu strings -> %u colors (%s)\n",
+               set.size(), report.result.num_colors,
+               util::format_duration(report.result.total_seconds).c_str());
+  for (const std::string& path : opt.update_files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open update file " + path);
+    pauli::PauliSet delta = pauli::PauliSet::load_binary(in);
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      strings.push_back(delta.string(i));
+    }
+    report = session.update(api::UpdateDelta::pauli(std::move(delta)));
+    const core::UpdateStats& u = *report.update;
+    std::fprintf(stderr,
+                 "picasso_cli: update %s: +%u vertices, %llu probes, "
+                 "%u recolor moves, %u fresh colors, %u escalations -> "
+                 "%u colors (%s)%s\n",
+                 path.c_str(), u.vertices_inserted,
+                 static_cast<unsigned long long>(u.bucket_probes),
+                 u.recolor_moves, u.fresh_colors, u.escalations, u.num_colors,
+                 util::format_duration(u.seconds).c_str(),
+                 session.incremental_state()->spilled() ? " [spilled]" : "");
+  }
+  return report;
+}
+
 int cmd_partition(const CliOptions& opt) {
   if (opt.target.empty()) throw UsageError("partition requires a dataset name");
   // Validates numeric flags eagerly (UsageError on bad ones).
-  const api::Session session = session_from(opt);
+  api::Session session = session_from(opt);
   const auto& spec = pauli::dataset_by_name(opt.target);
   const auto& set = pauli::load_dataset(spec);
   core::PartitionResult result;
   api::SolveReport report;
   const bool want_telemetry =
       opt.telemetry_level() != obs::TelemetryLevel::Off;
-  if (opt.strategy == api::ExecutionStrategy::Auto && !want_telemetry) {
+  // The combined set the groups are built from — the dataset itself unless
+  // --update files extend it.
+  const pauli::PauliSet* active = &set;
+  pauli::PauliSet combined;
+  if (!opt.update_files.empty()) {
+    if (opt.mode != core::GroupingMode::Unitary) {
+      throw UsageError("--update applies to unitary partitioning only");
+    }
+    std::vector<pauli::PauliString> strings;
+    strings.reserve(set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      strings.push_back(set.string(i));
+    }
+    report = run_updates(session, opt, set, strings);
+    combined = pauli::PauliSet(std::move(strings));
+    active = &combined;
+    result.coloring = report.result;
+    result.groups = core::groups_from_coloring(combined, result.coloring.colors);
+  } else if (opt.strategy == api::ExecutionStrategy::Auto && !want_telemetry) {
     result = core::partition_pauli_strings(set, params_from(opt), opt.mode);
   } else if (opt.mode == core::GroupingMode::Unitary) {
     // A forced strategy (or a telemetry request) routes the coloring through
@@ -303,7 +367,7 @@ int cmd_partition(const CliOptions& opt) {
         "partitioning only; commute/qwc run the default pipeline");
   }
   const std::string violation =
-      core::verify_partition(set, result.groups, opt.mode);
+      core::verify_partition(*active, result.groups, opt.mode);
   if (!violation.empty()) {
     std::fprintf(stderr, "picasso_cli: INVALID PARTITION: %s\n",
                  violation.c_str());
@@ -314,7 +378,8 @@ int cmd_partition(const CliOptions& opt) {
     for (std::size_t g = 0; g < result.groups.size(); ++g) {
       for (std::uint32_t m : result.groups[g].members) {
         std::printf("%zu,%u,%s,%.12g\n", g, m,
-                    set.string(m).to_string().c_str(), set.coefficient(m));
+                    active->string(m).to_string().c_str(),
+                    active->coefficient(m));
       }
     }
     emit_telemetry(report, opt);
@@ -322,7 +387,7 @@ int cmd_partition(const CliOptions& opt) {
   }
   std::printf("%s under %s: %zu strings -> %zu groups (%.2fx), "
               "%zu iterations, %llu max conflict edges, %s\n",
-              spec.name.c_str(), to_string(opt.mode), set.size(),
+              spec.name.c_str(), to_string(opt.mode), active->size(),
               result.num_groups(), result.compression_ratio(),
               result.coloring.iterations.size(),
               static_cast<unsigned long long>(result.coloring.max_conflict_edges),

@@ -26,7 +26,11 @@ Records are keyed by (bench, name). The gate fails when
     params). The avx2/scalar kernel split depends on the host ISA, so those
     two are gated on their SUM (total block-kernel invocations), not
     individually. A baseline counter missing from the current record is a
-    coverage loss and fails too.
+    coverage loss and fails too, or
+  * a record carries a "coloring_hash" (the FNV-1a replay fingerprint of the
+    final coloring, emitted by bench_incremental) in the baseline and the
+    current value differs — or is missing — at all. Single-threaded
+    colorings are bit-reproducible, so the hash is gated exactly.
 
 New records (present now, absent from the baseline) are reported but do not
 fail the gate — refresh the baseline to start tracking them.
@@ -109,6 +113,7 @@ def main():
 
     failures = []
     counter_records = 0
+    hash_records = 0
     for key, base_row in sorted(baseline.items()):
         label = f"{key[0]}/{key[1]}"
         cur_row = current.get(key)
@@ -150,6 +155,22 @@ def main():
             failures.append(
                 f"COUNTER  {label}: baseline has counters, current record "
                 f"does not (coverage loss)")
+        base_hash = base_row.get("coloring_hash")
+        if base_hash is not None:
+            cur_hash = cur_row.get("coloring_hash")
+            hash_records += 1
+            if cur_hash is None:
+                status = "REGRESSION"
+                failures.append(
+                    f"HASH     {label}: baseline has coloring_hash, current "
+                    f"record does not (coverage loss)")
+            elif cur_hash != base_hash:
+                status = "REGRESSION"
+                failures.append(
+                    f"HASH     {label}: coloring_hash {cur_hash} != baseline "
+                    f"{base_hash} (replay determinism gate)")
+            else:
+                counter_note += ", coloring_hash exact"
         print(f"{status:10s} {label}: {base_peak} -> {cur_peak} B "
               f"({delta:+.1f}%){counter_note}")
 
@@ -194,7 +215,8 @@ def main():
         return 1
     print(f"\nbench memory gate passed "
           f"({len(baseline)} records, {fused_checked} fused-vs-materialized "
-          f"checks, {counter_records} counter records exact-matched, "
+          f"checks, {counter_records} counter records and "
+          f"{hash_records} coloring hashes exact-matched, "
           f"tolerance +{args.tolerance:.0%})")
     return 0
 

@@ -1,8 +1,12 @@
 #include "api/session.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 #include <utility>
 
@@ -47,7 +51,67 @@ pauli::SimdLevel simd_for(core::PauliBackend backend) {
              : pauli::SimdLevel::Auto;
 }
 
+/// A fresh spill path for an incremental state (mirrors the budgeted
+/// engine's naming; the state owns and removes the file).
+std::string incremental_spill_path(const std::string& spill_dir) {
+  namespace fs = std::filesystem;
+  fs::path dir =
+      spill_dir.empty() ? fs::temp_directory_path() : fs::path(spill_dir);
+  fs::create_directories(dir);
+  static std::atomic<unsigned> counter{0};
+  char name[64];
+  std::snprintf(name, sizeof(name), "picasso_incr_%d_%u.pset",
+                static_cast<int>(::getpid()),
+                counter.fetch_add(1, std::memory_order_relaxed));
+  return (dir / name).string();
+}
+
+/// Builds the resident state for a session. A memory budget or an explicit
+/// chunk size routes the record store through a spill from the first
+/// ingest: an incremental store only ever grows, so a budgeted session
+/// spills up front rather than migrating later. The coloring is identical
+/// either way.
+std::shared_ptr<core::FusedState> make_incremental_state(
+    const core::PicassoParams& params, const core::UpdateParams& update_params,
+    const core::StreamingOptions& streaming, std::size_t num_qubits) {
+  auto state = std::make_shared<core::FusedState>(params, update_params);
+  if (streaming.chunk_strings > 0 || params.memory_budget_bytes > 0) {
+    std::size_t chunk = streaming.chunk_strings;
+    if (chunk == 0) {
+      // Same derivation as the budgeted engine: two resident chunks (one
+      // pinned probe target plus working set) get about half the budget.
+      const std::size_t per_string =
+          pauli::ChunkedPauliReader::resident_bytes_for(1, num_qubits);
+      chunk = std::max<std::size_t>(
+          1, (params.memory_budget_bytes / 4) /
+                 std::max<std::size_t>(1, per_string));
+    }
+    state->use_spill(incremental_spill_path(streaming.spill_dir), chunk);
+  }
+  return state;
+}
+
 }  // namespace
+
+UpdateDelta UpdateDelta::pauli(pauli::PauliSet&& records) {
+  UpdateDelta delta;
+  delta.records_ =
+      std::make_shared<const pauli::PauliSet>(std::move(records));
+  return delta;
+}
+
+UpdateDelta UpdateDelta::pauli(const pauli::PauliSet& records) {
+  UpdateDelta delta;
+  delta.records_ = std::shared_ptr<const pauli::PauliSet>(
+      &records, [](const pauli::PauliSet*) {});
+  return delta;
+}
+
+UpdateDelta UpdateDelta::graph(std::vector<core::GraphVertexDelta> vertices) {
+  UpdateDelta delta;
+  delta.vertices_ = std::move(vertices);
+  return delta;
+}
 
 const char* to_string(ExecutionStrategy strategy) noexcept {
   switch (strategy) {
@@ -478,6 +542,149 @@ SolveReport Session::solve(const Problem& problem,
     report.telemetry.counters = obs::global_metrics().totals();
     report.telemetry.spans = recorder.take_spans();
     report.telemetry.dropped_spans = recorder.dropped();
+    report.telemetry.memory = report.result.memory;
+  }
+  return report;
+}
+
+SolveReport Session::solve_incremental(const Problem& problem,
+                                       const SolveOptions& options) {
+  const ProblemKind kind = problem.kind();
+  const bool graph_backed = kind == ProblemKind::Csr ||
+                            kind == ProblemKind::Dense ||
+                            kind == ProblemKind::Oracle;
+  if (kind != ProblemKind::Pauli && !graph_backed) {
+    throw ApiError(ErrorCode::IncompatibleStrategy, "problem",
+                   std::string("solve_incremental needs an encoded Pauli or "
+                               "explicit-graph problem, got ") +
+                       to_string(kind));
+  }
+
+  core::PicassoParams params = params_;
+  if (options.stop.stop_possible()) {
+    params.stop = core::StopToken::any_of(params.stop, options.stop);
+  }
+  if (options.progress) params.progress = options.progress;
+
+  SolveReport report;
+  obs::MetricsRunScope metrics_scope(telemetry_ != obs::TelemetryLevel::Off);
+  obs::TraceRecorder recorder;
+  if (telemetry_ == obs::TelemetryLevel::Full) params.trace = &recorder;
+
+  // The state is installed only after the solve and the adoption both
+  // succeed, so a cancelled baseline leaves any previous state untouched.
+  std::shared_ptr<core::FusedState> state;
+  if (kind == ProblemKind::Pauli) {
+    const pauli::PauliSet& set = problem.pauli_set();
+    state = make_incremental_state(params_, update_params_, streaming_,
+                                   set.num_qubits());
+    if (state->spilled()) {
+      // Honor the budget during the baseline too: the budgeted-fused
+      // wrapper spills and strikes off chunked records, bit-identical to
+      // the in-memory fused engine.
+      core::StreamingOptions stream_opts = streaming_;
+      stream_opts.chunk_strings = state->chunk_strings();
+      report.result =
+          core::solve_pauli_budgeted_fused(set, params, stream_opts);
+    } else {
+      report.result = core::solve_pauli_fused(set, params);
+    }
+    state->adopt_pauli_solution(set, report.result);
+  } else {
+    // Graph-backed baseline: fused solve over the explicit graph, then
+    // adopt the coloring. Later update() calls take GraphVertexDelta
+    // increments (greedy insertion; see core::FusedState).
+    switch (kind) {
+      case ProblemKind::Csr: {
+        const graph::CsrOracle oracle(problem.csr_graph());
+        report.result = core::solve_fused(oracle, params);
+        break;
+      }
+      case ProblemKind::Dense: {
+        const graph::DenseOracle oracle(problem.dense_graph());
+        report.result = core::solve_fused(oracle, params);
+        break;
+      }
+      default:
+        report.result = core::solve_fused(problem.oracle_ref(), params);
+        break;
+    }
+    state = std::make_shared<core::FusedState>(params_, update_params_);
+    state->adopt_graph_solution(report.result.colors);
+  }
+  state_ = std::move(state);
+
+  report.plan.strategy = ExecutionStrategy::Fused;
+  report.plan.backend = core::resolve_backend(params_.pauli_backend);
+  report.plan.memory_budget_bytes = params_.memory_budget_bytes;
+  report.plan.chunk_strings = state_->chunk_strings();
+  report.plan.reason = "incremental baseline: fused solve, state kept resident";
+
+  if (telemetry_ != obs::TelemetryLevel::Off) {
+    report.telemetry.level = telemetry_;
+    report.telemetry.counters = obs::global_metrics().totals();
+    report.telemetry.spans = recorder.take_spans();
+    report.telemetry.dropped_spans = recorder.dropped();
+    report.telemetry.memory = report.result.memory;
+  }
+  return report;
+}
+
+SolveReport Session::update(const UpdateDelta& delta,
+                            const SolveOptions& options) {
+  core::StopToken stop = params_.stop;
+  if (options.stop.stop_possible()) {
+    stop = core::StopToken::any_of(stop, options.stop);
+  }
+  const core::ProgressFn& progress =
+      options.progress ? options.progress : params_.progress;
+
+  SolveReport report;
+  obs::MetricsRunScope metrics_scope(telemetry_ != obs::TelemetryLevel::Off);
+
+  if (!state_) {
+    if (!delta.is_pauli()) {
+      throw ApiError(ErrorCode::InvalidConfiguration, "delta",
+                     "graph deltas need a resident graph state; only Pauli "
+                     "deltas bootstrap an empty session — call "
+                     "solve_incremental first");
+    }
+    state_ = make_incremental_state(params_, update_params_, streaming_,
+                                    delta.pauli_records().num_qubits());
+  }
+
+  core::UpdateStats stats;
+  try {
+    stats = delta.is_pauli()
+                ? state_->update_pauli(delta.pauli_records(), stop, progress)
+                : state_->update_graph(delta.graph_vertices(), stop, progress);
+  } catch (const std::invalid_argument& error) {
+    // Shape errors (qubit-count mismatch, delta kind vs state kind, bad
+    // conflict ids) surface as structured ApiErrors; SolveCancelled
+    // propagates as-is — the state stays consistent and the next update
+    // colors the ingested backlog.
+    throw ApiError(ErrorCode::InvalidArgument, "delta", error.what());
+  }
+
+  report.update = stats;
+  report.plan.strategy = ExecutionStrategy::Fused;
+  report.plan.backend = core::resolve_backend(params_.pauli_backend);
+  report.plan.memory_budget_bytes = params_.memory_budget_bytes;
+  report.plan.chunk_strings = state_->chunk_strings();
+  report.plan.reason = "incremental update over the resident fused state";
+
+  report.result.colors = state_->colors();
+  report.result.num_colors = stats.num_colors;
+  report.result.palette_total = state_->total_colors();
+  report.result.total_seconds = stats.seconds;
+  report.result.memory =
+      core::MemoryReport::capture(util::global_memory().snapshot());
+  report.result.memory.streamed = state_->spilled();
+  report.result.memory.spill_bytes = state_->spill_bytes();
+
+  if (telemetry_ != obs::TelemetryLevel::Off) {
+    report.telemetry.level = telemetry_;
+    report.telemetry.counters = obs::global_metrics().totals();
     report.telemetry.memory = report.result.memory;
   }
   return report;

@@ -26,12 +26,14 @@
 
 #include <cstdint>
 #include <future>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/problem.hpp"
 #include "api/version.hpp"
+#include "core/incremental.hpp"
 #include "core/multi_device.hpp"
 #include "core/picasso.hpp"
 #include "core/solve_control.hpp"
@@ -114,6 +116,9 @@ struct SolveReport {
   SolvePlan plan;
   SolveTelemetry telemetry;  // empty unless SessionBuilder::telemetry()
   std::vector<core::DeviceShardStats> devices;  // empty unless MultiDevice
+  /// Set by Session::update() only: the insertion/recolor/escalation work
+  /// accounting of that one delta.
+  std::optional<core::UpdateStats> update;
 
   std::uint64_t total_shard_edges() const noexcept {
     return core::total_shard_edges(devices);
@@ -126,6 +131,30 @@ struct SolveReport {
   std::size_t max_device_peak_bytes() const noexcept {
     return core::max_shard_peak_bytes(devices);
   }
+};
+
+/// One increment handed to Session::update(): either new Pauli records to
+/// append to the session's resident set, or new generic-graph vertices,
+/// each carrying its conflict edges to strictly earlier vertices. Pauli
+/// payloads follow the Problem ownership contract: the && factory owns,
+/// the const& factory borrows (the referent must outlive the update call).
+class UpdateDelta {
+ public:
+  static UpdateDelta pauli(pauli::PauliSet&& records);
+  static UpdateDelta pauli(const pauli::PauliSet& records);
+  static UpdateDelta graph(std::vector<core::GraphVertexDelta> vertices);
+
+  bool is_pauli() const noexcept { return records_ != nullptr; }
+  const pauli::PauliSet& pauli_records() const { return *records_; }
+  const std::vector<core::GraphVertexDelta>& graph_vertices() const noexcept {
+    return vertices_;
+  }
+
+ private:
+  UpdateDelta() = default;
+
+  std::shared_ptr<const pauli::PauliSet> records_;
+  std::vector<core::GraphVertexDelta> vertices_;
 };
 
 /// Per-call hooks; both default to inert. The progress callback runs on
@@ -211,6 +240,47 @@ class Session {
   /// outlive the handle.
   AsyncSolve solve_async(Problem problem, SolveOptions options = {}) const;
 
+  // --- Incremental updates -------------------------------------------------
+  // The online path: one full solve seeds a resident core::FusedState
+  // (palette assignment, color→vertices buckets, packed signatures, record
+  // store — in memory, or a budget-grown .pset spill when the session has a
+  // memory budget or an explicit chunk size), and each update() extends it
+  // in place. Determinism contract: the coloring after N updates is
+  // bit-identical to one update over the concatenated input, across thread
+  // counts, Scalar/Packed backends, and in-memory vs spilled stores (the CI
+  // replay gate pins it).
+
+  /// Full fused solve over `problem` (an encoded Pauli set) that keeps the
+  /// solved state resident for later update() calls. Replaces any previous
+  /// incremental state on success. Throws ApiError(IncompatibleStrategy)
+  /// for non-Pauli problems.
+  SolveReport solve_incremental(const Problem& problem,
+                                const SolveOptions& options = {});
+
+  /// Applies one delta to the resident state: appends the records, colors
+  /// each new vertex by striking the existing color buckets (bounded local
+  /// recoloring, then a fresh color, then — past update_params().
+  /// max_new_colors — one full fused re-solve of the ingested prefix).
+  /// A Pauli delta with no prior solve_incremental bootstraps an empty
+  /// state; graph deltas require a prior solve. A cancelled update keeps
+  /// the state consistent — the ingested-but-uncolored backlog is colored
+  /// by the next call. The report carries the full coloring so far and
+  /// SolveReport::update.
+  SolveReport update(const UpdateDelta& delta, const SolveOptions& options = {});
+
+  bool has_incremental_state() const noexcept { return state_ != nullptr; }
+  /// The resident state (nullptr before the first solve_incremental /
+  /// update). Copied Sessions share it.
+  const core::FusedState* incremental_state() const noexcept {
+    return state_.get();
+  }
+  /// Drops the resident state (removing its spill file, if any).
+  void reset_incremental() noexcept { state_.reset(); }
+
+  const core::UpdateParams& update_params() const noexcept {
+    return update_params_;
+  }
+
  private:
   friend class SessionBuilder;
 
@@ -220,6 +290,10 @@ class Session {
   ExecutionStrategy strategy_ = ExecutionStrategy::Auto;
   std::uint32_t num_devices_ = 0;  // 0 = multi-device not configured
   std::size_t device_capacity_bytes_ = 256u << 20;
+  core::UpdateParams update_params_;
+  // shared_ptr so Session stays copyable (solve_async copies the session);
+  // copies share the incremental state.
+  std::shared_ptr<core::FusedState> state_;
 };
 
 /// Fluent configuration for Session, validated eagerly at build() with
@@ -307,6 +381,13 @@ class SessionBuilder {
   /// counts — run them sequentially when exact totals matter.
   SessionBuilder& telemetry(obs::TelemetryLevel level) {
     session_.telemetry_ = level;
+    return *this;
+  }
+
+  /// Knobs of the incremental insertion path (Session::update): the local
+  /// recoloring cap and the fresh-color escalation budget.
+  SessionBuilder& update_params(core::UpdateParams params) {
+    session_.update_params_ = params;
     return *this;
   }
 

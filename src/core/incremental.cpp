@@ -1,0 +1,729 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "core/solve_fused.hpp"
+#include "graph/oracles.hpp"
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace picasso::core {
+
+namespace {
+
+// Candidate batch size for the bucket strike, matching the fused engine's
+// blocked pair-scan granularity.
+constexpr std::size_t kInsertBatch = 256;
+
+bool supports_disjoint(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t words) noexcept {
+  std::uint64_t acc = 0;
+  for (std::size_t k = 0; k < words; ++k) acc |= a[k] & b[k];
+  return acc == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Probers: one conflict-edge tester per (store, backend) combination. All
+// four answer the identical relation (edge ⇔ the strings do NOT
+// anticommute), so the insertion outcome is backend- and storage-invariant;
+// they differ only in which kernels run and which counters tick.
+
+class FusedState::Prober {
+ public:
+  virtual ~Prober() = default;
+
+  /// Pins vertex `u` for subsequent edges() calls and returns its packed
+  /// [x|z] record (sig_words per plane), valid until the next set_u() or
+  /// member_record() call.
+  virtual const std::uint64_t* set_u(std::uint32_t u) = 0;
+
+  /// out[k] = conflict-edge(u, ids[k]) for k in [0, count).
+  virtual void edges(const std::uint32_t* ids, std::size_t count,
+                     std::uint8_t* out) = 0;
+
+  /// Packed record of vertex `m` (signature rebuilds); valid until the next
+  /// member_record() or set_u() call.
+  virtual const std::uint64_t* member_record(std::uint32_t m) = 0;
+};
+
+class FusedState::InMemoryPackedProber : public FusedState::Prober {
+ public:
+  InMemoryPackedProber(const pauli::PauliSet& store, pauli::SimdLevel simd)
+      : oracle_(store.packed_view(), simd), view_(store.packed_view()) {}
+
+  const std::uint64_t* set_u(std::uint32_t u) override {
+    u_ = u;
+    return view_.record(u);
+  }
+
+  void edges(const std::uint32_t* ids, std::size_t count,
+             std::uint8_t* out) override {
+    obs::count(oracle_.simd_level() == pauli::SimdLevel::Avx2
+                   ? obs::Counter::EdgeBlockCallsAvx2
+                   : obs::Counter::EdgeBlockCallsScalar);
+    obs::count(obs::Counter::OraclePairEvals, count);
+    oracle_.edge_block(u_, ids, count, out);
+  }
+
+  const std::uint64_t* member_record(std::uint32_t m) override {
+    return view_.record(m);
+  }
+
+ private:
+  graph::PackedComplementOracle oracle_;
+  pauli::PackedView view_;
+  std::uint32_t u_ = 0;
+};
+
+class FusedState::InMemoryScalarProber : public FusedState::Prober {
+ public:
+  explicit InMemoryScalarProber(const pauli::PauliSet& store)
+      : store_(&store), view_(store.packed_view()) {}
+
+  const std::uint64_t* set_u(std::uint32_t u) override {
+    u_ = u;
+    return view_.record(u);
+  }
+
+  void edges(const std::uint32_t* ids, std::size_t count,
+             std::uint8_t* out) override {
+    obs::count(obs::Counter::OraclePairEvals, count);
+    for (std::size_t k = 0; k < count; ++k) {
+      out[k] = static_cast<std::uint8_t>(ids[k] != u_ &&
+                                         !store_->anticommute(u_, ids[k]));
+    }
+  }
+
+  const std::uint64_t* member_record(std::uint32_t m) override {
+    return view_.record(m);
+  }
+
+ private:
+  const pauli::PauliSet* store_;
+  pauli::PackedView view_;
+  std::uint32_t u_ = 0;
+};
+
+class FusedState::SpilledPackedProber : public FusedState::Prober {
+ public:
+  SpilledPackedProber(pauli::PackedPauliChunkCache& cache,
+                      const pauli::ChunkedPauliReader& reader,
+                      pauli::SimdLevel simd)
+      : cache_(&cache),
+        spc_(reader.strings_per_chunk()),
+        words_(pauli::packed_words(reader.num_qubits())),
+        simd_(pauli::resolve_simd_level(simd)),
+        kernel_(pauli::resolve_block_kernel(words_, simd_)) {}
+
+  const std::uint64_t* set_u(std::uint32_t u) override {
+    u_ = u;
+    u_chunk_ = cache_->get(u / spc_);
+    const std::uint64_t* rec = u_chunk_->record(u % spc_);
+    swapped_.resize(2 * words_);
+    pauli::make_swapped_record(rec, words_, swapped_.data());
+    return rec;
+  }
+
+  void edges(const std::uint32_t* ids, std::size_t count,
+             std::uint8_t* out) override {
+    // Contiguous same-chunk runs share one pin and one kernel call; runs
+    // are scanned serially so the chunk-cache traffic is deterministic.
+    std::size_t i = 0;
+    while (i < count) {
+      const std::size_t chunk = ids[i] / spc_;
+      std::size_t j = i + 1;
+      while (j < count && ids[j] / spc_ == chunk) ++j;
+      auto pin = cache_->get(chunk);
+      const std::uint32_t base = static_cast<std::uint32_t>(chunk * spc_);
+      rel_.resize(j - i);
+      for (std::size_t k = i; k < j; ++k) rel_[k - i] = ids[k] - base;
+      obs::count(simd_ == pauli::SimdLevel::Avx2
+                     ? obs::Counter::EdgeBlockCallsAvx2
+                     : obs::Counter::EdgeBlockCallsScalar);
+      obs::count(obs::Counter::OraclePairEvals, j - i);
+      kernel_(swapped_.data(), pin->view().data, words_, rel_.data(), j - i,
+              out + i);
+      for (std::size_t k = i; k < j; ++k) {
+        const bool anti = out[k] != 0;
+        out[k] = static_cast<std::uint8_t>(ids[k] != u_ && !anti);
+      }
+      i = j;
+    }
+  }
+
+  const std::uint64_t* member_record(std::uint32_t m) override {
+    member_chunk_ = cache_->get(m / spc_);
+    return member_chunk_->record(m % spc_);
+  }
+
+ private:
+  pauli::PackedPauliChunkCache* cache_;
+  std::size_t spc_;
+  std::size_t words_;
+  pauli::SimdLevel simd_;
+  pauli::AnticommuteBlockFn kernel_;
+  std::shared_ptr<const pauli::PackedPauliSet> u_chunk_;
+  std::shared_ptr<const pauli::PackedPauliSet> member_chunk_;
+  std::vector<std::uint64_t> swapped_;
+  std::vector<std::uint32_t> rel_;
+  std::uint32_t u_ = 0;
+};
+
+class FusedState::SpilledScalarProber : public FusedState::Prober {
+ public:
+  SpilledScalarProber(pauli::PauliChunkCache& cache,
+                      const pauli::ChunkedPauliReader& reader)
+      : cache_(&cache), spc_(reader.strings_per_chunk()) {}
+
+  const std::uint64_t* set_u(std::uint32_t u) override {
+    u_ = u;
+    u_chunk_ = cache_->get(u / spc_);
+    u_local_ = u % spc_;
+    return u_chunk_->packed_view().record(u_local_);
+  }
+
+  void edges(const std::uint32_t* ids, std::size_t count,
+             std::uint8_t* out) override {
+    const std::uint64_t* u_enc = u_chunk_->encoded3(u_local_);
+    const std::size_t words3 = u_chunk_->words_per_string();
+    std::size_t i = 0;
+    while (i < count) {
+      const std::size_t chunk = ids[i] / spc_;
+      std::size_t j = i + 1;
+      while (j < count && ids[j] / spc_ == chunk) ++j;
+      auto pin = cache_->get(chunk);
+      obs::count(obs::Counter::OraclePairEvals, j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        const std::size_t local = ids[k] - chunk * spc_;
+        const bool anti =
+            pauli::anticommute3(u_enc, pin->encoded3(local), words3);
+        out[k] = static_cast<std::uint8_t>(ids[k] != u_ && !anti);
+      }
+      i = j;
+    }
+  }
+
+  const std::uint64_t* member_record(std::uint32_t m) override {
+    member_chunk_ = cache_->get(m / spc_);
+    return member_chunk_->packed_view().record(m % spc_);
+  }
+
+ private:
+  pauli::PauliChunkCache* cache_;
+  std::size_t spc_;
+  std::shared_ptr<const pauli::PauliSet> u_chunk_;
+  std::shared_ptr<const pauli::PauliSet> member_chunk_;
+  std::size_t u_local_ = 0;
+  std::uint32_t u_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// FusedState.
+
+struct FusedState::SpillGuard {
+  std::string path;
+  explicit SpillGuard(std::string p) : path(std::move(p)) {}
+  SpillGuard(const SpillGuard&) = delete;
+  SpillGuard& operator=(const SpillGuard&) = delete;
+  ~SpillGuard() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+FusedState::FusedState(PicassoParams params, UpdateParams update_params)
+    : params_(std::move(params)), update_params_(update_params) {}
+
+FusedState::~FusedState() = default;
+FusedState::FusedState(FusedState&&) noexcept = default;
+FusedState& FusedState::operator=(FusedState&&) noexcept = default;
+
+void FusedState::use_spill(std::string path, std::size_t chunk_strings) {
+  if (!colors_.empty()) {
+    throw std::logic_error(
+        "FusedState::use_spill: must be configured before any ingest");
+  }
+  if (chunk_strings == 0) {
+    throw std::invalid_argument(
+        "FusedState::use_spill: chunk_strings must be positive");
+  }
+  use_spill_ = true;
+  spill_path_ = std::move(path);
+  chunk_strings_ = chunk_strings;
+}
+
+std::size_t FusedState::spill_bytes() const {
+  if (!use_spill_ || !spill_guard_) return 0;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(spill_path_, ec);
+  return ec ? 0 : static_cast<std::size_t>(size);
+}
+
+std::uint32_t FusedState::distinct_colors() const {
+  std::uint32_t used = 0;
+  for (const auto& bucket : buckets_) used += bucket.empty() ? 0 : 1;
+  return used;
+}
+
+void FusedState::or_signature(std::uint32_t color, const std::uint64_t* sup) {
+  std::uint64_t* sig = sigs_.data() + static_cast<std::size_t>(color) *
+                                          sig_words_;
+  for (std::size_t k = 0; k < sig_words_; ++k) sig[k] |= sup[k];
+}
+
+void FusedState::rebuild_from_colors(
+    const std::vector<std::uint32_t>& prefix_colors) {
+  std::uint32_t max_color = 0;
+  for (std::uint32_t c : prefix_colors) max_color = std::max(max_color, c);
+  total_colors_ =
+      prefix_colors.empty() ? 0 : max_color + 1;  // never compacted
+  for (std::size_t i = 0; i < prefix_colors.size(); ++i) {
+    colors_[i] = prefix_colors[i];
+  }
+  buckets_.assign(total_colors_, {});
+  for (std::size_t i = 0; i < prefix_colors.size(); ++i) {
+    buckets_[prefix_colors[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  sigs_.assign(static_cast<std::size_t>(total_colors_) * sig_words_, 0);
+}
+
+void FusedState::rebuild_signatures(Prober& prober) {
+  std::vector<std::uint64_t> sup(sig_words_);
+  for (std::size_t v = 0; v < cursor_; ++v) {
+    const std::uint64_t* rec = prober.member_record(
+        static_cast<std::uint32_t>(v));
+    for (std::size_t k = 0; k < sig_words_; ++k) {
+      sup[k] = rec[k] | rec[sig_words_ + k];
+    }
+    or_signature(colors_[v], sup.data());
+  }
+}
+
+void FusedState::reopen_reader() {
+  // Caches hold a reference into the reader; drop them first. Recreating
+  // also discards any stale last-partial-chunk entries from before the
+  // append.
+  packed_cache_.reset();
+  chunk_cache_.reset();
+  reader_ = std::make_unique<pauli::ChunkedPauliReader>(spill_path_,
+                                                        chunk_strings_);
+  packed_cache_ = std::make_unique<pauli::PackedPauliChunkCache>(*reader_);
+  chunk_cache_ = std::make_unique<pauli::PauliChunkCache>(*reader_);
+}
+
+std::unique_ptr<FusedState::Prober> FusedState::make_prober() const {
+  const PauliBackend backend = resolve_backend(params_.pauli_backend);
+  const pauli::SimdLevel simd = backend == PauliBackend::PackedScalar
+                                    ? pauli::SimdLevel::Scalar
+                                    : pauli::SimdLevel::Auto;
+  if (use_spill_) {
+    if (backend == PauliBackend::Scalar) {
+      return std::make_unique<SpilledScalarProber>(*chunk_cache_, *reader_);
+    }
+    return std::make_unique<SpilledPackedProber>(*packed_cache_, *reader_,
+                                                 simd);
+  }
+  if (backend == PauliBackend::Scalar) {
+    return std::make_unique<InMemoryScalarProber>(store_);
+  }
+  return std::make_unique<InMemoryPackedProber>(store_, simd);
+}
+
+void FusedState::adopt_pauli_solution(const pauli::PauliSet& set,
+                                      const PicassoResult& result) {
+  if (kind_ != Kind::Unset || !colors_.empty()) {
+    throw std::logic_error(
+        "FusedState::adopt_pauli_solution: state already has records");
+  }
+  if (result.colors.size() != set.size()) {
+    throw std::invalid_argument(
+        "FusedState::adopt_pauli_solution: coloring size mismatch");
+  }
+  kind_ = Kind::Pauli;
+  num_qubits_ = set.num_qubits();
+  sig_words_ = pauli::packed_words(num_qubits_);
+  colors_.assign(set.size(), kUncolored);
+  if (use_spill_) {
+    spill_pauli_set(set, spill_path_);
+    spill_guard_ = std::make_unique<SpillGuard>(spill_path_);
+    reopen_reader();
+  } else {
+    store_ = set;
+  }
+  cursor_ = set.size();
+  rebuild_from_colors(result.colors);
+  if (cursor_ > 0) {
+    auto prober = make_prober();
+    rebuild_signatures(*prober);
+  }
+}
+
+void FusedState::adopt_graph_solution(const std::vector<std::uint32_t>& colors) {
+  if (kind_ != Kind::Unset || !colors_.empty()) {
+    throw std::logic_error(
+        "FusedState::adopt_graph_solution: state already has records");
+  }
+  kind_ = Kind::Graph;
+  colors_ = colors;
+  cursor_ = colors.size();
+  graph_base_ = colors.size();
+  rebuild_from_colors(colors);
+}
+
+void FusedState::ingest_pauli(const pauli::PauliSet& delta) {
+  if (delta.empty()) return;
+  if (kind_ == Kind::Graph) {
+    throw std::invalid_argument(
+        "FusedState: Pauli delta on a graph-backed state");
+  }
+  kind_ = Kind::Pauli;
+  if (num_qubits_ == 0) {
+    num_qubits_ = delta.num_qubits();
+    sig_words_ = pauli::packed_words(num_qubits_);
+  } else if (delta.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("FusedState: delta qubit count mismatch");
+  }
+  if (use_spill_) {
+    if (!spill_guard_) {
+      spill_pauli_set(delta, spill_path_);
+      spill_guard_ = std::make_unique<SpillGuard>(spill_path_);
+    } else {
+      append_pauli_set(delta, spill_path_);
+    }
+    reopen_reader();
+  } else {
+    store_.append(delta);
+  }
+  colors_.resize(colors_.size() + delta.size(), kUncolored);
+}
+
+namespace {
+
+/// True when `v` (pinned in `prober`) shares no conflict edge with any
+/// bucket member; early-exits on the first edge.
+bool bucket_admits(FusedState::Prober& prober,
+                   const std::vector<std::uint32_t>& bucket,
+                   std::vector<std::uint8_t>& hits) {
+  const std::size_t n = bucket.size();
+  for (std::size_t i = 0; i < n; i += kInsertBatch) {
+    const std::size_t len = std::min(kInsertBatch, n - i);
+    hits.resize(len);
+    prober.edges(bucket.data() + i, len, hits.data());
+    for (std::size_t k = 0; k < len; ++k) {
+      if (hits[k]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void FusedState::open_fresh_color(std::uint32_t v, const std::uint64_t* sup_v,
+                                  UpdateStats& stats) {
+  colors_[v] = total_colors_;
+  buckets_.emplace_back(1, v);
+  sigs_.resize((static_cast<std::size_t>(total_colors_) + 1) * sig_words_, 0);
+  ++total_colors_;
+  if (sup_v != nullptr) or_signature(total_colors_ - 1, sup_v);
+  ++fresh_colors_;
+  ++stats.fresh_colors;
+  obs::count(obs::Counter::UpdateFreshColors);
+}
+
+bool FusedState::try_recolor(Prober& prober, std::uint32_t v,
+                             const std::uint64_t* sup_v, UpdateStats& stats) {
+  ++stats.recolor_attempts;
+  // Runs only when every bucket is nonempty and blocked. Full-scan each
+  // bucket for its exact blocking set; the relocation candidate is the
+  // color with the fewest blockers (ties: lowest color) within the
+  // max_recolor cap.
+  std::vector<std::uint8_t> hits;
+  std::uint32_t best_color = kUncolored;
+  std::vector<std::uint32_t> best_blockers;
+  for (std::uint32_t c = 0; c < total_colors_; ++c) {
+    const auto& bucket = buckets_[c];
+    ++stats.bucket_probes;
+    obs::count(obs::Counter::UpdateBucketProbes);
+    std::vector<std::uint32_t> blockers;
+    if (supports_disjoint(sup_v, sigs_.data() + static_cast<std::size_t>(c) *
+                                                    sig_words_,
+                          sig_words_)) {
+      // Disjoint supports: v commutes with — conflicts with — every member.
+      blockers = bucket;
+    } else {
+      hits.resize(bucket.size());
+      prober.edges(bucket.data(), bucket.size(), hits.data());
+      for (std::size_t k = 0; k < bucket.size(); ++k) {
+        if (hits[k]) blockers.push_back(bucket[k]);
+      }
+    }
+    if (!blockers.empty() && blockers.size() <= update_params_.max_recolor &&
+        (best_color == kUncolored ||
+         blockers.size() < best_blockers.size())) {
+      best_color = c;
+      best_blockers = std::move(blockers);
+    }
+  }
+  if (best_color == kUncolored) return false;
+
+  // Pull the blockers out, then relocate each (in bucket order) to the
+  // first other nonempty bucket that admits it — sequentially, so earlier
+  // relocations are visible to later feasibility tests.
+  const std::vector<std::uint32_t> saved_bucket = buckets_[best_color];
+  {
+    auto& bucket = buckets_[best_color];
+    std::size_t w = 0, bi = 0;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (bi < best_blockers.size() && bucket[i] == best_blockers[bi]) {
+        ++bi;
+        continue;
+      }
+      bucket[w++] = bucket[i];
+    }
+    bucket.resize(w);
+  }
+
+  struct Move {
+    std::uint32_t vertex;
+    std::uint32_t to;
+  };
+  std::vector<Move> moves;
+  std::vector<std::uint64_t> sup_b(sig_words_);
+  bool ok = true;
+  for (std::uint32_t b : best_blockers) {
+    const std::uint64_t* rec = prober.set_u(b);
+    for (std::size_t k = 0; k < sig_words_; ++k) {
+      sup_b[k] = rec[k] | rec[sig_words_ + k];
+    }
+    std::uint32_t target = kUncolored;
+    for (std::uint32_t d = 0; d < total_colors_; ++d) {
+      if (d == best_color) continue;
+      const auto& bucket = buckets_[d];
+      if (bucket.empty()) continue;  // relocations reuse existing colors only
+      ++stats.bucket_probes;
+      obs::count(obs::Counter::UpdateBucketProbes);
+      if (supports_disjoint(sup_b.data(),
+                            sigs_.data() + static_cast<std::size_t>(d) *
+                                               sig_words_,
+                            sig_words_)) {
+        ++stats.signature_fast_exits;
+        obs::count(obs::Counter::SignatureFastExits);
+        continue;
+      }
+      if (bucket_admits(prober, bucket, hits)) {
+        target = d;
+        break;
+      }
+    }
+    if (target == kUncolored) {
+      ok = false;
+      break;
+    }
+    buckets_[target].push_back(b);
+    or_signature(target, sup_b.data());
+    colors_[b] = target;
+    moves.push_back({b, target});
+  }
+
+  if (!ok) {
+    // Roll back in reverse: every relocation appended to its target's
+    // back, so LIFO pops restore the exact pre-attempt bucket contents.
+    // Target signatures stay as (sound) supersets.
+    for (auto it = moves.rbegin(); it != moves.rend(); ++it) {
+      buckets_[it->to].pop_back();
+      colors_[it->vertex] = best_color;
+    }
+    buckets_[best_color] = saved_bucket;
+    return false;
+  }
+
+  stats.recolor_moves += static_cast<std::uint32_t>(moves.size());
+  obs::count(obs::Counter::UpdateRecolorMoves, moves.size());
+  colors_[v] = best_color;
+  buckets_[best_color].push_back(v);
+  if (sup_v != nullptr) or_signature(best_color, sup_v);
+  return true;
+}
+
+void FusedState::escalate(const StopToken& stop, const ProgressFn& progress,
+                          UpdateStats& stats) {
+  ++stats.escalations;
+  obs::count(obs::Counter::UpdateEscalations);
+  PicassoParams params = params_;
+  params.stop = stop;
+  params.progress = progress;
+  PicassoResult result;
+  if (use_spill_) {
+    // Re-solve exactly the ingested prefix of the still-growing spill.
+    pauli::ChunkedPauliReader prefix(spill_path_, chunk_strings_, cursor_);
+    result = solve_pauli_chunked_fused(prefix, params);
+  } else {
+    result = solve_pauli_fused(store_.prefix(cursor_), params);
+  }
+  rebuild_from_colors(result.colors);
+  auto prober = make_prober();
+  rebuild_signatures(*prober);
+  fresh_colors_ = 0;
+}
+
+void FusedState::color_pauli_backlog(const StopToken& stop,
+                                     const ProgressFn& progress,
+                                     UpdateStats& stats) {
+  const std::size_t total = colors_.size();
+  if (cursor_ >= total) return;
+  auto prober = make_prober();
+  std::vector<std::uint8_t> hits;
+  std::vector<std::uint64_t> sup(sig_words_);
+  while (cursor_ < total) {
+    detail::throw_if_stopped(stop);
+    const auto v = static_cast<std::uint32_t>(cursor_);
+    const std::uint64_t* rec = prober->set_u(v);
+    for (std::size_t k = 0; k < sig_words_; ++k) {
+      sup[k] = rec[k] | rec[sig_words_ + k];
+    }
+
+    // Phase 1: lowest feasible color wins. An empty bucket (an unused
+    // palette slot) is immediately feasible, so fresh colors only open
+    // once the whole allocated range is blocked.
+    std::uint32_t chosen = kUncolored;
+    for (std::uint32_t c = 0; c < total_colors_; ++c) {
+      ++stats.bucket_probes;
+      obs::count(obs::Counter::UpdateBucketProbes);
+      const auto& bucket = buckets_[c];
+      if (bucket.empty()) {
+        chosen = c;
+        break;
+      }
+      if (supports_disjoint(sup.data(),
+                            sigs_.data() + static_cast<std::size_t>(c) *
+                                               sig_words_,
+                            sig_words_)) {
+        ++stats.signature_fast_exits;
+        obs::count(obs::Counter::SignatureFastExits);
+        continue;
+      }
+      if (bucket_admits(*prober, bucket, hits)) {
+        chosen = c;
+        break;
+      }
+    }
+
+    if (chosen != kUncolored) {
+      colors_[v] = chosen;
+      buckets_[chosen].push_back(v);
+      or_signature(chosen, sup.data());
+    } else if (update_params_.max_recolor == 0 ||
+               !try_recolor(*prober, v, sup.data(), stats)) {
+      open_fresh_color(v, sup.data(), stats);
+    }
+    ++cursor_;
+    ++stats.vertices_inserted;
+    obs::count(obs::Counter::UpdateVerticesInserted);
+
+    if (update_params_.max_new_colors > 0 &&
+        fresh_colors_ > update_params_.max_new_colors) {
+      escalate(stop, progress, stats);
+      prober = make_prober();
+    }
+
+    if (progress) {
+      ProgressEvent event;
+      event.stage = ProgressStage::VertexInserted;
+      event.colored = static_cast<std::uint32_t>(cursor_);
+      event.n_active = static_cast<std::uint32_t>(total - cursor_);
+      event.conflict_edges = stats.recolor_moves;
+      event.bucket_scans = stats.bucket_probes;
+      progress(event);
+    }
+  }
+}
+
+UpdateStats FusedState::update_pauli(const pauli::PauliSet& delta,
+                                     const StopToken& stop,
+                                     const ProgressFn& progress) {
+  util::WallTimer timer;
+  UpdateStats stats;
+  ingest_pauli(delta);
+  color_pauli_backlog(stop, progress, stats);
+  stats.num_vertices = static_cast<std::uint32_t>(cursor_);
+  stats.num_colors = distinct_colors();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+UpdateStats FusedState::update_graph(const std::vector<GraphVertexDelta>& delta,
+                                     const StopToken& stop,
+                                     const ProgressFn& progress) {
+  util::WallTimer timer;
+  UpdateStats stats;
+  if (kind_ == Kind::Pauli) {
+    throw std::invalid_argument(
+        "FusedState: graph delta on a Pauli-backed state");
+  }
+  kind_ = Kind::Graph;
+
+  // Ingest first (cancel-consistency, matching the Pauli path).
+  for (const GraphVertexDelta& dv : delta) {
+    const auto id = static_cast<std::uint32_t>(colors_.size());
+    for (std::uint32_t nbr : dv.conflicts) {
+      if (nbr >= id) {
+        throw std::invalid_argument(
+            "FusedState: graph delta conflicts must reference strictly "
+            "earlier vertices");
+      }
+    }
+    graph_adj_.push_back(dv.conflicts);
+    colors_.push_back(kUncolored);
+  }
+
+  const std::size_t total = colors_.size();
+  std::vector<std::uint8_t> forbidden;
+  while (cursor_ < total) {
+    detail::throw_if_stopped(stop);
+    const auto v = static_cast<std::uint32_t>(cursor_);
+    const auto& conflicts = graph_adj_[v - graph_base_];
+    forbidden.assign(total_colors_, 0);
+    for (std::uint32_t nbr : conflicts) {
+      const std::uint32_t c = colors_[nbr];
+      if (c != kUncolored && c < total_colors_) forbidden[c] = 1;
+    }
+    std::uint32_t chosen = kUncolored;
+    for (std::uint32_t c = 0; c < total_colors_; ++c) {
+      ++stats.bucket_probes;
+      obs::count(obs::Counter::UpdateBucketProbes);
+      if (!forbidden[c]) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen != kUncolored) {
+      colors_[v] = chosen;
+      buckets_[chosen].push_back(v);
+    } else {
+      open_fresh_color(v, nullptr, stats);
+    }
+    ++cursor_;
+    ++stats.vertices_inserted;
+    obs::count(obs::Counter::UpdateVerticesInserted);
+    if (progress) {
+      ProgressEvent event;
+      event.stage = ProgressStage::VertexInserted;
+      event.colored = static_cast<std::uint32_t>(cursor_);
+      event.n_active = static_cast<std::uint32_t>(total - cursor_);
+      event.bucket_scans = stats.bucket_probes;
+      progress(event);
+    }
+  }
+
+  stats.num_vertices = static_cast<std::uint32_t>(cursor_);
+  stats.num_colors = distinct_colors();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace picasso::core

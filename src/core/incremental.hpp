@@ -1,0 +1,211 @@
+#pragma once
+// Incremental online coloring over the fused bucket index.
+//
+// Real VQE/ADAPT loops grow their Pauli pools a few records at a time; a
+// full re-solve per growth step throws away everything the previous solve
+// learned. The fused engine (core/solve_fused.hpp) already maintains the
+// only state an insertion needs — the color→vertices inverted index — so
+// an update is: append the delta records to the resident store, then color
+// each new vertex by striking its candidate color buckets through the same
+// edge_block kernels the fused engine runs per vertex. When no existing
+// color admits a vertex, a *bounded local recoloring* tries to relocate
+// the smallest blocking set (capped by UpdateParams::max_recolor) before a
+// fresh color is opened; when fresh colors pile up past
+// UpdateParams::max_new_colors, the engine escalates to one full fused
+// re-solve of the ingested prefix and rebuilds its state from the result.
+//
+// Determinism contract (the replay gate of ci/bench_baseline.json pins it):
+// insertion is strictly sequential in record order, every probe answers the
+// same anticommutation relation on every backend, and escalations re-solve
+// through the fused engines, which are bit-identical across thread counts
+// and chunking. The final coloring is therefore a pure function of the
+// concatenated record sequence and the (params, update-params) pair —
+// independent of how the sequence was split into updates, of the thread
+// count, of Scalar vs Packed backends, and of whether the store lives in
+// memory or in a budget-grown .pset spill.
+//
+// State lives in FusedState; api::Session wraps it behind update() /
+// solve_incremental() and owns the in-memory-vs-spill decision.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/picasso.hpp"
+#include "core/solve_control.hpp"
+#include "pauli/pauli_set.hpp"
+#include "pauli/pauli_stream.hpp"
+
+namespace picasso::core {
+
+/// Knobs of the insertion path. Defaults: shallow recoloring, never
+/// escalate (escalation needs an explicit budget of tolerated fresh
+/// colors, since "too many new colors" is workload-dependent).
+struct UpdateParams {
+  /// Largest blocking set a local recoloring may relocate to admit one new
+  /// vertex into an existing color; 0 disables recoloring entirely.
+  std::uint32_t max_recolor = 8;
+  /// Fresh colors tolerated (cumulatively, since the last escalation)
+  /// before one full fused re-solve of the ingested prefix; 0 = never
+  /// escalate.
+  std::uint32_t max_new_colors = 0;
+};
+
+/// Work accounting for one update() call. Mirrors the update_* counters of
+/// obs::MetricsRegistry — every field is schedule-independent.
+struct UpdateStats {
+  std::uint32_t vertices_inserted = 0;  // delta vertices colored
+  std::uint64_t bucket_probes = 0;      // color buckets examined
+  std::uint64_t signature_fast_exits = 0;  // buckets rejected by support sig
+  std::uint32_t recolor_attempts = 0;   // insertions that tried relocation
+  std::uint32_t recolor_moves = 0;      // blockers actually moved
+  std::uint32_t fresh_colors = 0;       // colors opened by this update
+  std::uint32_t escalations = 0;        // full prefix re-solves triggered
+  std::uint32_t num_colors = 0;         // distinct colors after the update
+  std::uint32_t num_vertices = 0;       // total colored vertices after
+  double seconds = 0.0;
+};
+
+/// One vertex of a generic-graph delta: its *conflict* edges (same-color
+/// forbidden) to vertices with smaller ids — earlier original vertices or
+/// earlier insertions, the natural shape of an online graph stream.
+struct GraphVertexDelta {
+  std::vector<std::uint32_t> conflicts;
+};
+
+/// The solved state an incremental session keeps resident between updates:
+/// the per-vertex coloring, the color→vertices inverted index (the fused
+/// engine's bucket structure), per-color packed support signatures (a
+/// disjoint-support AND test that rejects hopeless buckets without touching
+/// a kernel), and the record store — either an in-memory PauliSet or a
+/// budget-grown .pset spill probed through the chunk caches.
+///
+/// A FusedState is either Pauli-backed (update_pauli) or graph-backed
+/// (update_graph, after adopt_graph_solution); the two delta kinds cannot
+/// mix. Graph-backed states insert greedily (first feasible color, else a
+/// fresh one): relocation and escalation need the full adjacency of old
+/// vertices, which a generic oracle delta does not carry.
+class FusedState {
+ public:
+  static constexpr std::uint32_t kUncolored = 0xffffffffu;
+
+  /// Conflict-edge tester over the resident store (implementation detail,
+  /// defined in incremental.cpp; public only so file-local helpers can
+  /// name it).
+  class Prober;
+
+  FusedState(PicassoParams params, UpdateParams update_params);
+  ~FusedState();
+  FusedState(FusedState&&) noexcept;
+  FusedState& operator=(FusedState&&) noexcept;
+  FusedState(const FusedState&) = delete;
+  FusedState& operator=(const FusedState&) = delete;
+
+  /// Switches the record store to a .pset spill at `path` (created at the
+  /// first ingest, grown in place by append_pauli_set) read back through
+  /// budget-admitted chunk caches of `chunk_strings` strings each. Must be
+  /// called before any records are ingested. The state owns the file and
+  /// removes it on destruction.
+  void use_spill(std::string path, std::size_t chunk_strings);
+
+  /// Seeds the state from a completed full solve over `set` (the baseline
+  /// of Session::solve_incremental): adopts the records, the coloring, and
+  /// rebuilds buckets + signatures. Must be the first ingest.
+  void adopt_pauli_solution(const pauli::PauliSet& set,
+                            const PicassoResult& result);
+
+  /// Seeds a graph-backed state from an existing coloring (one color per
+  /// original vertex). Must be the first ingest.
+  void adopt_graph_solution(const std::vector<std::uint32_t>& colors);
+
+  /// Ingests `delta` (records append to the store first, so a cancelled
+  /// call leaves a consistent, re-updatable state whose backlog the next
+  /// call colors) and colors every not-yet-colored vertex sequentially.
+  /// Throws SolveCancelled at vertex boundaries when `stop` fires and
+  /// std::invalid_argument on qubit-count mismatch.
+  UpdateStats update_pauli(const pauli::PauliSet& delta,
+                           const StopToken& stop = {},
+                           const ProgressFn& progress = {});
+
+  /// Graph twin of update_pauli. Each delta vertex's conflict ids must
+  /// reference strictly earlier vertices.
+  UpdateStats update_graph(const std::vector<GraphVertexDelta>& delta,
+                           const StopToken& stop = {},
+                           const ProgressFn& progress = {});
+
+  /// Coloring of every ingested vertex (kUncolored marks backlog left by a
+  /// cancelled update).
+  const std::vector<std::uint32_t>& colors() const noexcept {
+    return colors_;
+  }
+  std::size_t num_vertices() const noexcept { return colors_.size(); }
+  std::size_t colored_vertices() const noexcept { return cursor_; }
+  /// Upper bound of the color range in use (buckets allocated).
+  std::uint32_t total_colors() const noexcept { return total_colors_; }
+  /// Distinct colors actually used by the colored prefix.
+  std::uint32_t distinct_colors() const;
+
+  bool spilled() const noexcept { return use_spill_; }
+  const std::string& spill_path() const noexcept { return spill_path_; }
+  /// Strings per chunk of a spilled state (0 for in-memory states).
+  std::size_t chunk_strings() const noexcept { return chunk_strings_; }
+  /// Current spill file size (0 for in-memory states).
+  std::size_t spill_bytes() const;
+
+ private:
+  enum class Kind { Unset, Pauli, Graph };
+  class InMemoryPackedProber;
+  class InMemoryScalarProber;
+  class SpilledPackedProber;
+  class SpilledScalarProber;
+
+  void ingest_pauli(const pauli::PauliSet& delta);
+  void reopen_reader();
+  std::unique_ptr<Prober> make_prober() const;
+  void color_pauli_backlog(const StopToken& stop, const ProgressFn& progress,
+                           UpdateStats& stats);
+  bool try_recolor(Prober& prober, std::uint32_t v,
+                   const std::uint64_t* sup_v, UpdateStats& stats);
+  void open_fresh_color(std::uint32_t v, const std::uint64_t* sup_v,
+                        UpdateStats& stats);
+  void escalate(const StopToken& stop, const ProgressFn& progress,
+                UpdateStats& stats);
+  void rebuild_from_colors(const std::vector<std::uint32_t>& colors);
+  void rebuild_signatures(Prober& prober);
+  void or_signature(std::uint32_t color, const std::uint64_t* record);
+
+  PicassoParams params_;
+  UpdateParams update_params_;
+  Kind kind_ = Kind::Unset;
+
+  std::vector<std::uint32_t> colors_;  // per ingested vertex
+  std::vector<std::vector<std::uint32_t>> buckets_;  // color -> member ids
+  std::vector<std::uint64_t> sigs_;  // total_colors_ * sig_words_, OR of
+                                     // members' (x|z) support words
+  std::size_t sig_words_ = 0;
+  std::uint32_t total_colors_ = 0;
+  std::size_t cursor_ = 0;          // colored prefix length
+  std::uint32_t fresh_colors_ = 0;  // since the last escalation
+
+  // Pauli store — exactly one of these two is live once records exist.
+  pauli::PauliSet store_;  // in-memory (dual-encoded)
+  bool use_spill_ = false;
+  std::string spill_path_;
+  std::size_t chunk_strings_ = 0;
+  std::size_t num_qubits_ = 0;
+  std::unique_ptr<pauli::ChunkedPauliReader> reader_;
+  std::unique_ptr<pauli::PackedPauliChunkCache> packed_cache_;
+  std::unique_ptr<pauli::PauliChunkCache> chunk_cache_;
+  // Owns the spill file once created; removes it on destruction. A
+  // unique_ptr so moved-from states cannot double-remove.
+  struct SpillGuard;
+  std::unique_ptr<SpillGuard> spill_guard_;
+
+  // Graph deltas: conflict lists of inserted vertices (ids >= graph_base_),
+  // kept so a cancelled update's backlog can be colored later.
+  std::size_t graph_base_ = 0;
+  std::vector<std::vector<std::uint32_t>> graph_adj_;
+};
+
+}  // namespace picasso::core

@@ -101,6 +101,7 @@ enum class ProgressStage {
   IterationDone,     // one Algorithm-1 iteration completed (all drivers)
   ChunkPairScanned,  // one chunk-pair scan completed (chunked engine only)
   BucketScanned,     // a batch of fused bucket scans completed (fused engine)
+  VertexInserted,    // a batch of incremental insertions completed (updates)
 };
 
 /// Snapshot handed to the progress callback. Iteration-scoped fields are

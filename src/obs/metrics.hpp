@@ -56,8 +56,13 @@ enum class Counter : unsigned {
   SpillBytesRead,        // bytes read back from spill files
   StreamEdgesScanned,    // semi-streaming: edges seen across all passes
   ShardEdgesRouted,      // multi-device: conflict edges routed through device shards
+  UpdateVerticesInserted,  // incremental: delta vertices colored in place
+  UpdateBucketProbes,      // incremental: color buckets probed during insertion
+  UpdateRecolorMoves,      // incremental: blockers moved by bounded local recoloring
+  UpdateEscalations,       // incremental: full prefix re-solves triggered
+  UpdateFreshColors,       // incremental: colors first used by an inserted vertex
 };
-inline constexpr std::size_t kNumCounters = 15;
+inline constexpr std::size_t kNumCounters = 20;
 
 const char* to_string(Counter c) noexcept;
 

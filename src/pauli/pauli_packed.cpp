@@ -213,6 +213,19 @@ PackedPauliSet PackedPauliSet::from_raw(std::size_t num_qubits,
   return out;
 }
 
+void PackedPauliSet::append(const PackedPauliSet& other) {
+  if (other.size_ == 0) return;
+  if (size_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.num_qubits_ != num_qubits_) {
+    throw std::invalid_argument("PackedPauliSet::append: qubit count mismatch");
+  }
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  size_ += other.size_;
+}
+
 PauliString PackedPauliSet::string(std::size_t i) const {
   PauliString s(num_qubits_);
   const std::uint64_t* x = record(i);

@@ -137,6 +137,12 @@ class PackedPauliSet {
   /// interop). Y is the intersection of the planes.
   PauliString string(std::size_t i) const;
 
+  /// Appends every record of `other` (ids continue after size()) — the
+  /// incremental update path growing its resident store in place. An empty
+  /// base adopts `other`'s geometry; otherwise the qubit counts must match
+  /// (std::invalid_argument). Appending invalidates outstanding view()s.
+  void append(const PackedPauliSet& other);
+
   bool anticommute(std::size_t i, std::size_t j) const noexcept {
     return anticommute_record_scalar(record(i), record(j), words_);
   }

@@ -103,6 +103,40 @@ PauliSet PauliSet::load_binary(std::istream& in) {
   return PauliSet(strings, std::move(coefs));
 }
 
+PauliSet PauliSet::prefix(std::size_t count) const {
+  count = std::min(count, size_);
+  PauliSet out;
+  out.size_ = count;
+  out.num_qubits_ = num_qubits_;
+  out.words3_ = words3_;
+  out.words2_ = words2_;
+  out.words3_data_.assign(words3_data_.begin(),
+                          words3_data_.begin() + count * words3_);
+  out.words2_data_.assign(words2_data_.begin(),
+                          words2_data_.begin() + count * 2 * words2_);
+  out.coefficients_.assign(coefficients_.begin(),
+                           coefficients_.begin() + count);
+  return out;
+}
+
+void PauliSet::append(const PauliSet& other) {
+  if (other.size_ == 0) return;
+  if (size_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.num_qubits_ != num_qubits_) {
+    throw std::invalid_argument("PauliSet::append: qubit count mismatch");
+  }
+  words3_data_.insert(words3_data_.end(), other.words3_data_.begin(),
+                      other.words3_data_.end());
+  words2_data_.insert(words2_data_.end(), other.words2_data_.begin(),
+                      other.words2_data_.end());
+  coefficients_.insert(coefficients_.end(), other.coefficients_.begin(),
+                       other.coefficients_.end());
+  size_ += other.size_;
+}
+
 PauliSet PauliSet::subset(const std::vector<std::uint32_t>& ids) const {
   std::vector<PauliString> strings;
   std::vector<double> coefs;

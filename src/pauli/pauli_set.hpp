@@ -101,6 +101,16 @@ class PauliSet {
   /// Subset by vertex ids (used when an experiment trims a dataset).
   PauliSet subset(const std::vector<std::uint32_t>& ids) const;
 
+  /// First `count` strings, by straight copy of the encoded storage (no
+  /// decode round-trip) — the incremental engine's escalation re-solves
+  /// exactly the ingested prefix. `count` is clamped to size().
+  PauliSet prefix(std::size_t count) const;
+
+  /// Appends every string of `other` (ids continue after size()). An empty
+  /// base adopts `other`'s qubit count; otherwise the counts must match
+  /// (std::invalid_argument). Appending invalidates packed_view()s.
+  void append(const PauliSet& other);
+
   /// Binary serialization (dataset disk cache). Format: magic, qubit count,
   /// string count, packed 3-bit words, coefficients.
   void save_binary(std::ostream& out) const;

@@ -11,8 +11,10 @@ namespace picasso::pauli {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x5041554c49534554ULL;  // "PAULISET"
+constexpr std::uint64_t kMagic = 0x5041554c49534554ULL;       // "PAULISET"
+constexpr std::uint64_t kAppendMagic = 0x5041554c49415050ULL;  // "PAULIAPP"
 constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+constexpr std::size_t kSegmentHeaderBytes = 2 * sizeof(std::uint64_t);
 
 template <typename T>
 T read_pod(std::istream& in) {
@@ -20,6 +22,11 @@ T read_pod(std::istream& in) {
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
   if (!in) throw std::runtime_error("pauli_stream: truncated .pset header");
   return value;
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 }  // namespace
@@ -53,7 +60,8 @@ std::size_t spill_pauli_set(const PauliSet& set, const std::string& path) {
 }
 
 ChunkedPauliReader::ChunkedPauliReader(std::string path,
-                                       std::size_t strings_per_chunk)
+                                       std::size_t strings_per_chunk,
+                                       std::size_t max_strings)
     : path_(std::move(path)), strings_per_chunk_(strings_per_chunk) {
   if (strings_per_chunk_ == 0) {
     throw std::invalid_argument(
@@ -68,19 +76,89 @@ ChunkedPauliReader::ChunkedPauliReader(std::string path,
     throw std::runtime_error("ChunkedPauliReader: bad magic in " + path_);
   }
   num_qubits_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  num_strings_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  const auto base_count = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
   words3_ = words_per_string3(num_qubits_);
   words2_ = packed_words(num_qubits_);
-  // The packed tail is detected by size: header + 3-bit words + coefficients
-  // + the full run of [x|z] records.
+
   std::error_code ec;
-  const auto file_bytes = std::filesystem::file_size(path_, ec);
-  const std::size_t tail_offset =
-      kHeaderBytes + num_strings_ * (words3_ * sizeof(std::uint64_t) +
-                                     sizeof(double));
-  has_packed_ =
-      !ec && file_bytes >= tail_offset + num_strings_ * 2 * words2_ *
-                                             sizeof(std::uint64_t);
+  const std::uint64_t file_bytes = std::filesystem::file_size(path_, ec);
+  if (ec) {
+    throw std::runtime_error("ChunkedPauliReader: cannot stat " + path_);
+  }
+
+  // The base header's count describes the base block only; everything past
+  // it must be re-derived from the file itself. The base block ends either
+  // after its coefficients (legacy save_binary output) or after a full
+  // packed-symplectic tail (spill_pauli_set output); whichever end position
+  // lets a chain of well-formed append segments run exactly to EOF is the
+  // truth. Trusting the cached header — or inferring the tail from file
+  // size alone — misreads any file that has been appended to.
+  const std::uint64_t coefs_end =
+      kHeaderBytes +
+      base_count * (words3_ * sizeof(std::uint64_t) + sizeof(double));
+  const std::uint64_t tail_end =
+      coefs_end + base_count * 2 * words2_ * sizeof(std::uint64_t);
+
+  // Walks the append-segment chain from `start` to EOF; returns false on
+  // any structural mismatch (bad magic, section overrunning the file).
+  const auto walk_segments = [&](std::uint64_t start,
+                                 std::vector<Segment>& out) {
+    out.clear();
+    if (start > file_bytes) return false;
+    std::uint64_t pos = start;
+    std::size_t next_id = base_count;
+    while (pos < file_bytes) {
+      if (file_bytes - pos < kSegmentHeaderBytes) return false;
+      in.clear();
+      in.seekg(static_cast<std::streamoff>(pos));
+      std::uint64_t magic = 0, count = 0;
+      in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+      in.read(reinterpret_cast<char*>(&count), sizeof(count));
+      if (!in || magic != kAppendMagic) return false;
+      Segment seg;
+      seg.begin = next_id;
+      seg.count = static_cast<std::size_t>(count);
+      seg.words3_offset = pos + kSegmentHeaderBytes;
+      seg.coefs_offset =
+          seg.words3_offset + count * words3_ * sizeof(std::uint64_t);
+      seg.packed_offset = seg.coefs_offset + count * sizeof(double);
+      const std::uint64_t end =
+          seg.packed_offset + count * 2 * words2_ * sizeof(std::uint64_t);
+      if (end > file_bytes) return false;
+      out.push_back(seg);
+      next_id += seg.count;
+      pos = end;
+    }
+    return true;
+  };
+
+  Segment base;
+  base.begin = 0;
+  base.count = base_count;
+  base.words3_offset = kHeaderBytes;
+  base.coefs_offset =
+      kHeaderBytes + base_count * words3_ * sizeof(std::uint64_t);
+
+  std::vector<Segment> appended;
+  bool base_has_packed;
+  if (walk_segments(tail_end, appended)) {
+    base.packed_offset = base_count > 0 ? coefs_end : 0;
+    base_has_packed = true;
+  } else if (walk_segments(coefs_end, appended)) {
+    base.packed_offset = 0;
+    base_has_packed = base_count == 0;  // vacuously packed when empty
+  } else {
+    throw std::runtime_error(
+        "ChunkedPauliReader: unrecognized trailing bytes in " + path_ +
+        " (truncated append segment or corrupt packed tail)");
+  }
+
+  segments_.push_back(base);
+  segments_.insert(segments_.end(), appended.begin(), appended.end());
+  num_strings_ = base_count;
+  for (const Segment& seg : appended) num_strings_ += seg.count;
+  if (max_strings > 0) num_strings_ = std::min(num_strings_, max_strings);
+  has_packed_ = base_has_packed;  // append segments always carry packed
 }
 
 std::size_t ChunkedPauliReader::resident_bytes_for(
@@ -116,6 +194,41 @@ void ChunkedPauliReader::note_load(std::size_t chunk,
   obs::count(obs::Counter::SpillBytesRead, bytes);
 }
 
+void ChunkedPauliReader::read_span(std::istream& in, Section section,
+                                   std::size_t begin, std::size_t count,
+                                   char* dest) const {
+  std::size_t stride = 0;
+  switch (section) {
+    case Section::Words3: stride = words3_ * sizeof(std::uint64_t); break;
+    case Section::Coefs: stride = sizeof(double); break;
+    case Section::Packed: stride = 2 * words2_ * sizeof(std::uint64_t); break;
+  }
+  const std::size_t end = begin + count;
+  for (const Segment& seg : segments_) {
+    const std::size_t lo = std::max(begin, seg.begin);
+    const std::size_t hi = std::min(end, seg.begin + seg.count);
+    if (lo >= hi) continue;
+    std::uint64_t offset = 0;
+    switch (section) {
+      case Section::Words3: offset = seg.words3_offset; break;
+      case Section::Coefs: offset = seg.coefs_offset; break;
+      case Section::Packed: offset = seg.packed_offset; break;
+    }
+    if (section == Section::Packed && offset == 0) {
+      throw std::runtime_error(
+          "ChunkedPauliReader: segment without packed records in " + path_);
+    }
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(offset + (lo - seg.begin) * stride));
+    in.read(dest + (lo - begin) * stride,
+            static_cast<std::streamsize>((hi - lo) * stride));
+    if (!in) {
+      throw std::runtime_error("ChunkedPauliReader: truncated chunk in " +
+                               path_);
+    }
+  }
+}
+
 PauliSet ChunkedPauliReader::load_chunk(std::size_t chunk) const {
   const std::size_t begin = chunk_begin(chunk);
   const std::size_t count = chunk_size(chunk);
@@ -126,20 +239,11 @@ PauliSet ChunkedPauliReader::load_chunk(std::size_t chunk) const {
     throw std::runtime_error("ChunkedPauliReader: cannot reopen " + path_);
   }
   std::vector<std::uint64_t> packed(count * words3_);
-  in.seekg(static_cast<std::streamoff>(kHeaderBytes +
-                                       begin * words3_ * sizeof(std::uint64_t)));
-  in.read(reinterpret_cast<char*>(packed.data()),
-          static_cast<std::streamsize>(packed.size() * sizeof(std::uint64_t)));
+  read_span(in, Section::Words3, begin, count,
+            reinterpret_cast<char*>(packed.data()));
   std::vector<double> coefs(count);
-  in.seekg(static_cast<std::streamoff>(
-      kHeaderBytes + num_strings_ * words3_ * sizeof(std::uint64_t) +
-      begin * sizeof(double)));
-  in.read(reinterpret_cast<char*>(coefs.data()),
-          static_cast<std::streamsize>(coefs.size() * sizeof(double)));
-  if (!in) {
-    throw std::runtime_error("ChunkedPauliReader: truncated chunk in " +
-                             path_);
-  }
+  read_span(in, Section::Coefs, begin, count,
+            reinterpret_cast<char*>(coefs.data()));
 
   std::vector<PauliString> strings;
   strings.reserve(count);
@@ -165,20 +269,65 @@ PackedPauliSet ChunkedPauliReader::load_chunk_packed(std::size_t chunk) const {
   if (!in) {
     throw std::runtime_error("ChunkedPauliReader: cannot reopen " + path_);
   }
-  const std::size_t tail_offset =
-      kHeaderBytes + num_strings_ * (words3_ * sizeof(std::uint64_t) +
-                                     sizeof(double));
   std::vector<std::uint64_t> words(count * 2 * words2_);
-  in.seekg(static_cast<std::streamoff>(
-      tail_offset + begin * 2 * words2_ * sizeof(std::uint64_t)));
-  in.read(reinterpret_cast<char*>(words.data()),
-          static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
-  if (!in) {
-    throw std::runtime_error("ChunkedPauliReader: truncated packed chunk in " +
-                             path_);
-  }
+  read_span(in, Section::Packed, begin, count,
+            reinterpret_cast<char*>(words.data()));
   note_load(chunk, words.size() * sizeof(std::uint64_t));
   return PackedPauliSet::from_raw(num_qubits_, count, std::move(words));
+}
+
+std::size_t append_pauli_set(const PauliSet& delta, const std::string& path) {
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("append_pauli_set: cannot open " + path);
+    }
+    if (read_pod<std::uint64_t>(in) != kMagic) {
+      throw std::runtime_error("append_pauli_set: bad magic in " + path);
+    }
+    const auto base_qubits =
+        static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    if (!delta.empty() && base_qubits != delta.num_qubits()) {
+      throw std::invalid_argument("append_pauli_set: qubit count mismatch");
+    }
+  }
+  std::error_code ec;
+  if (delta.empty()) {
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) throw std::runtime_error("append_pauli_set: cannot stat " + path);
+    return static_cast<std::size_t>(size);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    throw std::runtime_error("append_pauli_set: cannot append to " + path);
+  }
+  const std::size_t count = delta.size();
+  const std::size_t words3 = delta.words_per_string();
+  write_pod(out, kAppendMagic);
+  write_pod(out, static_cast<std::uint64_t>(count));
+  out.write(reinterpret_cast<const char*>(delta.encoded3(0)),
+            static_cast<std::streamsize>(count * words3 *
+                                         sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(delta.coefficients().data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+  const PackedView view = delta.packed_view();
+  const std::size_t packed_words_total = view.size * 2 * view.words;
+  out.write(reinterpret_cast<const char*>(view.data),
+            static_cast<std::streamsize>(packed_words_total *
+                                         sizeof(std::uint64_t)));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("append_pauli_set: write failed for " + path);
+  }
+  const std::size_t segment_bytes =
+      kSegmentHeaderBytes +
+      count * (words3 * sizeof(std::uint64_t) + sizeof(double)) +
+      packed_words_total * sizeof(std::uint64_t);
+  obs::count(obs::Counter::SpillBytesWritten, segment_bytes);
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("append_pauli_set: cannot stat " + path);
+  return static_cast<std::size_t>(size);
 }
 
 }  // namespace picasso::pauli

@@ -15,6 +15,15 @@
 // by file size and otherwise reconstructs packed chunks from the 3-bit
 // words.
 //
+// Incremental sessions grow a spill in place: append_pauli_set writes a
+// self-describing *append segment* at EOF (magic, count, 3-bit words,
+// coefficients, packed records) instead of rewriting the whole file. A
+// reader opened on an appended file walks the segment chain and validates
+// every section offset against the actual file layout — it must NOT trust
+// the base header's string count or infer the packed tail from the file
+// size alone, because appended bytes make both lies. Chunk ranges span
+// segment boundaries transparently.
+//
 // A chunk cache keeps recently used chunks resident as long as the
 // MemoryRegistry budget admits them and evicts least-recently-used chunks
 // when it does not — the evicted chunk is simply re-read from disk on its
@@ -41,13 +50,28 @@ namespace picasso::pauli {
 /// std::runtime_error on I/O failure.
 std::size_t spill_pauli_set(const PauliSet& set, const std::string& path);
 
+/// Appends `delta`'s records to an existing .pset spill at `path` as one
+/// chained append segment (magic, count, 3-bit words, coefficients, packed
+/// records) without rewriting the base file — how budgeted incremental
+/// sessions grow their spill across updates. The base header is validated
+/// (magic + qubit count; an empty delta is a no-op). Returns the new total
+/// file size in bytes. Readers already open on `path` keep their old view;
+/// re-open to see the appended strings.
+std::size_t append_pauli_set(const PauliSet& delta, const std::string& path);
+
 /// Random-access chunk reader over a .pset file. Chunk i covers strings
 /// [i * strings_per_chunk, min(n, (i+1) * strings_per_chunk)).
 class ChunkedPauliReader {
  public:
-  /// Throws std::invalid_argument when strings_per_chunk == 0 (chunk
-  /// indexing divides by it) and std::runtime_error on unreadable files.
-  ChunkedPauliReader(std::string path, std::size_t strings_per_chunk);
+  /// Opens `path` and walks its append-segment chain, re-deriving the true
+  /// string count and per-segment section offsets from the file layout.
+  /// `max_strings` > 0 clamps the reader to the first `max_strings` strings
+  /// (the incremental engine's escalation re-solves exactly its ingested
+  /// prefix of a still-growing spill). Throws std::invalid_argument when
+  /// strings_per_chunk == 0 (chunk indexing divides by it) and
+  /// std::runtime_error on unreadable or structurally inconsistent files.
+  ChunkedPauliReader(std::string path, std::size_t strings_per_chunk,
+                     std::size_t max_strings = 0);
 
   const std::string& path() const noexcept { return path_; }
   std::size_t num_strings() const noexcept { return num_strings_; }
@@ -102,10 +126,28 @@ class ChunkedPauliReader {
   std::uint64_t re_reads() const noexcept { return re_reads_; }
 
  private:
+  /// One contiguous run of strings in the file: the base save_binary block
+  /// or one append segment. Section offsets are absolute file positions;
+  /// packed_offset == 0 means the segment carries no packed records.
+  struct Segment {
+    std::size_t begin = 0;  // global id of the segment's first string
+    std::size_t count = 0;
+    std::uint64_t words3_offset = 0;
+    std::uint64_t coefs_offset = 0;
+    std::uint64_t packed_offset = 0;
+  };
+
+  enum class Section { Words3, Coefs, Packed };
+
   /// Telemetry for one completed chunk read of `bytes` payload bytes:
   /// counts the load, classifies it as cold read vs re-read, and feeds the
   /// global work counters.
   void note_load(std::size_t chunk, std::size_t bytes) const;
+
+  /// Reads `count` strings of one section starting at global string
+  /// `begin` into `dest`, crossing segment boundaries as needed.
+  void read_span(std::istream& in, Section section, std::size_t begin,
+                 std::size_t count, char* dest) const;
 
   std::string path_;
   std::size_t strings_per_chunk_ = 0;
@@ -114,6 +156,7 @@ class ChunkedPauliReader {
   std::size_t words3_ = 0;
   std::size_t words2_ = 0;
   bool has_packed_ = false;
+  std::vector<Segment> segments_;
   mutable std::uint64_t chunk_loads_ = 0;
   mutable std::uint64_t re_reads_ = 0;
   mutable std::vector<bool> loaded_;  // per chunk: read at least once

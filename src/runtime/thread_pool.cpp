@@ -12,6 +12,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   for (unsigned i = 0; i < num_threads; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
   }
+  num_workers_ = num_threads;
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });

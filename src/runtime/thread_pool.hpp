@@ -40,9 +40,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  unsigned num_workers() const noexcept {
-    return static_cast<unsigned>(workers_.size());
-  }
+  // Reads num_workers_, not workers_.size(): workers start (and steal)
+  // while the constructor is still appending to workers_, and sizing a
+  // vector mid-growth is a data race.
+  unsigned num_workers() const noexcept { return num_workers_; }
 
   /// Enqueues a task; runs on some worker, in no particular order.
   void submit(std::function<void()> task);
@@ -81,6 +82,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  unsigned num_workers_ = 0;  // fixed before the first worker spawns
   std::atomic<std::uint64_t> next_queue_{0};
   std::atomic<std::uint64_t> queued_{0};    // submitted, not yet dequeued
   std::atomic<std::uint64_t> inflight_{0};  // submitted, not yet finished

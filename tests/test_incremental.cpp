@@ -1,0 +1,469 @@
+// Incremental online coloring: Session::update() / core::FusedState edge
+// cases — empty deltas, bootstrap-before-solve, duplicate records, cancel
+// mid-update (state stays consistent and re-updatable), budgeted sessions
+// whose spill grows across updates, shape errors, escalation — plus the
+// append-segment regression tests for ChunkedPauliReader (a reader
+// re-opened on an appended .pset must re-derive the string count and the
+// packed-tail offsets instead of trusting the base header).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "api/session.hpp"
+#include "coloring/verify.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/oracles.hpp"
+#include "pauli/pauli_stream.hpp"
+#include "util/rng.hpp"
+
+namespace papi = picasso::api;
+namespace pcore = picasso::core;
+namespace pg = picasso::graph;
+namespace pp = picasso::pauli;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<pp::PauliString> random_strings(std::size_t count,
+                                            std::size_t qubits,
+                                            std::uint64_t seed) {
+  picasso::util::Xoshiro256 rng(seed);
+  std::vector<pp::PauliString> strings;
+  for (std::size_t i = 0; i < count; ++i) {
+    pp::PauliString s(qubits);
+    for (std::size_t q = 0; q < qubits; ++q) {
+      s.set_op(q, static_cast<pp::PauliOp>(rng.bounded(4)));
+    }
+    strings.push_back(s);
+  }
+  return strings;
+}
+
+pp::PauliSet slice(const std::vector<pp::PauliString>& strings,
+                   std::size_t begin, std::size_t end) {
+  return pp::PauliSet(std::vector<pp::PauliString>(strings.begin() + begin,
+                                                   strings.begin() + end));
+}
+
+/// Scratch file that cleans up after itself.
+struct TempFile {
+  fs::path path;
+  explicit TempFile(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove(path);
+  }
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+};
+
+}  // namespace
+
+// --- Session::update basics --------------------------------------------------
+
+TEST(IncrementalUpdate, EmptyDeltaIsANoOp) {
+  auto session = papi::SessionBuilder().seed(7).build();
+  const auto strings = random_strings(40, 8, 11);
+
+  auto first = session.update(papi::UpdateDelta::pauli(slice(strings, 0, 40)));
+  ASSERT_TRUE(first.update.has_value());
+  EXPECT_EQ(first.update->vertices_inserted, 40u);
+
+  auto empty = session.update(papi::UpdateDelta::pauli(pp::PauliSet()));
+  ASSERT_TRUE(empty.update.has_value());
+  EXPECT_EQ(empty.update->vertices_inserted, 0u);
+  EXPECT_EQ(empty.update->fresh_colors, 0u);
+  EXPECT_EQ(empty.result.colors, first.result.colors);
+}
+
+TEST(IncrementalUpdate, DeltaBeforeAnySolveBootstrapsAValidColoring) {
+  auto session = papi::SessionBuilder().seed(3).build();
+  const auto strings = random_strings(64, 10, 23);
+  const pp::PauliSet set = slice(strings, 0, 64);
+
+  auto report = session.update(papi::UpdateDelta::pauli(set));
+  ASSERT_EQ(report.result.colors.size(), set.size());
+  const pg::ComplementOracle oracle(set);
+  EXPECT_TRUE(picasso::coloring::is_valid_coloring_oracle(
+      oracle, report.result.colors));
+  EXPECT_TRUE(session.has_incremental_state());
+  EXPECT_EQ(report.plan.strategy, papi::ExecutionStrategy::Fused);
+}
+
+TEST(IncrementalUpdate, DuplicateRecordsGetDistinctColors) {
+  // Identical strings commute, so in the anticommutation-complement graph
+  // they conflict: every duplicate must land in its own color class.
+  auto session = papi::SessionBuilder().seed(5).build();
+  const auto strings = random_strings(1, 6, 99);
+  std::vector<pp::PauliString> dupes(4, strings[0]);
+
+  auto report = session.update(papi::UpdateDelta::pauli(pp::PauliSet(dupes)));
+  ASSERT_EQ(report.result.colors.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_NE(report.result.colors[i], report.result.colors[j]);
+    }
+  }
+  EXPECT_EQ(report.update->num_colors, 4u);
+}
+
+TEST(IncrementalUpdate, SplitUpdatesMatchOneShot) {
+  const auto strings = random_strings(90, 10, 41);
+
+  auto one_shot = papi::SessionBuilder().seed(9).build();
+  auto whole = one_shot.update(papi::UpdateDelta::pauli(slice(strings, 0, 90)));
+
+  auto split = papi::SessionBuilder().seed(9).build();
+  split.update(papi::UpdateDelta::pauli(slice(strings, 0, 30)));
+  split.update(papi::UpdateDelta::pauli(slice(strings, 30, 31)));
+  auto last = split.update(papi::UpdateDelta::pauli(slice(strings, 31, 90)));
+
+  EXPECT_EQ(last.result.colors, whole.result.colors);
+}
+
+TEST(IncrementalUpdate, ExtendsASolveIncrementalBaseline) {
+  const auto strings = random_strings(80, 10, 57);
+  const pp::PauliSet base = slice(strings, 0, 50);
+
+  // Recoloring relocates old vertices by design, so prefix stability only
+  // holds with relocation disabled (and escalation off, its default).
+  auto session = papi::SessionBuilder()
+                     .seed(2)
+                     .update_params({.max_recolor = 0, .max_new_colors = 0})
+                     .build();
+  auto baseline = session.solve_incremental(papi::Problem::pauli(base));
+  EXPECT_EQ(baseline.result.colors.size(), 50u);
+  EXPECT_TRUE(session.has_incremental_state());
+
+  auto updated = session.update(papi::UpdateDelta::pauli(slice(strings, 50, 80)));
+  ASSERT_EQ(updated.result.colors.size(), 80u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(updated.result.colors[i], baseline.result.colors[i]);
+  }
+  const pp::PauliSet all = slice(strings, 0, 80);
+  const pg::ComplementOracle oracle(all);
+  EXPECT_TRUE(picasso::coloring::is_valid_coloring_oracle(
+      oracle, updated.result.colors));
+}
+
+// --- Cancellation ------------------------------------------------------------
+
+TEST(IncrementalUpdate, CancelledUpdateStaysConsistentAndReUpdatable) {
+  const auto strings = random_strings(120, 10, 77);
+
+  // Reference: the same sequence, uninterrupted.
+  auto reference = papi::SessionBuilder().seed(4).build();
+  auto expected =
+      reference.update(papi::UpdateDelta::pauli(slice(strings, 0, 120)));
+
+  auto session = papi::SessionBuilder().seed(4).build();
+  session.update(papi::UpdateDelta::pauli(slice(strings, 0, 40)));
+
+  pcore::StopSource stop;
+  std::atomic<int> insertions{0};
+  papi::SolveOptions options;
+  options.stop = stop.token();
+  options.progress = [&](const pcore::ProgressEvent& event) {
+    if (event.stage == pcore::ProgressStage::VertexInserted &&
+        ++insertions == 25) {
+      stop.request_stop();
+    }
+  };
+  EXPECT_THROW(
+      session.update(papi::UpdateDelta::pauli(slice(strings, 40, 120)),
+                     options),
+      pcore::SolveCancelled);
+
+  // The delta was ingested before coloring began: the state holds all 120
+  // records, with the uncolored backlog marked kUncolored.
+  const pcore::FusedState* state = session.incremental_state();
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->num_vertices(), 120u);
+  EXPECT_EQ(state->colored_vertices(), 65u);  // 40 + 25 before the stop won
+  EXPECT_EQ(state->colors()[70], pcore::FusedState::kUncolored);
+
+  // An empty follow-up update colors the backlog; the outcome matches the
+  // uninterrupted run bit for bit.
+  auto resumed = session.update(papi::UpdateDelta::pauli(pp::PauliSet()));
+  EXPECT_EQ(resumed.update->vertices_inserted, 55u);
+  EXPECT_EQ(resumed.result.colors, expected.result.colors);
+}
+
+// --- Budgeted (spilled) states ----------------------------------------------
+
+TEST(IncrementalUpdate, BudgetedSpillGrowsAcrossUpdatesAndMatchesInMemory) {
+  const auto strings = random_strings(100, 12, 131);
+
+  auto plain = papi::SessionBuilder().seed(6).build();
+  plain.update(papi::UpdateDelta::pauli(slice(strings, 0, 60)));
+  auto plain_report =
+      plain.update(papi::UpdateDelta::pauli(slice(strings, 60, 100)));
+
+  auto budgeted =
+      papi::SessionBuilder().seed(6).memory_budget(64u << 20).build();
+  auto first = budgeted.update(papi::UpdateDelta::pauli(slice(strings, 0, 60)));
+  const pcore::FusedState* state = budgeted.incremental_state();
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->spilled());
+  const std::size_t bytes_after_first = state->spill_bytes();
+  EXPECT_GT(bytes_after_first, 0u);
+  EXPECT_TRUE(first.result.memory.streamed);
+
+  auto second =
+      budgeted.update(papi::UpdateDelta::pauli(slice(strings, 60, 100)));
+  EXPECT_GT(state->spill_bytes(), bytes_after_first);
+  EXPECT_EQ(second.result.memory.spill_bytes, state->spill_bytes());
+
+  // Storage must not affect the coloring.
+  EXPECT_EQ(second.result.colors, plain_report.result.colors);
+
+  // reset_incremental removes the spill file.
+  const std::string spill = state->spill_path();
+  EXPECT_TRUE(fs::exists(spill));
+  budgeted.reset_incremental();
+  EXPECT_FALSE(fs::exists(spill));
+}
+
+// --- Escalation --------------------------------------------------------------
+
+TEST(IncrementalUpdate, FreshColorPressureTriggersEscalation) {
+  // Copies of one string pairwise commute => pairwise conflict: every
+  // insertion needs a fresh color, recoloring can never help, and the
+  // fresh-color budget trips an escalation (a full fused re-solve of the
+  // prefix). The result must still be a proper coloring: all distinct.
+  const auto strings = random_strings(1, 6, 7);
+  std::vector<pp::PauliString> dupes(6, strings[0]);
+
+  pcore::UpdateParams update_params;
+  update_params.max_recolor = 2;
+  update_params.max_new_colors = 2;
+  auto session =
+      papi::SessionBuilder().seed(8).update_params(update_params).build();
+
+  session.solve_incremental(
+      papi::Problem::pauli(pp::PauliSet({strings[0], strings[0]})));
+  auto report = session.update(papi::UpdateDelta::pauli(pp::PauliSet(dupes)));
+
+  ASSERT_TRUE(report.update.has_value());
+  EXPECT_GE(report.update->escalations, 1u);
+  ASSERT_EQ(report.result.colors.size(), 8u);
+  std::vector<std::uint32_t> sorted = report.result.colors;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+// --- Shape errors ------------------------------------------------------------
+
+TEST(IncrementalUpdate, QubitMismatchIsAnApiError) {
+  auto session = papi::SessionBuilder().build();
+  session.update(papi::UpdateDelta::pauli(slice(random_strings(4, 8, 1), 0, 4)));
+  try {
+    session.update(papi::UpdateDelta::pauli(slice(random_strings(4, 9, 2), 0, 4)));
+    FAIL() << "expected ApiError";
+  } catch (const papi::ApiError& e) {
+    EXPECT_EQ(e.code(), papi::ErrorCode::InvalidArgument);
+    EXPECT_EQ(e.field(), "delta");
+  }
+}
+
+TEST(IncrementalUpdate, GraphDeltaWithoutABaselineIsAnError) {
+  auto session = papi::SessionBuilder().build();
+  try {
+    session.update(papi::UpdateDelta::graph({pcore::GraphVertexDelta{}}));
+    FAIL() << "expected ApiError";
+  } catch (const papi::ApiError& e) {
+    EXPECT_EQ(e.code(), papi::ErrorCode::InvalidConfiguration);
+  }
+}
+
+TEST(IncrementalUpdate, MixingDeltaKindsIsAnError) {
+  auto session = papi::SessionBuilder().build();
+  session.update(papi::UpdateDelta::pauli(slice(random_strings(4, 8, 3), 0, 4)));
+  EXPECT_THROW(
+      session.update(papi::UpdateDelta::graph({pcore::GraphVertexDelta{}})),
+      papi::ApiError);
+}
+
+// --- Graph-backed increments -------------------------------------------------
+
+TEST(IncrementalUpdate, GraphDeltasExtendAnExplicitGraphBaseline) {
+  const pg::CsrGraph g = pg::erdos_renyi(40, 0.2, 17);
+  auto session = papi::SessionBuilder().seed(12).build();
+  auto baseline = session.solve_incremental(papi::Problem::csr(g));
+  ASSERT_EQ(baseline.result.colors.size(), 40u);
+
+  // Two new vertices: one conflicting with a handful of old ones, one
+  // conflicting with its immediate predecessor (the first new vertex).
+  std::vector<pcore::GraphVertexDelta> delta(2);
+  delta[0].conflicts = {0, 3, 7, 21};
+  delta[1].conflicts = {5, 40};
+  auto report = session.update(papi::UpdateDelta::graph(delta));
+
+  ASSERT_EQ(report.result.colors.size(), 42u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(report.result.colors[i], baseline.result.colors[i]);
+  }
+  for (std::size_t v = 40; v < 42; ++v) {
+    for (std::uint32_t nbr : delta[v - 40].conflicts) {
+      EXPECT_NE(report.result.colors[v], report.result.colors[nbr]);
+    }
+  }
+}
+
+TEST(IncrementalUpdate, GraphDeltaConflictsMustReferenceEarlierVertices) {
+  auto session = papi::SessionBuilder().build();
+  session.solve_incremental(papi::Problem::csr(pg::erdos_renyi(10, 0.3, 5)));
+  std::vector<pcore::GraphVertexDelta> delta(1);
+  delta[0].conflicts = {10};  // the new vertex's own id
+  EXPECT_THROW(session.update(papi::UpdateDelta::graph(delta)),
+               papi::ApiError);
+}
+
+// --- Telemetry ---------------------------------------------------------------
+
+TEST(IncrementalUpdate, UpdateCountersFlowIntoTelemetry) {
+  auto session = papi::SessionBuilder()
+                     .seed(14)
+                     .telemetry(picasso::obs::TelemetryLevel::Counters)
+                     .build();
+  const auto strings = random_strings(50, 8, 201);
+  auto report = session.update(papi::UpdateDelta::pauli(slice(strings, 0, 50)));
+
+  ASSERT_TRUE(report.telemetry.enabled());
+  const auto& counters = report.telemetry.counters;
+  EXPECT_EQ(counters[picasso::obs::Counter::UpdateVerticesInserted], 50u);
+  EXPECT_GT(counters[picasso::obs::Counter::UpdateBucketProbes], 0u);
+  EXPECT_EQ(counters[picasso::obs::Counter::UpdateVerticesInserted],
+            report.update->vertices_inserted);
+  EXPECT_EQ(counters[picasso::obs::Counter::UpdateBucketProbes],
+            report.update->bucket_probes);
+  EXPECT_EQ(counters[picasso::obs::Counter::UpdateFreshColors],
+            report.update->fresh_colors);
+}
+
+// --- ChunkedPauliReader append-segment regressions ---------------------------
+
+TEST(ReaderAppend, ReopenedReaderSeesAppendedStrings) {
+  const auto strings = random_strings(70, 9, 301);
+  const pp::PauliSet base = slice(strings, 0, 40);
+  const pp::PauliSet delta = slice(strings, 40, 70);
+  const pp::PauliSet all = slice(strings, 0, 70);
+
+  TempFile file("picasso_test_append_a.pset");
+  pp::spill_pauli_set(base, file.path.string());
+  pp::append_pauli_set(delta, file.path.string());
+
+  // The regression: the base header still says 40 strings, and the packed
+  // tail no longer sits at (file size - tail bytes). A reader must walk
+  // the segment chain instead of trusting either.
+  pp::ChunkedPauliReader reader(file.path.string(), 16);
+  ASSERT_EQ(reader.num_strings(), 70u);
+  EXPECT_TRUE(reader.has_packed_tail());
+
+  for (std::size_t chunk = 0; chunk < reader.num_chunks(); ++chunk) {
+    const pp::PauliSet loaded = reader.load_chunk(chunk);
+    const pp::PackedPauliSet packed = reader.load_chunk_packed(chunk);
+    const std::size_t begin = reader.chunk_begin(chunk);
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+      // 3-bit words, coefficients and packed records all line up with the
+      // concatenated set, including the chunk that spans the segment seam.
+      for (std::size_t w = 0; w < all.words_per_string(); ++w) {
+        EXPECT_EQ(loaded.encoded3(i)[w], all.encoded3(begin + i)[w]);
+      }
+      EXPECT_EQ(loaded.coefficients()[i], all.coefficients()[begin + i]);
+      const auto* got = packed.record(i);
+      const auto* want = all.packed_view().record(begin + i);
+      for (std::size_t w = 0; w < 2 * packed.words(); ++w) {
+        EXPECT_EQ(got[w], want[w]);
+      }
+    }
+  }
+}
+
+TEST(ReaderAppend, LegacyBaseWithoutPackedTailStillAppends) {
+  const auto strings = random_strings(30, 7, 401);
+  const pp::PauliSet base = slice(strings, 0, 18);
+  const pp::PauliSet delta = slice(strings, 18, 30);
+  const pp::PauliSet all = slice(strings, 0, 30);
+
+  TempFile file("picasso_test_append_legacy.pset");
+  {
+    std::ofstream out(file.path, std::ios::binary);
+    base.save_binary(out);  // no packed tail
+  }
+  pp::append_pauli_set(delta, file.path.string());
+
+  pp::ChunkedPauliReader reader(file.path.string(), 8);
+  ASSERT_EQ(reader.num_strings(), 30u);
+  EXPECT_FALSE(reader.has_packed_tail());  // base lacks it => decode path
+
+  for (std::size_t chunk = 0; chunk < reader.num_chunks(); ++chunk) {
+    const pp::PackedPauliSet packed = reader.load_chunk_packed(chunk);
+    const std::size_t begin = reader.chunk_begin(chunk);
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+      const auto* got = packed.record(i);
+      const auto* want = all.packed_view().record(begin + i);
+      for (std::size_t w = 0; w < 2 * packed.words(); ++w) {
+        EXPECT_EQ(got[w], want[w]);
+      }
+    }
+  }
+}
+
+TEST(ReaderAppend, ChainedAppendsAndMaxStringsClamp) {
+  const auto strings = random_strings(50, 8, 501);
+  TempFile file("picasso_test_append_chain.pset");
+  pp::spill_pauli_set(slice(strings, 0, 20), file.path.string());
+  pp::append_pauli_set(slice(strings, 20, 35), file.path.string());
+  pp::append_pauli_set(slice(strings, 35, 50), file.path.string());
+
+  pp::ChunkedPauliReader full(file.path.string(), 64);
+  EXPECT_EQ(full.num_strings(), 50u);
+
+  // max_strings clamps to the escalation prefix, mid-segment included.
+  pp::ChunkedPauliReader prefix(file.path.string(), 64, 27);
+  ASSERT_EQ(prefix.num_strings(), 27u);
+  const pp::PauliSet loaded = prefix.load_chunk(0);
+  const pp::PauliSet want = slice(strings, 0, 27);
+  ASSERT_EQ(loaded.size(), 27u);
+  for (std::size_t i = 0; i < 27; ++i) {
+    for (std::size_t w = 0; w < want.words_per_string(); ++w) {
+      EXPECT_EQ(loaded.encoded3(i)[w], want.encoded3(i)[w]);
+    }
+  }
+}
+
+TEST(ReaderAppend, TrailingGarbageIsRejected) {
+  const auto strings = random_strings(10, 6, 601);
+  TempFile file("picasso_test_append_garbage.pset");
+  pp::spill_pauli_set(slice(strings, 0, 10), file.path.string());
+  {
+    std::ofstream out(file.path, std::ios::binary | std::ios::app);
+    const char junk[] = "not-a-segment";
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(pp::ChunkedPauliReader(file.path.string(), 4),
+               std::runtime_error);
+}
+
+TEST(ReaderAppend, AppendToMissingOrForeignFileThrows) {
+  const auto strings = random_strings(4, 6, 701);
+  EXPECT_THROW(pp::append_pauli_set(slice(strings, 0, 4),
+                                    "/nonexistent/picasso_nope.pset"),
+               std::runtime_error);
+
+  TempFile file("picasso_test_append_foreign.pset");
+  {
+    std::ofstream out(file.path, std::ios::binary);
+    const char junk[] = "PAULINOT";
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(pp::append_pauli_set(slice(strings, 0, 4), file.path.string()),
+               std::runtime_error);
+}
