@@ -16,9 +16,12 @@
 //   --backend B     Pauli backend: auto | scalar | packed | packed-scalar
 //   --strategy S    execution strategy: auto | in-memory (inmemory) |
 //                   budgeted-streaming (streaming) | semi-streaming |
-//                   multi-device | fused. Applies to `color` and (for
-//                   unitary mode) `partition`; `fused` colors edge-free off
-//                   the palette buckets, never building the conflict CSR.
+//                   multi-device | fused | sketch. Applies to `color` and
+//                   (for unitary mode) `partition`; `fused` colors edge-free
+//                   off the palette buckets, never building the conflict
+//                   CSR; `sketch` adds the probabilistic Bloom tier (exact
+//                   colorings for Pauli input, hashed edge oracle for
+//                   explicit graphs).
 //   --budget BYTES  memory budget (0 = unlimited; may plan streaming or
 //                   the fused engine)
 //   --mtx           color: parse --file as MatrixMarket (auto-detected for
@@ -107,7 +110,8 @@ const char* kUsage =
     "usage: picasso_cli <list|info|partition|color|sweep> [target] "
     "[--percent P] [--alpha A] [--seed S] [--mode unitary|commute|qwc] "
     "[--backend auto|scalar|packed|packed-scalar] "
-    "[--strategy auto|inmemory|streaming|semi-streaming|multi-device|fused] "
+    "[--strategy "
+    "auto|inmemory|streaming|semi-streaming|multi-device|fused|sketch] "
     "[--budget BYTES] [--file path] [--mtx] [--stream] [--refine] [--csv] "
     "[--metrics] [--trace FILE] [--update FILE]...";
 

@@ -10,12 +10,14 @@
 // lists among natural extensions: it composes with any colorer in this
 // library, including Picasso's output (post-hoc, via the oracle overload).
 
+#include <concepts>
 #include <cstdint>
 #include <vector>
 
 #include "coloring/adapters.hpp"
 #include "coloring/greedy.hpp"
 #include "graph/oracles.hpp"
+#include "util/packed_colors.hpp"
 #include "util/rng.hpp"
 
 namespace picasso::coloring {
@@ -130,6 +132,32 @@ RefineResult iterated_greedy_refine_oracle(
   }
   result.colors_after = current;
   result.seconds = timer.seconds();
+  return result;
+}
+
+/// Packed-color overloads (PicassoResult::colors is sub-byte packed):
+/// unpack, refine, re-pack at the width the refined bound needs.
+/// Constrained templates so vector arguments keep binding the in-place
+/// overloads above.
+template <ColorableGraph G, std::same_as<util::PackedColorArray> P>
+RefineResult iterated_greedy_refine(
+    const G& g, P& colors, int max_rounds = 8,
+    RefineOrder order = RefineOrder::LargestFirst, std::uint64_t seed = 1) {
+  std::vector<std::uint32_t> unpacked = colors.to_vector();
+  const RefineResult result =
+      iterated_greedy_refine(g, unpacked, max_rounds, order, seed);
+  colors = util::PackedColorArray(unpacked);
+  return result;
+}
+
+template <graph::GraphOracle Oracle, std::same_as<util::PackedColorArray> P>
+RefineResult iterated_greedy_refine_oracle(
+    const Oracle& oracle, P& colors, int max_rounds = 4,
+    RefineOrder order = RefineOrder::LargestFirst, std::uint64_t seed = 1) {
+  std::vector<std::uint32_t> unpacked = colors.to_vector();
+  const RefineResult result =
+      iterated_greedy_refine_oracle(oracle, unpacked, max_rounds, order, seed);
+  colors = util::PackedColorArray(unpacked);
   return result;
 }
 

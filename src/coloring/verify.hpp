@@ -3,12 +3,14 @@
 // Picasso alike — is verified through these in tests and (cheaply) asserted
 // in the benchmark harnesses.
 
+#include <concepts>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "coloring/adapters.hpp"
 #include "graph/oracles.hpp"
+#include "util/packed_colors.hpp"
 
 namespace picasso::coloring {
 
@@ -53,6 +55,24 @@ bool is_valid_coloring_oracle(const Oracle& oracle,
     }
   }
   return ok;
+}
+
+/// Packed-color conveniences: a PackedColorArray has no contiguous uint32
+/// storage, so unpack once and run the span checks. Constrained templates
+/// (not plain overloads) so a std::vector argument still binds its span
+/// overload unambiguously.
+template <ColorableGraph G, std::same_as<util::PackedColorArray> P>
+bool is_valid_coloring(const G& g, const P& colors) {
+  const std::vector<std::uint32_t> unpacked = colors.to_vector();
+  return is_valid_coloring(g, std::span<const std::uint32_t>(unpacked));
+}
+
+template <graph::GraphOracle Oracle,
+          std::same_as<util::PackedColorArray> P>
+bool is_valid_coloring_oracle(const Oracle& oracle, const P& colors) {
+  const std::vector<std::uint32_t> unpacked = colors.to_vector();
+  return is_valid_coloring_oracle(oracle,
+                                  std::span<const std::uint32_t>(unpacked));
 }
 
 /// Number of distinct colors used (ignores kNoColor entries).

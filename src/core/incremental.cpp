@@ -38,7 +38,7 @@ class FusedState::Prober {
   virtual ~Prober() = default;
 
   /// Pins vertex `u` for subsequent edges() calls and returns its packed
-  /// [x|z] record (sig_words per plane), valid until the next set_u() or
+  /// [x|z] record (rec_words per plane), valid until the next set_u() or
   /// member_record() call.
   virtual const std::uint64_t* set_u(std::uint32_t u) = 0;
 
@@ -233,6 +233,8 @@ struct FusedState::SpillGuard {
   ~SpillGuard() {
     std::error_code ec;
     std::filesystem::remove(path, ec);
+    // Packed-color sidecar written next to the spill (see update_pauli).
+    std::filesystem::remove(path + ".colors", ec);
   }
 };
 
@@ -292,14 +294,30 @@ void FusedState::rebuild_from_colors(
   sigs_.assign(static_cast<std::size_t>(total_colors_) * sig_words_, 0);
 }
 
+std::size_t FusedState::signature_words(std::size_t rec_words) const {
+  if (!params_.sketch_prefilter || rec_words == 0) return rec_words;
+  // params_.sketch_words counts 32-bit words (the fused-engine
+  // convention); these signatures are 64-bit, so halve rounding up.
+  const std::size_t w =
+      params_.sketch_words != 0 ? (params_.sketch_words + 1) / 2 : 1;
+  return std::min(std::max<std::size_t>(w, 1), rec_words);
+}
+
+void FusedState::fold_support(const std::uint64_t* rec,
+                              std::uint64_t* out) const {
+  if (sig_words_ == 0) return;
+  for (std::size_t k = 0; k < sig_words_; ++k) out[k] = 0;
+  for (std::size_t k = 0; k < rec_words_; ++k) {
+    out[k % sig_words_] |= rec[k] | rec[rec_words_ + k];
+  }
+}
+
 void FusedState::rebuild_signatures(Prober& prober) {
   std::vector<std::uint64_t> sup(sig_words_);
   for (std::size_t v = 0; v < cursor_; ++v) {
     const std::uint64_t* rec = prober.member_record(
         static_cast<std::uint32_t>(v));
-    for (std::size_t k = 0; k < sig_words_; ++k) {
-      sup[k] = rec[k] | rec[sig_words_ + k];
-    }
+    fold_support(rec, sup.data());
     or_signature(colors_[v], sup.data());
   }
 }
@@ -346,7 +364,8 @@ void FusedState::adopt_pauli_solution(const pauli::PauliSet& set,
   }
   kind_ = Kind::Pauli;
   num_qubits_ = set.num_qubits();
-  sig_words_ = pauli::packed_words(num_qubits_);
+  rec_words_ = pauli::packed_words(num_qubits_);
+  sig_words_ = signature_words(rec_words_);
   colors_.assign(set.size(), kUncolored);
   if (use_spill_) {
     spill_pauli_set(set, spill_path_);
@@ -384,7 +403,8 @@ void FusedState::ingest_pauli(const pauli::PauliSet& delta) {
   kind_ = Kind::Pauli;
   if (num_qubits_ == 0) {
     num_qubits_ = delta.num_qubits();
-    sig_words_ = pauli::packed_words(num_qubits_);
+    rec_words_ = pauli::packed_words(num_qubits_);
+    sig_words_ = signature_words(rec_words_);
   } else if (delta.num_qubits() != num_qubits_) {
     throw std::invalid_argument("FusedState: delta qubit count mismatch");
   }
@@ -450,10 +470,12 @@ bool FusedState::try_recolor(Prober& prober, std::uint32_t v,
     ++stats.bucket_probes;
     obs::count(obs::Counter::UpdateBucketProbes);
     std::vector<std::uint32_t> blockers;
+    if (params_.sketch_prefilter) obs::count(obs::Counter::SketchProbes);
     if (supports_disjoint(sup_v, sigs_.data() + static_cast<std::size_t>(c) *
                                                     sig_words_,
                           sig_words_)) {
       // Disjoint supports: v commutes with — conflicts with — every member.
+      if (params_.sketch_prefilter) obs::count(obs::Counter::SketchHits);
       blockers = bucket;
     } else {
       hits.resize(bucket.size());
@@ -497,9 +519,7 @@ bool FusedState::try_recolor(Prober& prober, std::uint32_t v,
   bool ok = true;
   for (std::uint32_t b : best_blockers) {
     const std::uint64_t* rec = prober.set_u(b);
-    for (std::size_t k = 0; k < sig_words_; ++k) {
-      sup_b[k] = rec[k] | rec[sig_words_ + k];
-    }
+    fold_support(rec, sup_b.data());
     std::uint32_t target = kUncolored;
     for (std::uint32_t d = 0; d < total_colors_; ++d) {
       if (d == best_color) continue;
@@ -507,17 +527,24 @@ bool FusedState::try_recolor(Prober& prober, std::uint32_t v,
       if (bucket.empty()) continue;  // relocations reuse existing colors only
       ++stats.bucket_probes;
       obs::count(obs::Counter::UpdateBucketProbes);
+      if (params_.sketch_prefilter) obs::count(obs::Counter::SketchProbes);
       if (supports_disjoint(sup_b.data(),
                             sigs_.data() + static_cast<std::size_t>(d) *
                                                sig_words_,
                             sig_words_)) {
         ++stats.signature_fast_exits;
         obs::count(obs::Counter::SignatureFastExits);
+        if (params_.sketch_prefilter) obs::count(obs::Counter::SketchHits);
         continue;
       }
       if (bucket_admits(prober, bucket, hits)) {
         target = d;
         break;
+      }
+      // Folded signature failed to dismiss a bucket the exact scan then
+      // rejected — the sketch's (measured) false positive.
+      if (params_.sketch_prefilter) {
+        obs::count(obs::Counter::SketchFalsePositives);
       }
     }
     if (target == kUncolored) {
@@ -583,9 +610,7 @@ void FusedState::color_pauli_backlog(const StopToken& stop,
     detail::throw_if_stopped(stop);
     const auto v = static_cast<std::uint32_t>(cursor_);
     const std::uint64_t* rec = prober->set_u(v);
-    for (std::size_t k = 0; k < sig_words_; ++k) {
-      sup[k] = rec[k] | rec[sig_words_ + k];
-    }
+    fold_support(rec, sup.data());
 
     // Phase 1: lowest feasible color wins. An empty bucket (an unused
     // palette slot) is immediately feasible, so fresh colors only open
@@ -599,17 +624,22 @@ void FusedState::color_pauli_backlog(const StopToken& stop,
         chosen = c;
         break;
       }
+      if (params_.sketch_prefilter) obs::count(obs::Counter::SketchProbes);
       if (supports_disjoint(sup.data(),
                             sigs_.data() + static_cast<std::size_t>(c) *
                                                sig_words_,
                             sig_words_)) {
         ++stats.signature_fast_exits;
         obs::count(obs::Counter::SignatureFastExits);
+        if (params_.sketch_prefilter) obs::count(obs::Counter::SketchHits);
         continue;
       }
       if (bucket_admits(*prober, bucket, hits)) {
         chosen = c;
         break;
+      }
+      if (params_.sketch_prefilter) {
+        obs::count(obs::Counter::SketchFalsePositives);
       }
     }
 
@@ -650,6 +680,11 @@ UpdateStats FusedState::update_pauli(const pauli::PauliSet& delta,
   UpdateStats stats;
   ingest_pauli(delta);
   color_pauli_backlog(stop, progress, stats);
+  if (use_spill_ && spill_guard_) {
+    // Persist the packed coloring next to the spill so a .pset tail on
+    // disk carries its colors too (read back via read_spill_colors).
+    pauli::write_spill_colors(spill_path_ + ".colors", colors_);
+  }
   stats.num_vertices = static_cast<std::uint32_t>(cursor_);
   stats.num_colors = distinct_colors();
   stats.seconds = timer.seconds();

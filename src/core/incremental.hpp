@@ -135,10 +135,9 @@ class FusedState {
                            const ProgressFn& progress = {});
 
   /// Coloring of every ingested vertex (kUncolored marks backlog left by a
-  /// cancelled update).
-  const std::vector<std::uint32_t>& colors() const noexcept {
-    return colors_;
-  }
+  /// cancelled update), stored sub-byte-packed; convert with to_vector()
+  /// or read through operator[].
+  const util::PackedColorArray& colors() const noexcept { return colors_; }
   std::size_t num_vertices() const noexcept { return colors_.size(); }
   std::size_t colored_vertices() const noexcept { return cursor_; }
   /// Upper bound of the color range in use (buckets allocated).
@@ -174,16 +173,28 @@ class FusedState {
   void rebuild_from_colors(const std::vector<std::uint32_t>& colors);
   void rebuild_signatures(Prober& prober);
   void or_signature(std::uint32_t color, const std::uint64_t* record);
+  /// Signature width for a record of `rec_words` packed words per plane:
+  /// the full width normally, a folded sketch width (default one word,
+  /// params_.sketch_words/2 when pinned) under params_.sketch_prefilter.
+  std::size_t signature_words(std::size_t rec_words) const;
+  /// out[0..sig_words_) = the (x|z) support of `rec` OR-folded to the
+  /// signature width (identity copy when sig_words_ == rec_words_). A
+  /// shared qubit lands on the same (word, bit) at any fixed width, so a
+  /// zero AND against a folded bucket signature still PROVES disjointness
+  /// — the sketch only weakens dismissals, never answers wrongly.
+  void fold_support(const std::uint64_t* rec, std::uint64_t* out) const;
 
   PicassoParams params_;
   UpdateParams update_params_;
   Kind kind_ = Kind::Unset;
 
-  std::vector<std::uint32_t> colors_;  // per ingested vertex
+  util::PackedColorArray colors_;  // per ingested vertex, sub-byte packed
   std::vector<std::vector<std::uint32_t>> buckets_;  // color -> member ids
-  std::vector<std::uint64_t> sigs_;  // total_colors_ * sig_words_, OR of
-                                     // members' (x|z) support words
-  std::size_t sig_words_ = 0;
+  std::vector<std::uint64_t> sigs_;  // total_colors_ * sig_words_, OR-fold
+                                     // of members' (x|z) support words
+  std::size_t rec_words_ = 0;  // packed words per plane of one record
+  std::size_t sig_words_ = 0;  // words per signature (== rec_words_ unless
+                               // the sketch fold is engaged)
   std::uint32_t total_colors_ = 0;
   std::size_t cursor_ = 0;          // colored prefix length
   std::uint32_t fresh_colors_ = 0;  // since the last escalation

@@ -21,7 +21,7 @@ namespace {
 /// are sorted). The shared body filters colored vertices and absent colors.
 auto csr_strikes(const graph::CsrGraph& gc) {
   return [&gc](std::uint32_t v, std::uint32_t /*color*/,
-               const std::vector<std::uint32_t>& /*assigned*/, auto&& strike) {
+               const util::PackedColorArray& /*assigned*/, auto&& strike) {
     for (std::uint32_t u : gc.neighbors(v)) strike(u);
   };
 }

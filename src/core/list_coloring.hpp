@@ -32,6 +32,7 @@
 #include "core/palette.hpp"
 #include "graph/csr_graph.hpp"
 #include "util/bucket_queue.hpp"
+#include "util/packed_colors.hpp"
 #include "util/rng.hpp"
 
 namespace picasso::core {
@@ -48,7 +49,9 @@ const char* to_string(ConflictColoringScheme s) noexcept;
 
 struct ListColoringResult {
   /// Palette-local assigned color per vertex, kNoColorLocal if uncolored.
-  std::vector<std::uint32_t> assigned;
+  /// Packed sub-byte storage: colors are < P, so the width comes from the
+  /// palette bound (4 bits/vertex for the common small-palette case).
+  util::PackedColorArray assigned;
   std::vector<std::uint32_t> uncolored;  // V_u, ascending vertex ids
   std::uint32_t num_colored = 0;
   std::size_t aux_peak_bytes = 0;
@@ -179,7 +182,7 @@ inline void finalize_list_coloring(ListColoringResult& result) {
 /// between the bucket and heap bodies so the skip rules cannot drift.
 template <typename OnResize, typename OnEmpty>
 void apply_strike(std::uint32_t u, std::uint32_t color, WorkingLists& work,
-                  const std::vector<std::uint32_t>& assigned,
+                  const util::PackedColorArray& assigned,
                   OnResize&& on_resize, OnEmpty&& on_empty) {
   if (assigned[u] != ListColoringResult::kNoColorLocal) return;
   const std::uint32_t new_size = work.remove_color(u, color);
@@ -192,13 +195,17 @@ void apply_strike(std::uint32_t u, std::uint32_t color, WorkingLists& work,
 }
 
 /// Algorithm 2 over an abstract strike enumerator (see contract above).
+/// `color_bound` is the palette size P when the caller knows it (packs the
+/// assignment at the narrowest width up front); 0 lets the array widen on
+/// demand.
 template <typename ForEachStrike>
 ListColoringResult color_lists_dynamic(std::uint32_t n, const ColorLists& lists,
                                        util::Xoshiro256& rng,
-                                       ForEachStrike&& for_each_strike) {
+                                       ForEachStrike&& for_each_strike,
+                                       std::uint32_t color_bound = 0) {
   const std::uint32_t l = lists.list_size();
   ListColoringResult result;
-  result.assigned.assign(n, ListColoringResult::kNoColorLocal);
+  result.assigned.reset(n, ListColoringResult::kNoColorLocal, color_bound);
   if (n == 0) return result;
 
   WorkingLists work(lists);
@@ -232,7 +239,7 @@ ListColoringResult color_lists_dynamic(std::uint32_t n, const ColorLists& lists,
   }
 
   result.aux_peak_bytes = work.logical_bytes() + queue.logical_bytes() +
-                          result.assigned.capacity() * sizeof(std::uint32_t);
+                          result.assigned.logical_bytes();
   finalize_list_coloring(result);
   return result;
 }
@@ -241,10 +248,11 @@ ListColoringResult color_lists_dynamic(std::uint32_t n, const ColorLists& lists,
 template <typename ForEachStrike>
 ListColoringResult color_lists_heap(std::uint32_t n, const ColorLists& lists,
                                     util::Xoshiro256& rng,
-                                    ForEachStrike&& for_each_strike) {
+                                    ForEachStrike&& for_each_strike,
+                                    std::uint32_t color_bound = 0) {
   const std::uint32_t l = lists.list_size();
   ListColoringResult result;
-  result.assigned.assign(n, ListColoringResult::kNoColorLocal);
+  result.assigned.reset(n, ListColoringResult::kNoColorLocal, color_bound);
   if (n == 0) return result;
 
   WorkingLists work(lists);
@@ -299,8 +307,7 @@ ListColoringResult color_lists_heap(std::uint32_t n, const ColorLists& lists,
   }
 
   result.aux_peak_bytes = work.logical_bytes() + heap_peak * sizeof(Entry) +
-                          done.capacity() +
-                          result.assigned.capacity() * sizeof(std::uint32_t);
+                          done.capacity() + result.assigned.logical_bytes();
   finalize_list_coloring(result);
   return result;
 }
@@ -318,6 +325,8 @@ ListColoringResult color_lists_static(std::uint32_t n, const ColorLists& lists,
   result.assigned.assign(n, ListColoringResult::kNoColorLocal);
   if (n == 0) return result;
 
+  // Re-pack at the width of the widest list entry (known after the scan
+  // below) before any assignment is stored.
   std::vector<std::uint32_t> order(n);
   for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
   switch (scheme) {
@@ -345,6 +354,7 @@ ListColoringResult color_lists_static(std::uint32_t n, const ColorLists& lists,
   }
   std::vector<std::uint32_t> mark(static_cast<std::size_t>(max_color) + 1, 0);
   std::uint32_t stamp = 0;
+  result.assigned.reset(n, ListColoringResult::kNoColorLocal, max_color + 1);
 
   for (std::uint32_t v : order) {
     ++stamp;
@@ -368,7 +378,7 @@ ListColoringResult color_lists_static(std::uint32_t n, const ColorLists& lists,
 
   result.aux_peak_bytes = mark.capacity() * sizeof(std::uint32_t) +
                           order.capacity() * sizeof(std::uint32_t) +
-                          result.assigned.capacity() * sizeof(std::uint32_t);
+                          result.assigned.logical_bytes();
   finalize_list_coloring(result);
   return result;
 }

@@ -78,6 +78,15 @@ class ColorLists {
   /// it again after mutating lists by hand).
   void build_signatures();
 
+  /// Frees the signature words (signature() degrades to the all-ones
+  /// no-op filter; share_color falls back to the exact merge, so results
+  /// are unchanged). The fused sketch path drops them — its budget-sized
+  /// support blooms subsume the one-word palette filter.
+  void drop_signatures() {
+    sigs_.clear();
+    sigs_.shrink_to_fit();
+  }
+
   std::size_t logical_bytes() const noexcept {
     return data_.capacity() * sizeof(std::uint32_t) +
            sigs_.capacity() * sizeof(std::uint64_t);

@@ -29,6 +29,7 @@
 #include "runtime/arena.hpp"
 #include "runtime/runtime_config.hpp"
 #include "util/memory.hpp"
+#include "util/packed_colors.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -89,6 +90,20 @@ struct PicassoParams {
   /// its chunk cache under it and spills the Pauli input to disk, re-reading
   /// chunks on demand, so the cap actually binds.
   std::size_t memory_budget_bytes = 0;
+  /// Engages the probabilistic sketch tier in front of the exact conflict
+  /// oracle where an engine supports it: the fused engines put OR-folded
+  /// support blooms before the packed merge (complement oracles only — a
+  /// provably disjoint support pair commutes, hence IS a complement edge,
+  /// so the sketch only ever answers when the answer is certain), and the
+  /// incremental engine folds its bucket signatures the same way. Colorings
+  /// stay bit-identical; obs counters sketch_probes / sketch_hits /
+  /// sketch_false_positives measure the filter.
+  bool sketch_prefilter = false;
+  /// Sketch width in 32-bit words per vertex (0 = auto: one word, or
+  /// budget/64 spread over the active set when memory_budget_bytes is set;
+  /// always clamped to the oracle's natural fold width). Deterministic
+  /// given params — never derived from live memory headroom.
+  std::size_t sketch_words = 0;
   /// Cooperative cancellation: checked at iteration boundaries in every
   /// driver and between chunk-pair scans in the chunked engine. A requested
   /// stop raises SolveCancelled; the default token never fires. See
@@ -153,7 +168,10 @@ struct IterationStats {
 };
 
 struct PicassoResult {
-  std::vector<std::uint32_t> colors;  // global colors, per input vertex
+  /// Global colors, per input vertex — stored sub-byte-packed (2/4/8 bits
+  /// per entry with a uint32 escape tier) and readable through operator[]
+  /// or the implicit std::vector<std::uint32_t> conversion.
+  util::PackedColorArray colors;
   std::uint32_t num_colors = 0;       // distinct colors used
   std::uint32_t palette_total = 0;    // Σ P_l (upper bound of Lemma 2)
   std::vector<IterationStats> iterations;

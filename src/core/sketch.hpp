@@ -1,0 +1,217 @@
+#pragma once
+// Probabilistic sketch tier of the conflict oracle (ROADMAP: probabilistic
+// palette engine).
+//
+// Two kinds of sketch live here:
+//
+//  * SupportBlooms — per-vertex OR-folded qubit-support signatures for the
+//    Pauli complement oracles. Disjoint supports prove commutation, hence a
+//    complement edge, so a zero bloom AND lets the fused strike path mark a
+//    whole candidate batch "conflict" without running the exact packed
+//    merge. One-sided by construction: overlapping blooms prove nothing
+//    and fall through to the exact kernel, so colorings stay bit-identical
+//    to the exact engines while obs counters (sketch_probes / sketch_hits /
+//    sketch_false_positives) measure the filter rate.
+//
+//  * HashedConflictOracle — the ColoringClassifier-style fully-hashed mode
+//    for explicit graphs (ExecutionStrategy::Sketch): the edge set lives
+//    only in a Bloom filter (k = 2 hashes per undirected edge), so any
+//    membership query may claim a spurious edge but never misses a real
+//    one. Colorings computed against it are therefore valid for the real
+//    graph; the measured false-conflict rate is reported per solve.
+//
+// Both sketches size themselves deterministically from PicassoParams (the
+// MemoryRegistry *budget*, never the registry's live headroom), so sketch
+// decisions — and every derived counter — are a pure function of
+// (dataset, seed, params) across thread counts and backends.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/picasso.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/oracles.hpp"
+
+namespace picasso::core {
+
+/// Bloom width (32-bit words per vertex) for the support sketch:
+/// params.sketch_words when pinned, else one word — or, under a memory
+/// budget, up to 1/64 of it — clamped to the oracle's natural fold width
+/// (beyond which folding is lossless and more words change nothing).
+inline std::size_t sketch_bloom_words(std::size_t natural_words,
+                                      const PicassoParams& params,
+                                      std::uint32_t n_active) {
+  const std::size_t natural = std::max<std::size_t>(natural_words, 1);
+  if (params.sketch_words != 0) {
+    return std::min<std::size_t>(params.sketch_words, natural);
+  }
+  std::size_t b = 1;
+  if (params.memory_budget_bytes != 0 && n_active != 0) {
+    b = std::max<std::size_t>(
+        1, (params.memory_budget_bytes / 64) /
+               (sizeof(std::uint32_t) * static_cast<std::size_t>(n_active)));
+  }
+  return std::min(b, natural);
+}
+
+/// Per-active-vertex support blooms for one fused iteration: row(local) is
+/// `words` 32-bit words, the OR-fold of the vertex's (x|z) support planes.
+struct SupportBlooms {
+  std::size_t words = 0;
+  std::vector<std::uint32_t> bits;
+
+  template <graph::SupportSketchOracle Oracle>
+  SupportBlooms(const Oracle& oracle, std::span<const std::uint32_t> active,
+                std::size_t b)
+      : words(b), bits(active.size() * b, 0) {
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      oracle.fold_support(active[i], bits.data() + i * b, b);
+    }
+  }
+
+  const std::uint32_t* row(std::uint32_t local) const {
+    return bits.data() + static_cast<std::size_t>(local) * words;
+  }
+  std::size_t logical_bytes() const noexcept {
+    return bits.size() * sizeof(std::uint32_t);
+  }
+};
+
+/// Measured behaviour of a HashedConflictOracle, shared so the oracle stays
+/// copyable while solve-side consumers read the totals afterwards. Plain
+/// (non-atomic) counters: the fused schemes issue oracle queries from the
+/// serial scheme body unless a batch crosses the parallel cutoff, and the
+/// hashed mode pins serial_cutoff past n (api/session.cpp) so queries never
+/// race. Totals are deterministic — every query is counted exactly once.
+struct SketchQueryStats {
+  std::uint64_t probes = 0;           // edge() calls (u != v)
+  std::uint64_t claimed = 0;          // queries the bloom answered "edge"
+  std::uint64_t false_conflicts = 0;  // claims the exact oracle refutes
+
+  double false_conflict_rate() const noexcept {
+    return claimed == 0
+               ? 0.0
+               : static_cast<double>(false_conflicts) /
+                     static_cast<double>(claimed);
+  }
+};
+
+/// Bloom bit-count for the hashed edge oracle: ~16 bits per edge (k = 2
+/// hashes puts the false-positive rate near 1.4%), or 1/8 of the memory
+/// budget when one is set; always a power of two >= 4096 for mask hashing.
+inline std::size_t hashed_sketch_bits(std::uint64_t num_edges,
+                                      const PicassoParams& params) {
+  std::uint64_t bits = std::max<std::uint64_t>(16 * num_edges, 4096);
+  if (params.memory_budget_bytes != 0) {
+    bits = std::max<std::uint64_t>(params.memory_budget_bytes, 4096);
+  }
+  return std::bit_ceil(static_cast<std::size_t>(
+      std::min<std::uint64_t>(bits, std::uint64_t{1} << 36)));
+}
+
+/// Conflict oracle whose edge set is a Bloom filter — no adjacency
+/// structure at all, in the spirit of the hash-embedded ColoringClassifier.
+/// No false negatives (every inserted edge always answers true), so a
+/// proper coloring of the hashed graph is proper on the exact graph; false
+/// positives only over-constrain and are measured against the exact oracle
+/// per query.
+template <graph::GraphOracle Exact>
+class HashedConflictOracle {
+ public:
+  HashedConflictOracle(const Exact& exact, std::size_t bits,
+                       std::uint64_t seed)
+      : exact_(&exact),
+        n_(exact.num_vertices()),
+        mask_(std::bit_ceil(std::max<std::size_t>(bits, 64)) - 1),
+        seed_(seed),
+        words_((mask_ + 1) / 64, 0),
+        stats_(std::make_shared<SketchQueryStats>()) {}
+
+  graph::VertexId num_vertices() const { return n_; }
+
+  void insert(graph::VertexId u, graph::VertexId v) {
+    const auto [h1, h2] = hash_pair(u, v);
+    words_[h1 / 64] |= 1ull << (h1 % 64);
+    words_[h2 / 64] |= 1ull << (h2 % 64);
+  }
+
+  bool edge(graph::VertexId u, graph::VertexId v) const {
+    if (u == v) return false;
+    ++stats_->probes;
+    const auto [h1, h2] = hash_pair(u, v);
+    const bool claim = (words_[h1 / 64] >> (h1 % 64)) &
+                       (words_[h2 / 64] >> (h2 % 64)) & 1ull;
+    if (claim) {
+      ++stats_->claimed;
+      if (!exact_->edge(u, v)) ++stats_->false_conflicts;
+    }
+    return claim;
+  }
+
+  const SketchQueryStats& stats() const noexcept { return *stats_; }
+  std::size_t bloom_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  std::pair<std::size_t, std::size_t> hash_pair(graph::VertexId u,
+                                                graph::VertexId v) const {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+    const std::uint64_t h1 = splitmix64(key ^ seed_);
+    const std::uint64_t h2 = splitmix64(h1);
+    return {static_cast<std::size_t>(h1) & mask_,
+            static_cast<std::size_t>(h2) & mask_};
+  }
+
+  const Exact* exact_;
+  graph::VertexId n_;
+  std::size_t mask_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> words_;
+  std::shared_ptr<SketchQueryStats> stats_;
+};
+
+/// Builds the hashed oracle from an explicit CSR graph (one neighbor walk;
+/// each undirected edge inserted once at its u < v orientation).
+template <graph::GraphOracle Exact>
+HashedConflictOracle<Exact> build_hashed_oracle(const graph::CsrGraph& g,
+                                                const Exact& exact,
+                                                std::size_t bits,
+                                                std::uint64_t seed) {
+  HashedConflictOracle<Exact> hashed(exact, bits, seed);
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (graph::VertexId v : g.neighbors(u)) {
+      if (u < v) hashed.insert(u, v);
+    }
+  }
+  return hashed;
+}
+
+/// Generic builder for oracle-only graphs (O(n^2) queries — what a dense
+/// input already costs to hold).
+template <graph::GraphOracle Exact>
+HashedConflictOracle<Exact> build_hashed_oracle(const Exact& exact,
+                                                std::size_t bits,
+                                                std::uint64_t seed) {
+  HashedConflictOracle<Exact> hashed(exact, bits, seed);
+  const graph::VertexId n = exact.num_vertices();
+  for (graph::VertexId u = 0; u < n; ++u) {
+    for (graph::VertexId v = u + 1; v < n; ++v) {
+      if (exact.edge(u, v)) hashed.insert(u, v);
+    }
+  }
+  return hashed;
+}
+
+}  // namespace picasso::core

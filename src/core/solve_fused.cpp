@@ -187,7 +187,7 @@ PicassoResult solve_pauli_chunked_fused(const pauli::ChunkedPauliReader& reader,
         auto run_with = [&](auto& tester) {
           return detail::fused_color_iteration(
               n_active, lists, index, params.conflict_scheme, rng, tester,
-              params, iteration,
+              params, iteration, palette.palette_size,
               [&] {
                 return detail::fused_conflict_degrees(
                     n_active, lists, index, palette.palette_size, tester);

@@ -48,6 +48,7 @@
 #include "core/conflict_graph.hpp"
 #include "core/list_coloring.hpp"
 #include "core/picasso.hpp"
+#include "core/sketch.hpp"
 #include "core/streaming.hpp"
 #include "pauli/pauli_stream.hpp"
 
@@ -79,6 +80,14 @@ struct FusedScanStats {
   std::uint64_t edges_struck = 0;  // oracle-confirmed strike targets
   std::uint64_t pairs_tested = 0;  // candidates handed to the oracle
   std::uint64_t bucket_scans = 0;  // candidate-bucket scans issued
+  // Sketch tier (zero unless params.sketch_prefilter engaged a
+  // SupportSketchOracle): batch probes, whole-batch bloom dismissals, and
+  // batches the bloom failed to dismiss although the exact kernel then
+  // confirmed every candidate. All counted in the serial enumerator, so
+  // they are bit-identical across thread counts and backends.
+  std::uint64_t sketch_probes = 0;
+  std::uint64_t sketch_hits = 0;
+  std::uint64_t sketch_false_positives = 0;
 };
 
 /// Strike enumerator the shared scheme bodies drive (ForEachStrike
@@ -107,7 +116,7 @@ class FusedStrikeEnumerator {
 
   template <typename Strike>
   void operator()(std::uint32_t v, std::uint32_t color,
-                  const std::vector<std::uint32_t>& assigned, Strike&& strike) {
+                  const util::PackedColorArray& assigned, Strike&& strike) {
     // Bucket-boundary checkpoint: a requested stop cancels before the next
     // bucket is scanned; RAII in the driver unwinds every charge.
     throw_if_stopped(params_->stop);
@@ -376,6 +385,57 @@ class OracleBatchTester {
   std::vector<std::uint32_t> global_;
 };
 
+/// Sketch-prefiltered wrapper over an exact batch tester, for complement
+/// oracles only: if v's support bloom is disjoint from EVERY candidate's
+/// bloom, the supports are provably disjoint, disjoint supports commute,
+/// and commuting pairs are complement edges — so the whole batch is marked
+/// all-conflict without running the exact kernel. Overlapping blooms prove
+/// nothing and fall through to the exact tester, so every answer this
+/// wrapper gives matches the exact tester bit for bit; only the kernel-
+/// dispatch counters (EdgeBlockCalls*) shrink. Runs in the serial scheme
+/// body, so the sketch counters are schedule-independent.
+template <typename Inner>
+class SketchedBatchTester {
+ public:
+  SketchedBatchTester(Inner& inner, const SupportBlooms& blooms,
+                      FusedScanStats& stats)
+      : inner_(&inner), blooms_(&blooms), stats_(&stats) {}
+
+  void operator()(std::uint32_t v, std::span<const std::uint32_t> cands,
+                  std::uint8_t* hits) {
+    ++stats_->sketch_probes;
+    const std::uint32_t* bv = blooms_->row(v);
+    const std::size_t b = blooms_->words;
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < cands.size() && acc == 0; ++i) {
+      const std::uint32_t* bu = blooms_->row(cands[i]);
+      for (std::size_t k = 0; k < b; ++k) acc |= bv[k] & bu[k];
+    }
+    if (acc == 0) {
+      std::fill(hits, hits + cands.size(), std::uint8_t{1});
+      ++stats_->sketch_hits;
+      return;
+    }
+    (*inner_)(v, cands, hits);
+    bool all_edges = true;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      all_edges &= hits[i] != 0;
+    }
+    // The batch was in fact all-conflict but the bloom could not prove it —
+    // a (measured) false positive of the one-sided filter.
+    if (all_edges) ++stats_->sketch_false_positives;
+  }
+
+  std::size_t scratch_bytes() const noexcept {
+    return inner_->scratch_bytes();
+  }
+
+ private:
+  Inner* inner_;
+  const SupportBlooms* blooms_;
+  FusedScanStats* stats_;
+};
+
 /// One fused iteration: dispatches the scheme over the shared bodies with
 /// the fused enumerators. `rng` must be the same coloring RNG the
 /// materialized driver would hand color_conflict_graph.
@@ -383,23 +443,24 @@ template <typename Tester, typename DegreeFn>
 ListColoringResult fused_color_iteration(
     std::uint32_t n_active, const ColorLists& lists, const ColorIndex& index,
     ConflictColoringScheme scheme, util::Xoshiro256& rng, Tester& tester,
-    const PicassoParams& params, int iteration, DegreeFn&& degree_fn,
-    FusedScanStats& scan_stats, std::uint32_t& conflicted_out,
-    std::size_t& scratch_bytes_out) {
+    const PicassoParams& params, int iteration, std::uint32_t palette_size,
+    DegreeFn&& degree_fn, FusedScanStats& scan_stats,
+    std::uint32_t& conflicted_out, std::size_t& scratch_bytes_out) {
   std::vector<std::uint8_t> touched(n_active, 0);
   ListColoringResult colored;
   switch (scheme) {
     case ConflictColoringScheme::DynamicBucket: {
       FusedStrikeEnumerator<Tester> strikes(index, tester, params, iteration,
                                             n_active, touched, scan_stats);
-      colored = color_lists_dynamic(n_active, lists, rng, strikes);
+      colored = color_lists_dynamic(n_active, lists, rng, strikes,
+                                    palette_size);
       scratch_bytes_out = strikes.scratch_bytes();
       break;
     }
     case ConflictColoringScheme::DynamicHeap: {
       FusedStrikeEnumerator<Tester> strikes(index, tester, params, iteration,
                                             n_active, touched, scan_stats);
-      colored = color_lists_heap(n_active, lists, rng, strikes);
+      colored = color_lists_heap(n_active, lists, rng, strikes, palette_size);
       scratch_bytes_out = strikes.scratch_bytes();
       break;
     }
@@ -474,6 +535,17 @@ PicassoResult solve_fused_loop(std::uint32_t n, const PicassoParams& params,
       lists = assign_random_lists(stats.n_active, palette, params.seed,
                                   static_cast<std::uint64_t>(iteration));
     }
+    // Under the sketch prefilter the dynamic schemes never consult the
+    // one-word palette signatures (their strike path is bucket-indexed, and
+    // share_color falls back to the exact merge), so drop them before the
+    // charge — the budget-sized support blooms take their place, and at the
+    // default one-word bloom the iteration footprint shrinks by 4 bytes per
+    // active vertex net.
+    if (params.sketch_prefilter &&
+        (params.conflict_scheme == ConflictColoringScheme::DynamicBucket ||
+         params.conflict_scheme == ConflictColoringScheme::DynamicHeap)) {
+      lists.drop_signatures();
+    }
     util::ScopedCharge lists_charge(util::MemSubsystem::PaletteLists,
                                     lists.logical_bytes(), memory);
 
@@ -531,6 +603,10 @@ PicassoResult solve_fused_loop(std::uint32_t n, const PicassoParams& params,
     obs::count(obs::Counter::StrikeHits, scan_stats.edges_struck);
     obs::count(obs::Counter::BucketStrikeScans, scan_stats.bucket_scans);
     obs::count(obs::Counter::RecolorEvents, stats.uncolored);
+    obs::count(obs::Counter::SketchProbes, scan_stats.sketch_probes);
+    obs::count(obs::Counter::SketchHits, scan_stats.sketch_hits);
+    obs::count(obs::Counter::SketchFalsePositives,
+               scan_stats.sketch_false_positives);
 
     result.iterations.push_back(stats);
     result.assign_seconds += stats.assign_seconds;
@@ -586,19 +662,38 @@ PicassoResult solve_fused(const Oracle& oracle, const PicassoParams& params) {
             n_active >= params.runtime.serial_cutoff
                 ? runtime::resolve_pool(params.runtime)
                 : nullptr;
-        detail::OracleBatchTester<Oracle> tester(oracle, active, pool,
-                                                 params.runtime.serial_cutoff);
-        ListColoringResult colored = detail::fused_color_iteration(
-            n_active, lists, index, params.conflict_scheme, rng, tester,
-            params, iteration,
-            [&] {
-              return detail::fused_conflict_degrees_parallel(
-                  oracle, active, lists, index, palette.palette_size,
-                  params.runtime);
-            },
-            scan_stats, conflicted, scan_scratch);
-        scan_scratch += tester.scratch_bytes();
-        return colored;
+        detail::OracleBatchTester<Oracle> exact(oracle, active, pool,
+                                                params.runtime.serial_cutoff);
+        auto run_with = [&](auto& tester) {
+          ListColoringResult colored = detail::fused_color_iteration(
+              n_active, lists, index, params.conflict_scheme, rng, tester,
+              params, iteration, palette.palette_size,
+              [&] {
+                return detail::fused_conflict_degrees_parallel(
+                    oracle, active, lists, index, palette.palette_size,
+                    params.runtime);
+              },
+              scan_stats, conflicted, scan_scratch);
+          scan_scratch += exact.scratch_bytes();
+          return colored;
+        };
+        if constexpr (graph::SupportSketchOracle<Oracle>) {
+          if (params.sketch_prefilter) {
+            // Per-iteration blooms over the shrinking active set: row i is
+            // the OR-folded support of active[i], sized off the params
+            // budget (never the registry's live headroom — sketch width
+            // must be a pure function of the inputs for determinism).
+            const std::size_t b = sketch_bloom_words(
+                oracle.support_fold_words(), params, n_active);
+            const SupportBlooms blooms(oracle, active, b);
+            util::ScopedCharge bloom_charge(util::MemSubsystem::SketchSigs,
+                                            blooms.logical_bytes());
+            detail::SketchedBatchTester<detail::OracleBatchTester<Oracle>>
+                tester(exact, blooms, scan_stats);
+            return run_with(tester);
+          }
+        }
+        return run_with(exact);
       });
 }
 

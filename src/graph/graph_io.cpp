@@ -1,6 +1,7 @@
 #include "graph/graph_io.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -25,11 +26,12 @@ void write_edge_list_file(const std::string& path, const CsrGraph& g) {
   write_edge_list(out, g);
 }
 
-CsrGraph read_edge_list(std::istream& in) {
+CsrGraph read_edge_list(std::istream& in, GraphReadStats* stats) {
   std::string line;
   VertexId n = 0;
   std::uint64_t m = 0;
   bool have_header = false;
+  GraphReadStats local;
   std::vector<std::pair<VertexId, VertexId>> edges;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '%' || line[0] == '#') continue;
@@ -37,25 +39,40 @@ CsrGraph read_edge_list(std::istream& in) {
     if (!have_header) {
       if (!(ls >> n >> m)) throw std::runtime_error("bad edge-list header");
       have_header = true;
-      edges.reserve(m);
+      // The header's edge count is only a reservation hint; cap it so a
+      // corrupt header cannot drive a huge allocation before any entry
+      // parses (mirrors read_matrix_market).
+      edges.reserve(
+          static_cast<std::size_t>(std::min<std::uint64_t>(m, 1u << 24)));
       continue;
     }
     VertexId u, v;
     if (!(ls >> u >> v)) throw std::runtime_error("bad edge line: " + line);
+    if (u >= n || v >= n) {
+      throw std::runtime_error(
+          "edge endpoint out of range (n = " + std::to_string(n) +
+          "): " + line);
+    }
+    if (u == v) {
+      ++local.skipped_self_loops;  // simple graph: no self loops
+      continue;
+    }
     edges.emplace_back(u, v);
   }
   if (!have_header) throw std::runtime_error("empty edge-list input");
+  if (stats != nullptr) *stats = local;
   return CsrGraph::from_edges(n, std::move(edges));
 }
 
-CsrGraph read_edge_list_file(const std::string& path) {
+CsrGraph read_edge_list_file(const std::string& path, GraphReadStats* stats) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return read_edge_list(in);
+  return read_edge_list(in, stats);
 }
 
-CsrGraph read_matrix_market(std::istream& in) {
+CsrGraph read_matrix_market(std::istream& in, GraphReadStats* stats) {
   std::string line;
+  GraphReadStats local;
   // Banner: "%%MatrixMarket matrix coordinate <field> <symmetry>". The
   // banner is optional in practice (some exporters omit it); when present
   // we reject the dense `array` format outright.
@@ -101,20 +118,25 @@ CsrGraph read_matrix_market(std::istream& in) {
       throw std::runtime_error("read_matrix_market: index out of range: " +
                                line);
     }
-    if (i == j) continue;  // self loop: no edge in a simple graph
+    if (i == j) {  // self loop: no edge in a simple graph
+      ++local.skipped_self_loops;
+      continue;
+    }
     edges.emplace_back(static_cast<VertexId>(i - 1),
                        static_cast<VertexId>(j - 1));
   }
   if (!sized) throw std::runtime_error("read_matrix_market: empty input");
+  if (stats != nullptr) *stats = local;
   // from_edges deduplicates, which also folds general-symmetry files that
   // list both (i, j) and (j, i).
   return CsrGraph::from_edges(n, std::move(edges));
 }
 
-CsrGraph read_matrix_market_file(const std::string& path) {
+CsrGraph read_matrix_market_file(const std::string& path,
+                                 GraphReadStats* stats) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return read_matrix_market(in);
+  return read_matrix_market(in, stats);
 }
 
 void write_matrix_market(std::ostream& out, const CsrGraph& g) {
@@ -136,12 +158,18 @@ void write_matrix_market_file(const std::string& path, const CsrGraph& g) {
 }
 
 bool is_matrix_market_path(const std::string& path) {
-  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".mtx") == 0;
+  if (path.size() < 4) return false;
+  const char* ext = ".mtx";
+  for (std::size_t k = 0; k < 4; ++k) {
+    const unsigned char c = static_cast<unsigned char>(path[path.size() - 4 + k]);
+    if (std::tolower(c) != ext[k]) return false;
+  }
+  return true;
 }
 
-CsrGraph read_graph_file(const std::string& path) {
-  return is_matrix_market_path(path) ? read_matrix_market_file(path)
-                                     : read_edge_list_file(path);
+CsrGraph read_graph_file(const std::string& path, GraphReadStats* stats) {
+  return is_matrix_market_path(path) ? read_matrix_market_file(path, stats)
+                                     : read_edge_list_file(path, stats);
 }
 
 }  // namespace picasso::graph

@@ -6,6 +6,7 @@
 // edge-list conflict oracle (graph::CsrOracle), so arbitrary graphs run
 // through the full palette pipeline.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -13,34 +14,50 @@
 
 namespace picasso::graph {
 
+/// What a reader dropped or normalised while parsing. Both text readers
+/// share the same policy: self loops are skipped (a simple graph has none)
+/// and counted here so callers can surface the number instead of silently
+/// losing lines.
+struct GraphReadStats {
+  std::uint64_t skipped_self_loops = 0;
+};
+
 /// Writes "n m" followed by one "u v" line per undirected edge (u < v).
 void write_edge_list(std::ostream& out, const CsrGraph& g);
 void write_edge_list_file(const std::string& path, const CsrGraph& g);
 
 /// Reads the format produced by write_edge_list. Lines starting with '%'
-/// or '#' are ignored. Throws std::runtime_error on malformed input.
-CsrGraph read_edge_list(std::istream& in);
-CsrGraph read_edge_list_file(const std::string& path);
+/// or '#' are ignored. Endpoints are validated against the declared vertex
+/// count as they parse (the error names the offending line), the header's
+/// edge count is only a capped reservation hint, and self-loop lines are
+/// skipped and counted. Throws std::runtime_error on malformed input.
+CsrGraph read_edge_list(std::istream& in, GraphReadStats* stats = nullptr);
+CsrGraph read_edge_list_file(const std::string& path,
+                             GraphReadStats* stats = nullptr);
 
 /// Reads a MatrixMarket `matrix coordinate` file as an undirected simple
 /// graph: entries are 1-based (i, j) pairs (any real/integer/complex values
 /// are ignored — the sparsity pattern is the graph), self loops are
-/// dropped, duplicates and symmetric twins are deduplicated, and the vertex
-/// count is max(rows, cols) so rectangular patterns still load. `array`
-/// (dense) files and malformed input throw std::runtime_error.
-CsrGraph read_matrix_market(std::istream& in);
-CsrGraph read_matrix_market_file(const std::string& path);
+/// skipped and counted, duplicates and symmetric twins are deduplicated,
+/// and the vertex count is max(rows, cols) so rectangular patterns still
+/// load. `array` (dense) files and malformed input throw
+/// std::runtime_error.
+CsrGraph read_matrix_market(std::istream& in, GraphReadStats* stats = nullptr);
+CsrGraph read_matrix_market_file(const std::string& path,
+                                 GraphReadStats* stats = nullptr);
 
 /// Writes `g` as a MatrixMarket `pattern symmetric` coordinate file (the
 /// lower triangle, 1-based), round-trippable through read_matrix_market.
 void write_matrix_market(std::ostream& out, const CsrGraph& g);
 void write_matrix_market_file(const std::string& path, const CsrGraph& g);
 
-/// True when `path` names a MatrixMarket file (".mtx" extension) — how the
-/// CLI and examples pick a parser without a flag.
+/// True when `path` names a MatrixMarket file (".mtx" extension, compared
+/// case-insensitively so "GRAPH.MTX" dispatches correctly) — how the CLI
+/// and examples pick a parser without a flag.
 bool is_matrix_market_path(const std::string& path);
 
 /// Reads either supported format, by extension (is_matrix_market_path).
-CsrGraph read_graph_file(const std::string& path);
+CsrGraph read_graph_file(const std::string& path,
+                         GraphReadStats* stats = nullptr);
 
 }  // namespace picasso::graph

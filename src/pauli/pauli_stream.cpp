@@ -330,4 +330,25 @@ std::size_t append_pauli_set(const PauliSet& delta, const std::string& path) {
   return static_cast<std::size_t>(size);
 }
 
+void write_spill_colors(const std::string& path,
+                        const util::PackedColorArray& colors) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_spill_colors: cannot open " + path);
+  }
+  colors.save(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("write_spill_colors: write failed for " + path);
+  }
+}
+
+util::PackedColorArray read_spill_colors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_spill_colors: cannot open " + path);
+  }
+  return util::PackedColorArray::load(in);
+}
+
 }  // namespace picasso::pauli

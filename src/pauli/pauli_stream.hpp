@@ -42,6 +42,7 @@
 #include "pauli/pauli_packed.hpp"
 #include "pauli/pauli_set.hpp"
 #include "util/memory.hpp"
+#include "util/packed_colors.hpp"
 
 namespace picasso::pauli {
 
@@ -58,6 +59,18 @@ std::size_t spill_pauli_set(const PauliSet& set, const std::string& path);
 /// file size in bytes. Readers already open on `path` keep their old view;
 /// re-open to see the appended strings.
 std::size_t append_pauli_set(const PauliSet& delta, const std::string& path);
+
+/// Writes a packed coloring sidecar at `path` (conventionally the spill
+/// path + ".colors"): the PackedColorArray binary round-trip format, so a
+/// .pset spill on disk carries its colors at the same 2/4/8-bit width they
+/// occupy in memory. Overwrites any existing sidecar. Throws
+/// std::runtime_error on I/O failure.
+void write_spill_colors(const std::string& path,
+                        const util::PackedColorArray& colors);
+
+/// Reads a sidecar written by write_spill_colors. Throws
+/// std::runtime_error on missing or malformed files.
+util::PackedColorArray read_spill_colors(const std::string& path);
 
 /// Random-access chunk reader over a .pset file. Chunk i covers strings
 /// [i * strings_per_chunk, min(n, (i+1) * strings_per_chunk)).

@@ -93,8 +93,9 @@ enum class MemSubsystem : unsigned {
   MlFeatures,    // ML predictor feature/label matrices
   FusedFrontier, // fused engine: color index + working lists + bucket queue
   Spill,         // bytes written to spill files on disk
+  SketchSigs,    // sketch tier: bloom support signatures / hashed edge bits
 };
-inline constexpr std::size_t kNumMemSubsystems = 9;
+inline constexpr std::size_t kNumMemSubsystems = 10;
 
 const char* to_string(MemSubsystem s) noexcept;
 

@@ -1,0 +1,332 @@
+// The probabilistic sketch tier (core/sketch.hpp + the sketch branch of
+// core/solve_fused.hpp + ExecutionStrategy::Sketch):
+//   - the Pauli support-bloom prefilter must leave colorings bit-identical
+//     to the exact fused engine across schemes, backends and thread counts
+//     (it only dismisses provably-conflicting batches);
+//   - its obs counters are deterministic and consistent;
+//   - the fully-hashed edge oracle admits no false negatives, so colorings
+//     computed against it stay valid on the exact graph, with the measured
+//     false-conflict rate surfaced;
+//   - the incremental engine replays to the same colors with the folded
+//     signature sketch on;
+//   - the packed spill color sidecar round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/error.hpp"
+#include "api/session.hpp"
+#include "coloring/verify.hpp"
+#include "core/incremental.hpp"
+#include "core/picasso.hpp"
+#include "core/sketch.hpp"
+#include "core/solve_fused.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/oracles.hpp"
+#include "pauli/pauli_set.hpp"
+#include "pauli/pauli_stream.hpp"
+#include "util/packed_colors.hpp"
+#include "util/rng.hpp"
+
+namespace papi = picasso::api;
+namespace pcore = picasso::core;
+namespace pcol = picasso::coloring;
+namespace pg = picasso::graph;
+namespace pobs = picasso::obs;
+namespace pp = picasso::pauli;
+namespace pu = picasso::util;
+namespace fs = std::filesystem;
+
+namespace {
+
+pp::PauliSet random_set(std::size_t n, std::size_t qubits,
+                        std::uint64_t seed) {
+  pu::Xoshiro256 rng(seed);
+  std::vector<pp::PauliString> strings;
+  strings.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pp::PauliString s(qubits);
+    for (std::size_t q = 0; q < qubits; ++q) {
+      s.set_op(q, static_cast<pp::PauliOp>(rng.bounded(4)));
+    }
+    strings.push_back(std::move(s));
+  }
+  return pp::PauliSet(strings);
+}
+
+/// Sparse strings (a couple of non-identity sites over many qubits): most
+/// supports are disjoint, so the support blooms get to dismiss a lot —
+/// the workload where the sketch tier actually fires.
+pp::PauliSet sparse_set(std::size_t n, std::size_t qubits,
+                        std::uint64_t seed) {
+  pu::Xoshiro256 rng(seed);
+  std::vector<pp::PauliString> strings;
+  strings.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pp::PauliString s(qubits);
+    const std::size_t sites = 1 + rng.bounded(2);
+    for (std::size_t k = 0; k < sites; ++k) {
+      s.set_op(rng.bounded(qubits),
+               static_cast<pp::PauliOp>(1 + rng.bounded(3)));
+    }
+    strings.push_back(std::move(s));
+  }
+  return pp::PauliSet(strings);
+}
+
+}  // namespace
+
+// The prefilter's whole contract: sketch on == sketch off, bit for bit,
+// for every scheme and backend (the sketch only answers when the answer is
+// provably "all conflict").
+TEST(SketchPrefilter, BitIdenticalToExactFused) {
+  const pcore::ConflictColoringScheme schemes[] = {
+      pcore::ConflictColoringScheme::DynamicBucket,
+      pcore::ConflictColoringScheme::DynamicHeap,
+      pcore::ConflictColoringScheme::StaticLargestFirst,
+  };
+  const pcore::PauliBackend backends[] = {pcore::PauliBackend::Scalar,
+                                          pcore::PauliBackend::Packed};
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    const auto set = c == 0 ? sparse_set(160, 64, 7 + c)
+                            : random_set(120, 10 + 8 * c, 7 + c);
+    for (const auto scheme : schemes) {
+      for (const auto backend : backends) {
+        pcore::PicassoParams params;
+        params.seed = 31 + c;
+        params.conflict_scheme = scheme;
+        params.pauli_backend = backend;
+        const auto exact = pcore::solve_pauli_fused(set, params);
+
+        params.sketch_prefilter = true;
+        const auto sketched = pcore::solve_pauli_fused(set, params);
+        const std::string key = std::string("scheme=") +
+                                pcore::to_string(scheme) + " backend=" +
+                                pcore::to_string(backend) + " case=" +
+                                std::to_string(c);
+        ASSERT_EQ(sketched.colors, exact.colors) << key;
+        ASSERT_EQ(sketched.num_colors, exact.num_colors) << key;
+      }
+    }
+  }
+}
+
+// Pinned bloom widths (params.sketch_words) must not change colorings
+// either — any width only weakens or strengthens the dismissal rate.
+TEST(SketchPrefilter, AnyBloomWidthSameColoring) {
+  const auto set = sparse_set(140, 96, 41);
+  pcore::PicassoParams params;
+  params.seed = 5;
+  const auto exact = pcore::solve_pauli_fused(set, params);
+  for (const std::size_t words : {1u, 2u, 3u, 64u}) {
+    params.sketch_prefilter = true;
+    params.sketch_words = words;
+    const auto sketched = pcore::solve_pauli_fused(set, params);
+    ASSERT_EQ(sketched.colors, exact.colors) << "words=" << words;
+  }
+}
+
+// Counters: probes fire on a disjoint-rich workload, hits bound above by
+// probes, and all three totals are independent of the thread count (they
+// are counted in the serial scheme body).
+TEST(SketchPrefilter, CountersFireAndAreThreadCountInvariant) {
+  const auto set = sparse_set(300, 128, 99);
+  std::uint64_t ref_probes = 0, ref_hits = 0, ref_fps = 0;
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    pcore::PicassoParams params;
+    params.seed = 17;
+    params.sketch_prefilter = true;
+    params.runtime.num_threads = threads;
+    const auto report = papi::SessionBuilder()
+                            .params(params)
+                            .strategy(papi::ExecutionStrategy::Fused)
+                            .telemetry(pobs::TelemetryLevel::Counters)
+                            .build()
+                            .solve(papi::Problem::pauli(set));
+    const auto& totals = report.telemetry.counters;
+    const std::uint64_t probes = totals[pobs::Counter::SketchProbes];
+    const std::uint64_t hits = totals[pobs::Counter::SketchHits];
+    const std::uint64_t fps = totals[pobs::Counter::SketchFalsePositives];
+    ASSERT_GT(probes, 0u);
+    ASSERT_GT(hits, 0u);  // sparse supports: the bloom must dismiss a lot
+    ASSERT_LE(hits, probes);
+    ASSERT_LE(fps, probes - hits);
+    if (threads == 1) {
+      ref_probes = probes;
+      ref_hits = hits;
+      ref_fps = fps;
+    } else {
+      ASSERT_EQ(probes, ref_probes) << threads;
+      ASSERT_EQ(hits, ref_hits) << threads;
+      ASSERT_EQ(fps, ref_fps) << threads;
+    }
+  }
+}
+
+// Without the prefilter the sketch counters must stay silent.
+TEST(SketchPrefilter, CountersSilentWhenDisabled) {
+  const auto set = sparse_set(100, 64, 3);
+  const auto report = papi::SessionBuilder()
+                          .strategy(papi::ExecutionStrategy::Fused)
+                          .telemetry(pobs::TelemetryLevel::Counters)
+                          .build()
+                          .solve(papi::Problem::pauli(set));
+  EXPECT_EQ(report.telemetry.counters[pobs::Counter::SketchProbes], 0u);
+  EXPECT_EQ(report.telemetry.counters[pobs::Counter::SketchHits], 0u);
+}
+
+// The hashed edge oracle: every real edge answers true (no false
+// negatives, ever), false claims are counted, and the measured rate stays
+// plausible for ~16 bits/edge (k = 2 → about 1.4%; assert an order of
+// magnitude of slack).
+TEST(HashedOracle, NoFalseNegativesAndMeasuredRate) {
+  const auto g = pg::erdos_renyi(300, 0.08, 77);
+  const pg::CsrOracle exact(g);
+  pcore::PicassoParams params;
+  const auto hashed = pcore::build_hashed_oracle(
+      g, exact, pcore::hashed_sketch_bits(g.num_edges(), params), 123);
+  std::uint64_t false_claims = 0, pairs = 0;
+  for (pg::VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (pg::VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      ++pairs;
+      const bool claim = hashed.edge(u, v);
+      if (exact.edge(u, v)) {
+        ASSERT_TRUE(claim) << u << "," << v;  // inserted edges always hit
+      } else if (claim) {
+        ++false_claims;
+      }
+    }
+  }
+  EXPECT_EQ(hashed.stats().probes, pairs);
+  EXPECT_EQ(hashed.stats().false_conflicts, false_claims);
+  EXPECT_LT(hashed.stats().false_conflict_rate(), 0.5);
+  EXPECT_LT(static_cast<double>(false_claims) / static_cast<double>(pairs),
+            0.15);
+}
+
+// Session-level sketch strategy, Pauli input: same colors as the Fused
+// sibling (the prefilter path), and the report says a non-hashed sketch
+// ran.
+TEST(SketchStrategy, PauliMatchesFusedBitForBit) {
+  const auto set = sparse_set(200, 80, 13);
+  pcore::PicassoParams params;
+  params.seed = 29;
+  const auto fused = papi::SessionBuilder()
+                         .params(params)
+                         .strategy(papi::ExecutionStrategy::Fused)
+                         .build()
+                         .solve(papi::Problem::pauli(set));
+  const auto sketched = papi::SessionBuilder()
+                            .params(params)
+                            .strategy(papi::ExecutionStrategy::Sketch)
+                            .build()
+                            .solve(papi::Problem::pauli(set));
+  EXPECT_EQ(sketched.result.colors, fused.result.colors);
+  EXPECT_EQ(sketched.result.num_colors, fused.result.num_colors);
+  ASSERT_TRUE(sketched.sketch.has_value());
+  EXPECT_TRUE(sketched.sketch->used);
+  EXPECT_FALSE(sketched.sketch->hashed);
+  EXPECT_EQ(to_string(sketched.plan.strategy), std::string("sketch"));
+}
+
+// Session-level sketch strategy, explicit graphs: the coloring must be
+// valid on the *exact* graph (false conflicts only ever add colors), and
+// the report carries the measured rate and filter footprint.
+TEST(SketchStrategy, CsrColoringValidOnExactGraph) {
+  const auto g = pg::erdos_renyi(250, 0.06, 5);
+  const auto report = papi::SessionBuilder()
+                          .seed(3)
+                          .strategy(papi::ExecutionStrategy::Sketch)
+                          .build()
+                          .solve(papi::Problem::csr(g));
+  EXPECT_TRUE(pcol::is_valid_coloring(g, report.result.colors));
+  ASSERT_TRUE(report.sketch.has_value());
+  EXPECT_TRUE(report.sketch->hashed);
+  EXPECT_GT(report.sketch->probes, 0u);
+  EXPECT_GT(report.sketch->sketch_bytes, 0u);
+  EXPECT_GE(report.sketch->false_conflict_rate, 0.0);
+  EXPECT_LE(report.sketch->false_conflict_rate, 1.0);
+}
+
+TEST(SketchStrategy, DenseColoringValidOnExactGraph) {
+  const auto g = pg::erdos_renyi_dense(120, 0.15, 9);
+  const auto report = papi::SessionBuilder()
+                          .seed(11)
+                          .strategy(papi::ExecutionStrategy::Sketch)
+                          .build()
+                          .solve(papi::Problem::dense(g));
+  EXPECT_TRUE(pcol::is_valid_coloring(g, report.result.colors));
+  ASSERT_TRUE(report.sketch.has_value());
+  EXPECT_TRUE(report.sketch->hashed);
+}
+
+TEST(SketchStrategy, ParsePlanAndRejection) {
+  EXPECT_EQ(papi::parse_strategy("sketch"), papi::ExecutionStrategy::Sketch);
+  EXPECT_EQ(std::string(papi::to_string(papi::ExecutionStrategy::Sketch)),
+            "sketch");
+  try {
+    papi::parse_strategy("skecth");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sketch"), std::string::npos);
+  }
+
+  // Oracle-kind problems have no enumerable edge set to hash up front.
+  const auto g = pg::erdos_renyi(30, 0.2, 1);
+  const pg::CsrOracle oracle(g);
+  EXPECT_THROW(papi::SessionBuilder()
+                   .strategy(papi::ExecutionStrategy::Sketch)
+                   .build()
+                   .plan(papi::Problem::oracle(oracle)),
+               papi::ApiError);
+}
+
+// Incremental engine with the folded signature sketch on: the replay
+// contract must keep holding — same colors as the exact-signature state,
+// split-for-split.
+TEST(SketchIncremental, ReplayMatchesExactSignatures) {
+  const auto full = sparse_set(240, 72, 57);
+  const pcore::UpdateParams update_params{.max_recolor = 8,
+                                          .max_new_colors = 0};
+  pcore::PicassoParams params;
+  params.seed = 71;
+
+  pcore::FusedState exact_state(params, update_params);
+  params.sketch_prefilter = true;
+  pcore::FusedState sketch_state(params, update_params);
+
+  // Feed the same sequence in a few uneven chunks.
+  const std::size_t splits[] = {0, 50, 51, 130, 240};
+  for (std::size_t s = 0; s + 1 < 5; ++s) {
+    std::vector<pp::PauliString> seg;
+    for (std::size_t i = splits[s]; i < splits[s + 1]; ++i) {
+      seg.push_back(full.string(i));
+    }
+    const pp::PauliSet delta(seg);
+    exact_state.update_pauli(delta);
+    sketch_state.update_pauli(delta);
+    ASSERT_EQ(sketch_state.colors(), exact_state.colors())
+        << "after segment " << s;
+  }
+  EXPECT_EQ(sketch_state.distinct_colors(), exact_state.distinct_colors());
+}
+
+// The .pset spill color sidecar: packed colors round-trip through the
+// binary file, including kNoColor backlog markers.
+TEST(SpillColors, RoundTrip) {
+  const fs::path path =
+      fs::temp_directory_path() / "picasso_sketch_colors.bin";
+  fs::remove(path);
+  pu::PackedColorArray colors(100, pu::PackedColorArray::kNoColor, 12);
+  for (std::size_t i = 0; i < 90; ++i) {
+    colors[i] = static_cast<std::uint32_t>(i % 11);
+  }
+  pp::write_spill_colors(path.string(), colors);
+  const pu::PackedColorArray back = pp::read_spill_colors(path.string());
+  EXPECT_TRUE(back == colors);
+  fs::remove(path);
+}
