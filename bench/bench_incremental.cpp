@@ -24,6 +24,7 @@
 #include "api/session.hpp"
 #include "bench_common.hpp"
 #include "core/incremental.hpp"
+#include "util/fnv.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -34,14 +35,7 @@ using picasso::pauli::PauliString;
 /// FNV-1a over the color sequence — the replay fingerprint the CI baseline
 /// pins exactly.
 std::uint64_t coloring_hash(const std::vector<std::uint32_t>& colors) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::uint32_t c : colors) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      h ^= (c >> shift) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
+  return picasso::util::coloring_fingerprint(colors);
 }
 
 PauliSet slice(const std::vector<PauliString>& strings, std::size_t begin,

@@ -1,0 +1,143 @@
+// Service result-cache latency: a repeated problem must be answered from
+// the LRU cache (a) with a coloring bit-identical to the fresh solve and
+// (b) faster than solving again — the property that makes the daemon pay
+// off for VQE loops that re-group the same molecule every iteration.
+//
+// Runs an in-process single-threaded server on a unix socket, solves each
+// dataset twice through a real client, and emits one gated JSON record per
+// request (bench="service"): the miss carries the deterministic peak-memory
+// record, both carry the coloring hash the CI gate compares exactly.
+// Exit 1 when the hit missed the cache, diverged, or was not faster.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/fnv.hpp"
+#include "util/memory.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using picasso::core::MemoryReport;
+using picasso::pauli::DatasetSpec;
+
+struct Timing {
+  picasso::service::RemoteResult outcome;
+  double seconds = 0.0;
+};
+
+Timing timed_solve(picasso::service::Client& client,
+                   const picasso::pauli::PauliSet& set,
+                   const picasso::service::RemoteParams& params) {
+  Timing t;
+  const picasso::util::WallTimer timer;
+  t.outcome = client.solve(set, params);
+  t.seconds = timer.seconds();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  picasso::bench::print_banner(
+      "Service cache", "remote solve vs LRU cache hit, bit-identity gated");
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("picasso_bench_service_" + std::to_string(::getpid()));
+  fs::create_directories(root / "spill");
+
+  picasso::service::ServerConfig config;
+  config.listen = "unix:" + (root / "sock").string();
+  config.spill_dir = (root / "spill").string();
+  config.num_threads = 1;  // deterministic memory records (see bench_common)
+  config.max_active_solves = 1;
+  picasso::service::Server server;
+  server.start(config);
+
+  std::vector<std::string> names{"H4_1D_sto3g"};
+  if (!picasso::bench::quick_mode()) names.push_back("H6_2D_sto3g");
+
+  picasso::util::Table table(
+      {"dataset", "strings", "colors", "miss ms", "hit ms", "speedup"});
+  int failures = 0;
+  auto client = picasso::service::Client::connect(server.address());
+  for (const std::string& name : names) {
+    const DatasetSpec& spec = picasso::pauli::dataset_by_name(name);
+    const picasso::pauli::PauliSet& set = picasso::pauli::load_dataset(spec);
+    const picasso::service::RemoteParams params;
+
+    const Timing miss = timed_solve(client, set, params);
+    const MemoryReport memory = MemoryReport::capture(
+        picasso::util::global_memory().snapshot());
+    const Timing hit = timed_solve(client, set, params);
+
+    if (!miss.outcome.ok || !hit.outcome.ok) {
+      std::fprintf(stderr, "FATAL: %s request failed: %s\n", name.c_str(),
+                   (miss.outcome.ok ? hit : miss).outcome.error_message.c_str());
+      ++failures;
+      continue;
+    }
+    const auto& fresh = miss.outcome.result;
+    const auto& cached = hit.outcome.result;
+    if (fresh.cache_hit || !cached.cache_hit) {
+      std::fprintf(stderr, "FATAL: %s cache flags wrong (miss=%d hit=%d)\n",
+                   name.c_str(), fresh.cache_hit, cached.cache_hit);
+      ++failures;
+    }
+    if (cached.colors != fresh.colors ||
+        cached.coloring_hash != fresh.coloring_hash ||
+        picasso::util::coloring_fingerprint(fresh.colors) !=
+            fresh.coloring_hash) {
+      std::fprintf(stderr, "FATAL: %s cache hit diverged from fresh solve\n",
+                   name.c_str());
+      ++failures;
+    }
+    if (hit.seconds >= miss.seconds) {
+      std::fprintf(stderr,
+                   "FATAL: %s cache hit not faster (%.6fs vs %.6fs)\n",
+                   name.c_str(), hit.seconds, miss.seconds);
+      ++failures;
+    }
+
+    table.add_row(
+        {name,
+         picasso::util::Table::fmt_int(static_cast<long long>(set.size())),
+         picasso::util::Table::fmt_int(fresh.num_colors),
+         picasso::util::Table::fmt(miss.seconds * 1e3, 3),
+         picasso::util::Table::fmt(hit.seconds * 1e3, 3),
+         picasso::util::Table::fmt(miss.seconds / hit.seconds, 1)});
+
+    char extra[192];
+    std::snprintf(extra, sizeof(extra),
+                  "\"seconds\":%.6f,\"cache_hit\":false,\"colors\":%u,"
+                  "\"coloring_hash\":\"%016llx\"",
+                  miss.seconds, fresh.num_colors,
+                  static_cast<unsigned long long>(fresh.coloring_hash));
+    picasso::bench::emit_json_record("service", name + "/miss", memory, extra);
+    std::snprintf(extra, sizeof(extra),
+                  "\"seconds\":%.6f,\"cache_hit\":true,\"colors\":%u,"
+                  "\"coloring_hash\":\"%016llx\"",
+                  hit.seconds, cached.num_colors,
+                  static_cast<unsigned long long>(cached.coloring_hash));
+    picasso::bench::emit_json_record("service", name + "/hit", memory, extra);
+  }
+
+  table.print("Service: fresh solve vs cache hit through a real socket");
+  client.shutdown_server();
+  server.stop();
+  fs::remove_all(root);
+  if (failures != 0) {
+    std::fprintf(stderr, "service cache gate FAILED (%d)\n", failures);
+    return 1;
+  }
+  std::printf("\nservice cache gate passed: hits bit-identical and faster\n");
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "coloring/speculative.hpp"
 #include "core/picasso.hpp"
 #include "core/streaming.hpp"
+#include "util/fnv.hpp"
 
 namespace {
 
@@ -29,14 +30,7 @@ namespace {
 /// bench_incremental pins; here it ties the sketch rows to their fused
 /// siblings in the baseline gate.
 std::uint64_t coloring_hash(const picasso::util::PackedColorArray& colors) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::uint32_t c : colors) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      h ^= (c >> shift) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
+  return picasso::util::coloring_fingerprint(colors);
 }
 
 }  // namespace

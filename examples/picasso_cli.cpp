@@ -7,6 +7,9 @@
 //   partition <dataset> [options]      group Pauli strings into unitaries
 //   color --file <edgelist> [options]  color an arbitrary graph
 //   sweep <dataset> [options]          (P', alpha) grid sweep, CSV output
+//   remote <dataset> --connect ADDR    solve on a picasso_serve daemon
+//   remote --connect ADDR --stats      print the daemon's counters
+//   remote --connect ADDR --shutdown   ask the daemon to drain and exit
 //
 // Common options:
 //   --percent P     palette percent P' (default 12.5)
@@ -34,6 +37,17 @@
 //                   CSV stream stays clean)
 //   --trace FILE    record phase spans (TelemetryLevel::Full) and write a
 //                   chrome://tracing / Perfetto document to FILE
+//   --connect ADDR  remote: daemon address (unix:/path or tcp:host:port)
+//   --tenant NAME   remote: tenant label for fair-share scheduling
+//   --priority N    remote: request priority (higher runs first)
+//   --cancel-after N remote: cancel the request after N progress frames
+//                   (prints "cancelled by client", exits 0 when the
+//                   cancellation was honored)
+//   --verify-local  remote: re-solve locally with identical parameters and
+//                   assert the colorings are bit-identical (exit 1 on any
+//                   divergence)
+//   --stats         remote: print the daemon's counters instead of solving
+//   --shutdown      remote: ask the daemon to drain and exit
 //   --update FILE   partition: solve the dataset as an incremental baseline
 //                   (Session::solve_incremental), then ingest FILE — a .pset
 //                   written by PauliSet::save_binary — through
@@ -69,6 +83,8 @@
 #include "graph/graph_io.hpp"
 #include "ml/sweep.hpp"
 #include "pauli/datasets.hpp"
+#include "service/client.hpp"
+#include "util/fnv.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -98,6 +114,14 @@ struct CliOptions {
   bool metrics = false;
   std::string trace_file;
   std::vector<std::string> update_files;
+  // remote subcommand
+  std::string connect;
+  std::string tenant;
+  std::uint32_t priority = 0;
+  int cancel_after = -1;  // progress frames before Cancel; -1 = never
+  bool verify_local = false;
+  bool remote_stats = false;
+  bool remote_shutdown = false;
 
   obs::TelemetryLevel telemetry_level() const {
     if (!trace_file.empty()) return obs::TelemetryLevel::Full;
@@ -107,13 +131,15 @@ struct CliOptions {
 };
 
 const char* kUsage =
-    "usage: picasso_cli <list|info|partition|color|sweep> [target] "
+    "usage: picasso_cli <list|info|partition|color|sweep|remote> [target] "
     "[--percent P] [--alpha A] [--seed S] [--mode unitary|commute|qwc] "
     "[--backend auto|scalar|packed|packed-scalar] "
     "[--strategy "
     "auto|inmemory|streaming|semi-streaming|multi-device|fused|sketch] "
     "[--budget BYTES] [--file path] [--mtx] [--stream] [--refine] [--csv] "
-    "[--metrics] [--trace FILE] [--update FILE]...";
+    "[--metrics] [--trace FILE] [--update FILE]... "
+    "[--connect ADDR] [--tenant NAME] [--priority N] [--cancel-after N] "
+    "[--verify-local] [--stats] [--shutdown]";
 
 double parse_double(const char* flag, const std::string& text) {
   char* end = nullptr;
@@ -190,6 +216,22 @@ CliOptions parse_args(int argc, char** argv) {
       opt.trace_file = next("--trace");
     } else if (arg == "--update") {
       opt.update_files.push_back(next("--update"));
+    } else if (arg == "--connect") {
+      opt.connect = next("--connect");
+    } else if (arg == "--tenant") {
+      opt.tenant = next("--tenant");
+    } else if (arg == "--priority") {
+      opt.priority =
+          static_cast<std::uint32_t>(parse_u64("--priority", next("--priority")));
+    } else if (arg == "--cancel-after") {
+      opt.cancel_after = static_cast<int>(
+          parse_u64("--cancel-after", next("--cancel-after")));
+    } else if (arg == "--verify-local") {
+      opt.verify_local = true;
+    } else if (arg == "--stats") {
+      opt.remote_stats = true;
+    } else if (arg == "--shutdown") {
+      opt.remote_shutdown = true;
     } else if (arg == "--mtx") {
       opt.mtx = true;
     } else if (arg == "--stream") {
@@ -479,6 +521,102 @@ int cmd_sweep(const CliOptions& opt) {
   return 0;
 }
 
+/// remote — drive a picasso_serve daemon: submit the dataset, stream
+/// progress, optionally cancel mid-solve or verify against a local solve.
+int cmd_remote(const CliOptions& opt) {
+  if (opt.connect.empty()) {
+    throw UsageError("remote requires --connect unix:/path or tcp:host:port");
+  }
+  service::Client client = service::Client::connect(opt.connect);
+  if (opt.remote_shutdown) {
+    client.shutdown_server();
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  if (opt.remote_stats) {
+    const service::StatsMsg stats = client.stats();
+    std::printf(
+        "received=%llu completed=%llu cache_hits=%llu cache_misses=%llu "
+        "rejected_over_budget=%llu rejected_queue_full=%llu cancelled=%llu "
+        "active=%llu queued=%llu spill_files_live=%llu\n",
+        static_cast<unsigned long long>(stats.received),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.cache_misses),
+        static_cast<unsigned long long>(stats.rejected_over_budget),
+        static_cast<unsigned long long>(stats.rejected_queue_full),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.active),
+        static_cast<unsigned long long>(stats.queued),
+        static_cast<unsigned long long>(stats.spill_files_live));
+    return 0;
+  }
+  if (opt.target.empty()) throw UsageError("remote requires a dataset name");
+  const auto& spec = pauli::dataset_by_name(opt.target);
+  const auto& set = pauli::load_dataset(spec);
+
+  service::RemoteParams params;
+  params.palette_percent = opt.percent;
+  params.alpha = opt.alpha;
+  params.seed = opt.seed;
+  params.backend = static_cast<std::uint8_t>(opt.backend);
+  params.strategy = static_cast<std::uint8_t>(opt.strategy);
+  params.memory_budget_bytes = opt.budget_bytes;
+
+  int progress_frames = 0;
+  service::ProgressHandler on_progress;
+  if (opt.cancel_after >= 0) {
+    on_progress = [&](const service::ProgressMsg& msg) {
+      if (++progress_frames == opt.cancel_after) client.request_cancel();
+      (void)msg;
+    };
+  }
+
+  const service::RemoteResult outcome =
+      client.solve(set, params, opt.tenant, opt.priority, on_progress);
+  if (!outcome.ok) {
+    if (outcome.error_code == service::ServiceErrorCode::Cancelled &&
+        opt.cancel_after >= 0) {
+      // The cancellation this invocation asked for — a success.
+      std::printf("%s: cancelled by client after %d progress frames\n",
+                  spec.name.c_str(), progress_frames);
+      return 0;
+    }
+    std::fprintf(stderr, "picasso_cli: remote error [%s]: %s\n",
+                 to_string(outcome.error_code),
+                 outcome.error_message.c_str());
+    return 1;
+  }
+
+  const service::ResultMsg& result = outcome.result;
+  std::printf("%s: %zu strings -> %u colors (palette %u, %u iterations) "
+              "in %s [%s] coloring_hash=%016llx\n",
+              spec.name.c_str(), result.colors.size(), result.num_colors,
+              result.palette_total, result.iterations,
+              util::format_duration(result.seconds).c_str(),
+              result.cache_hit ? "cache-hit" : "solved",
+              static_cast<unsigned long long>(result.coloring_hash));
+
+  if (opt.verify_local) {
+    const api::Session session = session_from(opt);
+    const api::SolveReport local = session.solve(api::Problem::pauli(set));
+    const std::vector<std::uint32_t> local_colors = local.result.colors;
+    if (local_colors != result.colors ||
+        util::coloring_fingerprint(local_colors) != result.coloring_hash) {
+      std::fprintf(stderr,
+                   "picasso_cli: REMOTE/LOCAL MISMATCH on %s (local hash "
+                   "%016llx, remote %016llx)\n",
+                   spec.name.c_str(),
+                   static_cast<unsigned long long>(
+                       util::coloring_fingerprint(local_colors)),
+                   static_cast<unsigned long long>(result.coloring_hash));
+      return 1;
+    }
+    std::printf("%s: local verification MATCH\n", spec.name.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -489,6 +627,7 @@ int main(int argc, char** argv) {
     if (opt.command == "partition") return cmd_partition(opt);
     if (opt.command == "color") return cmd_color(opt);
     if (opt.command == "sweep") return cmd_sweep(opt);
+    if (opt.command == "remote") return cmd_remote(opt);
     throw UsageError("unknown command '" + opt.command + "'");
   } catch (const UsageError& e) {
     std::fprintf(stderr, "picasso_cli: %s\n%s\n", e.what(), kUsage);

@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/fnv.hpp"
+
 namespace picasso::api {
 
 namespace {
@@ -51,19 +53,12 @@ pauli::SimdLevel simd_for(core::PauliBackend backend) {
              : pauli::SimdLevel::Auto;
 }
 
-/// A fresh spill path for an incremental state (mirrors the budgeted
-/// engine's naming; the state owns and removes the file).
+/// A fresh spill path for an incremental state (the state owns and removes
+/// the file). Shares core::unique_spill_path's process-wide counter with
+/// the budgeted engines, so no two concurrent solves — whatever mix of
+/// incremental and streamed — can collide on a name.
 std::string incremental_spill_path(const std::string& spill_dir) {
-  namespace fs = std::filesystem;
-  fs::path dir =
-      spill_dir.empty() ? fs::temp_directory_path() : fs::path(spill_dir);
-  fs::create_directories(dir);
-  static std::atomic<unsigned> counter{0};
-  char name[64];
-  std::snprintf(name, sizeof(name), "picasso_incr_%d_%u.pset",
-                static_cast<int>(::getpid()),
-                counter.fetch_add(1, std::memory_order_relaxed));
-  return (dir / name).string();
+  return core::unique_spill_path(spill_dir, "incr");
 }
 
 /// Builds the resident state for a session. A memory budget or an explicit
@@ -127,20 +122,57 @@ const char* to_string(ExecutionStrategy strategy) noexcept {
 }
 
 ExecutionStrategy parse_strategy(std::string_view name) {
-  for (ExecutionStrategy strategy :
-       {ExecutionStrategy::Auto, ExecutionStrategy::InMemory,
-        ExecutionStrategy::BudgetedStreaming, ExecutionStrategy::SemiStreaming,
-        ExecutionStrategy::MultiDevice, ExecutionStrategy::Fused,
-        ExecutionStrategy::Sketch}) {
+  constexpr ExecutionStrategy kAll[] = {
+      ExecutionStrategy::Auto,          ExecutionStrategy::InMemory,
+      ExecutionStrategy::BudgetedStreaming,
+      ExecutionStrategy::SemiStreaming, ExecutionStrategy::MultiDevice,
+      ExecutionStrategy::Fused,         ExecutionStrategy::Sketch};
+  for (ExecutionStrategy strategy : kAll) {
     if (name == to_string(strategy)) return strategy;
   }
   // CLI shorthands.
   if (name == "inmemory") return ExecutionStrategy::InMemory;
   if (name == "streaming") return ExecutionStrategy::BudgetedStreaming;
-  throw std::invalid_argument(
-      "unknown execution strategy '" + std::string(name) +
-      "' (valid: auto, in-memory (inmemory), budgeted-streaming (streaming), "
-      "semi-streaming, multi-device, fused, sketch)");
+  // Build the valid list from the same enumeration the parser walks, so
+  // the message can never drift from what is actually accepted.
+  std::string valid;
+  for (ExecutionStrategy strategy : kAll) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(strategy);
+    if (strategy == ExecutionStrategy::InMemory) valid += " (inmemory)";
+    if (strategy == ExecutionStrategy::BudgetedStreaming) {
+      valid += " (streaming)";
+    }
+  }
+  throw std::invalid_argument("unknown execution strategy '" +
+                              std::string(name) + "' (valid: " + valid + ")");
+}
+
+std::uint64_t problem_fingerprint(const pauli::PackedView& view,
+                                  std::size_t num_qubits,
+                                  const core::PicassoParams& params) {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  // Geometry first, then the raw symplectic planes — the canonical record
+  // bytes shared by PauliSet::packed_view() and PackedPauliSet::view().
+  h = util::fnv1a_u64(h, static_cast<std::uint64_t>(num_qubits));
+  h = util::fnv1a_u64(h, static_cast<std::uint64_t>(view.size));
+  const std::size_t total_words = view.size * view.record_words();
+  for (std::size_t i = 0; i < total_words; ++i) {
+    h = util::fnv1a_u64(h, view.data[i]);
+  }
+  // Only the params that can change the coloring (see the header contract).
+  h = util::fnv1a_f64(h, params.palette_percent);
+  h = util::fnv1a_f64(h, params.alpha);
+  h = util::fnv1a_u64(h, params.seed);
+  h = util::fnv1a_u64(h, static_cast<std::uint64_t>(params.max_iterations));
+  h = util::fnv1a_u64(
+      h, static_cast<std::uint64_t>(params.conflict_scheme));
+  return h;
+}
+
+std::uint64_t problem_fingerprint(const pauli::PauliSet& set,
+                                  const core::PicassoParams& params) {
+  return problem_fingerprint(set.packed_view(), set.num_qubits(), params);
 }
 
 std::string SolveTelemetry::to_json() const {
@@ -385,6 +417,13 @@ SolveReport Session::solve(const Problem& problem,
                            const SolveOptions& options) const {
   SolveReport report;
   report.plan = plan(problem);
+  if (problem.kind() == ProblemKind::Pauli) {
+    report.problem_hash = problem_fingerprint(problem.pauli_set(), params_);
+  } else if (problem.kind() == ProblemKind::PackedPauli) {
+    report.problem_hash =
+        problem_fingerprint(problem.packed_set().view(),
+                            problem.packed_set().num_qubits(), params_);
+  }
 
   core::PicassoParams params = params_;
   // Stop tokens compose (a stop from either the session-level token or the

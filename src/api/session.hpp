@@ -136,6 +136,11 @@ struct SketchInfo {
 struct SolveReport {
   core::PicassoResult result;
   SolvePlan plan;
+  /// Canonical problem fingerprint (see problem_fingerprint below): set for
+  /// Pauli / PackedPauli problems, 0 otherwise. Two solves with equal
+  /// problem_hash return bit-identical colorings — the key the service
+  /// result cache trusts.
+  std::uint64_t problem_hash = 0;
   SolveTelemetry telemetry;  // empty unless SessionBuilder::telemetry()
   std::vector<core::DeviceShardStats> devices;  // empty unless MultiDevice
   /// Set by Session::update() only: the insertion/recolor/escalation work
@@ -180,6 +185,20 @@ class UpdateDelta {
   std::shared_ptr<const pauli::PauliSet> records_;
   std::vector<core::GraphVertexDelta> vertices_;
 };
+
+/// Canonical FNV-1a fingerprint of an encoded Pauli problem under a
+/// parameter set: folds the packed symplectic planes (the canonical bytes —
+/// identical whether the records arrived symbolic or packed) plus exactly
+/// the params that can change the coloring: palette_percent, alpha, seed,
+/// max_iterations, conflict_scheme. Backend, kernel, thread count, strategy,
+/// telemetry and budget are deliberately EXCLUDED — the library's
+/// determinism contract pins colorings bit-identical across all of them, so
+/// one cache entry serves every execution flavor of the same problem.
+std::uint64_t problem_fingerprint(const pauli::PackedView& view,
+                                  std::size_t num_qubits,
+                                  const core::PicassoParams& params);
+std::uint64_t problem_fingerprint(const pauli::PauliSet& set,
+                                  const core::PicassoParams& params);
 
 /// Per-call hooks; both default to inert. The progress callback runs on
 /// the solving thread (the worker thread for solve_async) and overrides a
@@ -361,6 +380,25 @@ class SessionBuilder {
 
   SessionBuilder& runtime(const runtime::RuntimeConfig& config) {
     session_.params_.runtime = config;
+    return *this;
+  }
+
+  /// Runs every parallel phase of this session on an externally-owned pool
+  /// instead of the process-wide shared() cache. Non-owning: `pool` must
+  /// outlive every solve. This is the server injection point — one pool
+  /// serves all concurrent sessions, so tenants share workers fairly
+  /// instead of each solve spinning up (or monopolising) its own.
+  SessionBuilder& shared_pool(runtime::ThreadPool* pool) {
+    session_.params_.runtime.pool = pool;
+    return *this;
+  }
+
+  /// Directory for spill files of streamed / incremental plans ("" = the
+  /// system temp directory). Convenience over .streaming() when only the
+  /// placement matters — the server points every session at its one
+  /// managed spill directory.
+  SessionBuilder& spill_dir(std::string dir) {
+    session_.streaming_.spill_dir = std::move(dir);
     return *this;
   }
 

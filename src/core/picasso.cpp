@@ -60,14 +60,21 @@ const char* to_string(PauliBackend backend) noexcept {
 }
 
 PauliBackend parse_pauli_backend(std::string_view name) {
-  for (PauliBackend backend :
-       {PauliBackend::Auto, PauliBackend::Scalar, PauliBackend::Packed,
-        PauliBackend::PackedScalar}) {
+  constexpr PauliBackend kAll[] = {PauliBackend::Auto, PauliBackend::Scalar,
+                                   PauliBackend::Packed,
+                                   PauliBackend::PackedScalar};
+  for (PauliBackend backend : kAll) {
     if (name == to_string(backend)) return backend;
   }
-  throw std::invalid_argument(
-      "unknown Pauli backend '" + std::string(name) +
-      "' (valid: auto, scalar, packed, packed-scalar)");
+  // The valid list comes from the same enumeration the parser walks, so the
+  // message cannot drift from what is accepted.
+  std::string valid;
+  for (PauliBackend backend : kAll) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(backend);
+  }
+  throw std::invalid_argument("unknown Pauli backend '" + std::string(name) +
+                              "' (valid: " + valid + ")");
 }
 
 PicassoResult solve_pauli(const pauli::PauliSet& set,

@@ -421,6 +421,21 @@ PicassoResult solve_pauli_chunked(const pauli::ChunkedPauliReader& reader,
   return result;
 }
 
+std::string unique_spill_path(const std::string& dir, const char* tag) {
+  namespace fs = std::filesystem;
+  fs::path base = dir.empty() ? fs::temp_directory_path() : fs::path(dir);
+  fs::create_directories(base);
+  // One counter for every spill site in the process: uniqueness must hold
+  // across concurrent solves regardless of which engine named the file.
+  static std::atomic<std::uint64_t> spill_counter{0};
+  char name[96];
+  std::snprintf(name, sizeof(name), "picasso_%s_%d_%llu.pset", tag,
+                static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(
+                    spill_counter.fetch_add(1, std::memory_order_relaxed)));
+  return (base / name).string();
+}
+
 PicassoResult detail::run_budgeted_spill(
     const pauli::PauliSet& set, const PicassoParams& params,
     const StreamingOptions& options,
@@ -451,15 +466,7 @@ PicassoResult detail::run_budgeted_spill(
   chunk_strings = std::min(chunk_strings, set.size());
 
   namespace fs = std::filesystem;
-  fs::path dir = options.spill_dir.empty() ? fs::temp_directory_path()
-                                           : fs::path(options.spill_dir);
-  fs::create_directories(dir);
-  static std::atomic<unsigned> spill_counter{0};
-  char name[64];
-  std::snprintf(name, sizeof(name), "picasso_spill_%d_%u.pset",
-                static_cast<int>(::getpid()),
-                spill_counter.fetch_add(1, std::memory_order_relaxed));
-  const fs::path spill_path = dir / name;
+  const fs::path spill_path = unique_spill_path(options.spill_dir, "spill");
 
   const std::size_t spill_bytes =
       pauli::spill_pauli_set(set, spill_path.string());

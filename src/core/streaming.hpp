@@ -110,6 +110,15 @@ struct StreamingOptions {
   bool keep_spill = false;
 };
 
+/// Collision-free spill file path: `<dir>/picasso_<tag>_<pid>_<seq>.pset`,
+/// where `<seq>` comes from ONE process-wide atomic counter shared by every
+/// spill site (budgeted engines, incremental stores, the service daemon).
+/// The pid isolates processes sharing a spill directory; the single counter
+/// isolates concurrent solves inside one process — two sessions spilling at
+/// once can never race to the same name. "" for `dir` means the system temp
+/// directory; the directory is created if missing.
+std::string unique_spill_path(const std::string& dir, const char* tag);
+
 /// Memory-budgeted engine. With no budget and no explicit chunk size this
 /// is exactly solve_pauli; when the encoded set does not fit comfortably in
 /// the budget (or chunk_strings forces it) the set is spilled to disk and

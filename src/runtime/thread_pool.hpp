@@ -96,9 +96,12 @@ class ThreadPool {
 };
 
 /// Pool for a RuntimeConfig: nullptr when the config asks for the serial
-/// path, else the shared pool with the configured worker count.
+/// path, an injected `config.pool` when one is set (server mode — every
+/// solve shares the owner's pool), else the shared pool cache with the
+/// configured worker count.
 inline ThreadPool* resolve_pool(const RuntimeConfig& config) {
   if (config.serial()) return nullptr;
+  if (config.pool) return config.pool;
   return &ThreadPool::shared(config.num_threads);
 }
 

@@ -1,0 +1,94 @@
+#include "service/client.hpp"
+
+namespace picasso::service {
+
+Client Client::connect(const std::string& address) {
+  return Client(Connection::connect(address));
+}
+
+RemoteResult Client::solve(const pauli::PauliSet& records,
+                           const RemoteParams& params,
+                           const std::string& tenant, std::uint32_t priority,
+                           const ProgressHandler& on_progress) {
+  SolveRequestMsg msg;
+  msg.id = next_id_++;
+  msg.tenant = tenant;
+  msg.priority = priority;
+  msg.params = params;
+  msg.params.want_progress = on_progress != nullptr;
+  // The wire message borrows the caller's records for encoding only.
+  msg.records = records;
+
+  inflight_id_.store(msg.id, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    conn_.write_frame(FrameType::SolveRequest, encode_solve_request(msg));
+  }
+
+  RemoteResult outcome;
+  Frame frame;
+  while (true) {
+    if (!conn_.read_frame(frame)) {
+      inflight_id_.store(0, std::memory_order_release);
+      throw WireError("server closed the connection before replying");
+    }
+    switch (frame.type) {
+      case FrameType::Progress: {
+        const ProgressMsg progress = decode_progress(frame.payload);
+        if (progress.id == msg.id && on_progress) on_progress(progress);
+        break;
+      }
+      case FrameType::Result: {
+        ResultMsg result = decode_result(frame.payload);
+        if (result.id != msg.id) break;  // stale frame from a past request
+        outcome.ok = true;
+        outcome.result = std::move(result);
+        inflight_id_.store(0, std::memory_order_release);
+        return outcome;
+      }
+      case FrameType::Error: {
+        const ErrorMsg error = decode_error(frame.payload);
+        if (error.id != msg.id && error.id != 0) break;
+        outcome.ok = false;
+        outcome.error_code = error.code;
+        outcome.error_message = error.message;
+        inflight_id_.store(0, std::memory_order_release);
+        return outcome;
+      }
+      default:
+        break;  // StatsReply for an interleaved stats() is impossible here
+                // (one request in flight per client), ignore defensively
+    }
+  }
+}
+
+void Client::request_cancel() {
+  const std::uint64_t id = inflight_id_.load(std::memory_order_acquire);
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  conn_.write_frame(FrameType::Cancel, encode_cancel(id));
+}
+
+StatsMsg Client::stats() {
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    conn_.write_frame(FrameType::Stats, {});
+  }
+  Frame frame;
+  while (true) {
+    if (!conn_.read_frame(frame)) {
+      throw WireError("server closed the connection before stats reply");
+    }
+    if (frame.type == FrameType::StatsReply) {
+      return decode_stats(frame.payload);
+    }
+    // Skip any stale progress frames from a cancelled request.
+  }
+}
+
+void Client::shutdown_server() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  conn_.write_frame(FrameType::Shutdown, {});
+}
+
+}  // namespace picasso::service

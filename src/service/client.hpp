@@ -1,0 +1,72 @@
+#pragma once
+// Blocking client for the coloring service.
+//
+// One Client wraps one connection and drives one request at a time (the
+// VQE-loop shape: submit, stream progress, read the result, repeat).
+// request_cancel() is the only member safe to call concurrently with
+// solve() — it is how a progress callback (or another thread) aborts the
+// in-flight request; the solve then returns the server's Error(Cancelled).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "pauli/pauli_set.hpp"
+#include "service/wire.hpp"
+
+namespace picasso::service {
+
+/// Outcome of one remote solve: either `ok` with the Result frame's
+/// contents, or the structured error the server answered with.
+struct RemoteResult {
+  bool ok = false;
+  ServiceErrorCode error_code = ServiceErrorCode::Internal;
+  std::string error_message;
+  ResultMsg result;  // meaningful only when ok
+};
+
+using ProgressHandler = std::function<void(const ProgressMsg&)>;
+
+class Client {
+ public:
+  /// Connects to "unix:/path" or "tcp:host:port"; throws WireError.
+  static Client connect(const std::string& address);
+
+  // Pinned in place (mutex + atomic members); connect() hands the instance
+  // back through guaranteed copy elision.
+  Client(Client&&) = delete;
+  Client& operator=(Client&&) = delete;
+
+  /// Submits `records` and blocks until the server answers with Result or
+  /// Error. Progress frames (requested iff `on_progress` is set) invoke the
+  /// handler on this thread as they arrive. Throws WireError only for
+  /// transport failure — protocol-level rejections come back structured.
+  RemoteResult solve(const pauli::PauliSet& records, const RemoteParams& params,
+                     const std::string& tenant = "", std::uint32_t priority = 0,
+                     const ProgressHandler& on_progress = nullptr);
+
+  /// Cancels the request currently inside solve(). Thread-safe; a no-op
+  /// when nothing is in flight. The cancelled solve() still returns — with
+  /// the server's Error(Cancelled), or with the result when the solve won
+  /// the race.
+  void request_cancel();
+
+  /// Server-side counters (admission, cache, queue depths, live spills).
+  StatsMsg stats();
+
+  /// Asks the server to begin a clean shutdown (drains, answers queued
+  /// requests with ShuttingDown, exits). Fire-and-forget.
+  void shutdown_server();
+
+ private:
+  explicit Client(Connection conn) : conn_(std::move(conn)) {}
+
+  Connection conn_;
+  std::mutex write_mu_;  // serializes frames against request_cancel()
+  std::uint64_t next_id_ = 1;
+  std::atomic<std::uint64_t> inflight_id_{0};
+};
+
+}  // namespace picasso::service

@@ -1,0 +1,73 @@
+#pragma once
+// FNV-1a fingerprints.
+//
+// One canonical implementation of the 64-bit FNV-1a hash the project uses
+// for replay fingerprints: the coloring hash the CI baseline pins exactly
+// (bench_incremental / bench_table4_memory), the problem hash keying the
+// service result cache (service/server.hpp), and ad-hoc identity checks in
+// tests. Byte order is fixed (values are folded little-endian, lowest byte
+// first) so fingerprints compare bit-for-bit across machines.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/packed_colors.hpp"
+
+namespace picasso::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnv1a_byte(std::uint64_t h, std::uint8_t byte) noexcept {
+  return (h ^ byte) * kFnvPrime;
+}
+
+inline std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) noexcept {
+  for (int shift = 0; shift < 32; shift += 8) {
+    h = fnv1a_byte(h, static_cast<std::uint8_t>((v >> shift) & 0xffu));
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h = fnv1a_byte(h, static_cast<std::uint8_t>((v >> shift) & 0xffu));
+  }
+  return h;
+}
+
+/// Folds a double through its IEEE-754 bit pattern (the params that enter
+/// the problem hash are exact user inputs, not computed values, so bitwise
+/// identity is the right equality).
+inline std::uint64_t fnv1a_f64(std::uint64_t h, double v) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return fnv1a_u64(h, bits);
+}
+
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                                 std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) h = fnv1a_byte(h, p[i]);
+  return h;
+}
+
+/// The replay fingerprint of a coloring: FNV-1a over the color sequence,
+/// each color folded as four little-endian bytes. Identical to the hash
+/// bench_incremental has always emitted, so baseline values carry over.
+inline std::uint64_t coloring_fingerprint(
+    const std::vector<std::uint32_t>& colors) noexcept {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::uint32_t c : colors) h = fnv1a_u32(h, c);
+  return h;
+}
+
+inline std::uint64_t coloring_fingerprint(const PackedColorArray& colors) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::uint32_t c : colors) h = fnv1a_u32(h, c);
+  return h;
+}
+
+}  // namespace picasso::util
