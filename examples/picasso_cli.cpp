@@ -43,6 +43,15 @@
 //   --cancel-after N remote: cancel the request after N progress frames
 //                   (prints "cancelled by client", exits 0 when the
 //                   cancellation was honored)
+//   --deadline-ms N remote: server-side deadline; the daemon answers
+//                   deadline-exceeded instead of finishing a solve that
+//                   outlives N milliseconds (0 = none)
+//   --retries N     remote: attempt the request up to N times with
+//                   exponential backoff on transport faults and retryable
+//                   errors (queue-full, storage-full); safe because
+//                   completed solves are answered from the result cache.
+//                   Incompatible with --cancel-after (which needs one
+//                   pinned connection). Default 1 = no retry.
 //   --verify-local  remote: re-solve locally with identical parameters and
 //                   assert the colorings are bit-identical (exit 1 on any
 //                   divergence)
@@ -119,6 +128,8 @@ struct CliOptions {
   std::string tenant;
   std::uint32_t priority = 0;
   int cancel_after = -1;  // progress frames before Cancel; -1 = never
+  std::uint32_t deadline_ms = 0;  // server-side deadline; 0 = none
+  std::uint32_t retries = 1;      // attempts incl. the first; 1 = no retry
   bool verify_local = false;
   bool remote_stats = false;
   bool remote_shutdown = false;
@@ -139,7 +150,7 @@ const char* kUsage =
     "[--budget BYTES] [--file path] [--mtx] [--stream] [--refine] [--csv] "
     "[--metrics] [--trace FILE] [--update FILE]... "
     "[--connect ADDR] [--tenant NAME] [--priority N] [--cancel-after N] "
-    "[--verify-local] [--stats] [--shutdown]";
+    "[--deadline-ms N] [--retries N] [--verify-local] [--stats] [--shutdown]";
 
 double parse_double(const char* flag, const std::string& text) {
   char* end = nullptr;
@@ -226,6 +237,15 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (arg == "--cancel-after") {
       opt.cancel_after = static_cast<int>(
           parse_u64("--cancel-after", next("--cancel-after")));
+    } else if (arg == "--deadline-ms") {
+      opt.deadline_ms = static_cast<std::uint32_t>(
+          parse_u64("--deadline-ms", next("--deadline-ms")));
+    } else if (arg == "--retries") {
+      opt.retries =
+          static_cast<std::uint32_t>(parse_u64("--retries", next("--retries")));
+      if (opt.retries == 0) {
+        throw UsageError("--retries expects at least 1 attempt");
+      }
     } else if (arg == "--verify-local") {
       opt.verify_local = true;
     } else if (arg == "--stats") {
@@ -527,18 +547,25 @@ int cmd_remote(const CliOptions& opt) {
   if (opt.connect.empty()) {
     throw UsageError("remote requires --connect unix:/path or tcp:host:port");
   }
-  service::Client client = service::Client::connect(opt.connect);
+  if (opt.retries > 1 && opt.cancel_after >= 0) {
+    throw UsageError("--retries and --cancel-after are incompatible "
+                     "(cancellation needs one pinned connection)");
+  }
   if (opt.remote_shutdown) {
+    service::Client client = service::Client::connect(opt.connect);
     client.shutdown_server();
     std::printf("shutdown requested\n");
     return 0;
   }
   if (opt.remote_stats) {
+    service::Client client = service::Client::connect(opt.connect);
     const service::StatsMsg stats = client.stats();
     std::printf(
         "received=%llu completed=%llu cache_hits=%llu cache_misses=%llu "
         "rejected_over_budget=%llu rejected_queue_full=%llu cancelled=%llu "
-        "active=%llu queued=%llu spill_files_live=%llu\n",
+        "active=%llu queued=%llu spill_files_live=%llu "
+        "deadline_exceeded=%llu degraded=%llu client_disconnects=%llu "
+        "idle_disconnects=%llu orphan_spills_swept=%llu\n",
         static_cast<unsigned long long>(stats.received),
         static_cast<unsigned long long>(stats.completed),
         static_cast<unsigned long long>(stats.cache_hits),
@@ -548,7 +575,12 @@ int cmd_remote(const CliOptions& opt) {
         static_cast<unsigned long long>(stats.cancelled),
         static_cast<unsigned long long>(stats.active),
         static_cast<unsigned long long>(stats.queued),
-        static_cast<unsigned long long>(stats.spill_files_live));
+        static_cast<unsigned long long>(stats.spill_files_live),
+        static_cast<unsigned long long>(stats.deadline_exceeded),
+        static_cast<unsigned long long>(stats.degraded),
+        static_cast<unsigned long long>(stats.client_disconnects),
+        static_cast<unsigned long long>(stats.idle_disconnects),
+        static_cast<unsigned long long>(stats.orphan_spills_swept));
     return 0;
   }
   if (opt.target.empty()) throw UsageError("remote requires a dataset name");
@@ -562,18 +594,26 @@ int cmd_remote(const CliOptions& opt) {
   params.backend = static_cast<std::uint8_t>(opt.backend);
   params.strategy = static_cast<std::uint8_t>(opt.strategy);
   params.memory_budget_bytes = opt.budget_bytes;
+  params.deadline_ms = opt.deadline_ms;
 
+  service::RemoteResult outcome;
   int progress_frames = 0;
-  service::ProgressHandler on_progress;
-  if (opt.cancel_after >= 0) {
-    on_progress = [&](const service::ProgressMsg& msg) {
-      if (++progress_frames == opt.cancel_after) client.request_cancel();
-      (void)msg;
-    };
+  if (opt.retries > 1) {
+    service::RetryPolicy policy;
+    policy.max_attempts = opt.retries;
+    outcome = service::solve_with_retry(opt.connect, set, params, policy,
+                                        opt.tenant, opt.priority);
+  } else {
+    service::Client client = service::Client::connect(opt.connect);
+    service::ProgressHandler on_progress;
+    if (opt.cancel_after >= 0) {
+      on_progress = [&](const service::ProgressMsg& msg) {
+        if (++progress_frames == opt.cancel_after) client.request_cancel();
+        (void)msg;
+      };
+    }
+    outcome = client.solve(set, params, opt.tenant, opt.priority, on_progress);
   }
-
-  const service::RemoteResult outcome =
-      client.solve(set, params, opt.tenant, opt.priority, on_progress);
   if (!outcome.ok) {
     if (outcome.error_code == service::ServiceErrorCode::Cancelled &&
         opt.cancel_after >= 0) {
@@ -596,6 +636,14 @@ int cmd_remote(const CliOptions& opt) {
               util::format_duration(result.seconds).c_str(),
               result.cache_hit ? "cache-hit" : "solved",
               static_cast<unsigned long long>(result.coloring_hash));
+  if (outcome.attempts > 1) {
+    std::printf("%s: succeeded on attempt %u\n", spec.name.c_str(),
+                outcome.attempts);
+  }
+  if (result.degraded) {
+    std::printf("%s: DEGRADED: %s\n", spec.name.c_str(),
+                result.degraded_reason.c_str());
+  }
 
   if (opt.verify_local) {
     const api::Session session = session_from(opt);

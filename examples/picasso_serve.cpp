@@ -17,6 +17,12 @@
 //   --queue N          bounded pending-queue depth (default 64)
 //   --cache N          result-cache capacity in entries (default 128)
 //   --spill-dir PATH   spill directory (default <tmp>/picasso_serve)
+//   --admission MODE   reject (default) or degrade: walk over-budget plans
+//                      down the materialized -> fused -> sketch ladder and
+//                      report the downgrade instead of rejecting
+//   --idle-timeout MS  reap connections with nothing in flight that start
+//                      no frame within MS (-1 = never, the default)
+//   --io-timeout MS    per-send/recv stall bound on connections (-1 = none)
 //
 // Prints exactly one "listening on ADDR" line to stdout once ready (how
 // scripts learn the ephemeral port), then serves until SIGINT/SIGTERM or a
@@ -41,7 +47,8 @@ using picasso::service::ServerConfig;
 
 const char* kUsage =
     "usage: picasso_serve [--listen ADDR] [--budget BYTES] [--threads N] "
-    "[--max-active N] [--queue N] [--cache N] [--spill-dir PATH]";
+    "[--max-active N] [--queue N] [--cache N] [--spill-dir PATH] "
+    "[--admission reject|degrade] [--idle-timeout MS] [--io-timeout MS]";
 
 std::uint64_t parse_u64(const char* flag, const char* text) {
   char* end = nullptr;
@@ -51,6 +58,17 @@ std::uint64_t parse_u64(const char* flag, const char* text) {
                                 " expects an integer, got '" + text + "'");
   }
   return value;
+}
+
+int parse_timeout_ms(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < -1) {
+    throw std::invalid_argument(std::string(flag) +
+                                " expects milliseconds or -1, got '" + text +
+                                "'");
+  }
+  return static_cast<int>(value);
 }
 
 }  // namespace
@@ -86,6 +104,23 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(parse_u64("--cache", next("--cache")));
       } else if (arg == "--spill-dir") {
         config.spill_dir = next("--spill-dir");
+      } else if (arg == "--admission") {
+        const std::string mode = next("--admission");
+        if (mode == "reject") {
+          config.admission = picasso::service::AdmissionPolicy::Reject;
+        } else if (mode == "degrade") {
+          config.admission = picasso::service::AdmissionPolicy::Degrade;
+        } else {
+          throw std::invalid_argument(
+              "--admission expects 'reject' or 'degrade', got '" + mode +
+              "'");
+        }
+      } else if (arg == "--idle-timeout") {
+        config.idle_timeout_ms =
+            parse_timeout_ms("--idle-timeout", next("--idle-timeout"));
+      } else if (arg == "--io-timeout") {
+        config.io_timeout_ms =
+            parse_timeout_ms("--io-timeout", next("--io-timeout"));
       } else {
         throw std::invalid_argument("unknown argument '" + arg + "'");
       }
@@ -130,12 +165,19 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "picasso_serve: served %llu requests (%llu solved, %llu cache "
-               "hits, %llu over-budget, %llu queue-full, %llu cancelled)\n",
+               "hits, %llu over-budget, %llu queue-full, %llu cancelled, "
+               "%llu deadline-exceeded, %llu degraded, %llu client-gone, "
+               "%llu idle-reaped, %llu orphan-spills-swept)\n",
                static_cast<unsigned long long>(stats.received),
                static_cast<unsigned long long>(stats.completed),
                static_cast<unsigned long long>(stats.cache_hits),
                static_cast<unsigned long long>(stats.rejected_over_budget),
                static_cast<unsigned long long>(stats.rejected_queue_full),
-               static_cast<unsigned long long>(stats.cancelled));
+               static_cast<unsigned long long>(stats.cancelled),
+               static_cast<unsigned long long>(stats.deadline_exceeded),
+               static_cast<unsigned long long>(stats.degraded),
+               static_cast<unsigned long long>(stats.client_disconnects),
+               static_cast<unsigned long long>(stats.idle_disconnects),
+               static_cast<unsigned long long>(stats.orphan_spills_swept));
   return 0;
 }

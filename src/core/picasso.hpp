@@ -185,6 +185,11 @@ struct PicassoResult {
   /// False only if max_iterations was hit and the tail was finished with
   /// fresh singleton colors (still a valid coloring).
   bool converged = true;
+  /// Graceful degradation: true when the solve completed by a different
+  /// route than planned (e.g. spill ENOSPC fell back to an in-memory run).
+  /// The coloring is still bit-identical; only the resource profile moved.
+  bool degraded = false;
+  std::string degraded_reason;
 
   /// Color percentage C/|V|*100 — the paper's application-quality metric.
   double color_percent() const {

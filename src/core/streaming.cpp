@@ -1,12 +1,15 @@
 #include "core/streaming.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "pauli/encoding.hpp"
 #include "runtime/parallel_for.hpp"
@@ -436,6 +439,44 @@ std::string unique_spill_path(const std::string& dir, const char* tag) {
   return (base / name).string();
 }
 
+std::size_t sweep_orphan_spills(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (dir.empty()) return 0;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : it) {
+    const std::string file = entry.path().filename().string();
+    // Only files this process family named: picasso_<tag>_<pid>_<counter>
+    // with a .pset or .pset.colors suffix. Everything else in the directory
+    // is left alone.
+    if (file.rfind("picasso_", 0) != 0) continue;
+    const bool spill = file.size() > 5 && file.ends_with(".pset");
+    const bool sidecar = file.ends_with(".pset.colors");
+    if (!spill && !sidecar) continue;
+    // pid is the second-to-last '_'-separated field.
+    const std::size_t counter_sep = file.rfind('_');
+    if (counter_sep == std::string::npos) continue;
+    const std::size_t pid_sep = file.rfind('_', counter_sep - 1);
+    if (pid_sep == std::string::npos) continue;
+    int pid = 0;
+    try {
+      pid = std::stoi(file.substr(pid_sep + 1, counter_sep - pid_sep - 1));
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (pid <= 0 || pid == static_cast<int>(::getpid())) continue;
+    // kill(pid, 0): probes existence without signalling. ESRCH = the owner
+    // is gone and its spill is an orphan from a crash; EPERM = some live
+    // process of another user owns the pid, so leave the file.
+    if (::kill(pid, 0) == 0 || errno != ESRCH) continue;
+    std::error_code rm;
+    if (fs::remove(entry.path(), rm) && !rm) ++removed;
+  }
+  return removed;
+}
+
 PicassoResult detail::run_budgeted_spill(
     const pauli::PauliSet& set, const PicassoParams& params,
     const StreamingOptions& options,
@@ -468,8 +509,23 @@ PicassoResult detail::run_budgeted_spill(
   namespace fs = std::filesystem;
   const fs::path spill_path = unique_spill_path(options.spill_dir, "spill");
 
-  const std::size_t spill_bytes =
-      pauli::spill_pauli_set(set, spill_path.string());
+  std::size_t spill_bytes = 0;
+  try {
+    spill_bytes = pauli::spill_pauli_set(set, spill_path.string());
+  } catch (const std::system_error& e) {
+    if (e.code().value() != ENOSPC) throw;
+    // Spill device full: degrade to an in-memory solve rather than failing
+    // the request. The coloring is bit-identical (same engine, same seed);
+    // only the peak memory profile differs, and the caller is told.
+    std::error_code ec;
+    fs::remove(spill_path, ec);
+    PicassoResult fallback = solve_in_memory(set, params);
+    fallback.degraded = true;
+    fallback.degraded_reason =
+        "spill device full (ENOSPC): streamed plan fell back to an "
+        "in-memory solve";
+    return fallback;
+  }
   PicassoResult result;
   try {
     const pauli::ChunkedPauliReader reader(spill_path.string(),

@@ -119,6 +119,13 @@ struct StreamingOptions {
 /// directory; the directory is created if missing.
 std::string unique_spill_path(const std::string& dir, const char* tag);
 
+/// Spill-directory janitor: removes `picasso_<tag>_<pid>_<counter>.pset`
+/// files (and their `.colors` sidecars) whose owning pid no longer exists —
+/// the debris a crashed or SIGKILLed process leaves behind. Files named by
+/// live pids, by this process, or by anything else are untouched. Returns
+/// the number of files removed. Safe to call on a missing directory.
+std::size_t sweep_orphan_spills(const std::string& dir);
+
 /// Memory-budgeted engine. With no budget and no explicit chunk size this
 /// is exactly solve_pauli; when the encoded set does not fit comfortably in
 /// the budget (or chunk_strings forces it) the set is spilled to disk and

@@ -1,11 +1,17 @@
 #include "pauli/pauli_stream.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "pauli/encoding.hpp"
+#include "util/failpoint.hpp"
+#include "util/fnv.hpp"
 
 namespace picasso::pauli {
 
@@ -13,8 +19,15 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x5041554c49534554ULL;       // "PAULISET"
 constexpr std::uint64_t kAppendMagic = 0x5041554c49415050ULL;  // "PAULIAPP"
+// Checksum trailer appended after the base block and after every append
+// segment: [kTrailerMagic][u64 FNV-1a of the covered bytes]. Legacy files
+// without trailers parse exactly as before; a trailer whose checksum does
+// not match the bytes it covers is a torn or corrupt write, detected on
+// reopen before any chunk is served.
+constexpr std::uint64_t kTrailerMagic = 0x5053455453554d31ULL;  // "PSETSUM1"
 constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint64_t);
 constexpr std::size_t kSegmentHeaderBytes = 2 * sizeof(std::uint64_t);
+constexpr std::size_t kTrailerBytes = 2 * sizeof(std::uint64_t);
 
 template <typename T>
 T read_pod(std::istream& in) {
@@ -29,6 +42,40 @@ void write_pod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
+/// FNV-1a over file bytes [begin, end) — trailer verification on reopen.
+std::uint64_t fnv_stream_range(std::istream& in, std::uint64_t begin,
+                               std::uint64_t end, const std::string& path) {
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(begin));
+  char buf[1 << 16];
+  std::uint64_t h = util::kFnvOffsetBasis;
+  std::uint64_t remaining = end - begin;
+  while (remaining > 0) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(sizeof(buf), remaining));
+    in.read(buf, static_cast<std::streamsize>(n));
+    if (!in) {
+      throw std::runtime_error(
+          "pauli_stream: truncated while verifying checksum in " + path);
+    }
+    h = util::fnv1a_bytes(h, buf, n);
+    remaining -= n;
+  }
+  return h;
+}
+
+/// Maps a failed stream write to a structured error: real ENOSPC surfaces
+/// as std::system_error(ENOSPC) so callers can fall back in memory instead
+/// of treating a full disk like an internal bug.
+[[noreturn]] void throw_write_failure(const std::string& what,
+                                      const std::string& path) {
+  if (errno == ENOSPC) {
+    throw std::system_error(ENOSPC, std::generic_category(),
+                            what + ": device full writing " + path);
+  }
+  throw std::runtime_error(what + ": write failed for " + path);
+}
+
 }  // namespace
 
 std::size_t spill_pauli_set(const PauliSet& set, const std::string& path) {
@@ -36,6 +83,7 @@ std::size_t spill_pauli_set(const PauliSet& set, const std::string& path) {
   if (!out) {
     throw std::runtime_error("spill_pauli_set: cannot open " + path);
   }
+  errno = 0;
   set.save_binary(out);
   // Packed-symplectic tail: every record [x|z] back to back. The planes are
   // already contiguous in encoded storage, so this is one write — and the
@@ -43,13 +91,35 @@ std::size_t spill_pauli_set(const PauliSet& set, const std::string& path) {
   // re-encoding from the 3-bit words.
   const PackedView view = set.packed_view();
   const std::size_t packed_words_total = view.size * 2 * view.words;
+  const std::size_t tail_bytes = packed_words_total * sizeof(std::uint64_t);
+  // Failpoint "spill.write": error/enospc throw here, delay sleeps, short:N
+  // truncates the tail and skips the trailer — the on-disk state a crash
+  // mid-write would leave, which reopen must then detect.
+  const std::size_t tail_written = PICASSO_FAILPOINT_CLAMP("spill.write",
+                                                           tail_bytes);
   out.write(reinterpret_cast<const char*>(view.data),
-            static_cast<std::streamsize>(packed_words_total *
-                                         sizeof(std::uint64_t)));
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("spill_pauli_set: write failed for " + path);
+            static_cast<std::streamsize>(tail_written));
+  if (tail_written == tail_bytes) {
+    // Base-block trailer: FNV over exactly the bytes save_binary + the tail
+    // put on disk (header fields fold little-endian, matching x86 file
+    // order), so reopen can verify without trusting anything but the file.
+    std::uint64_t sum = util::kFnvOffsetBasis;
+    sum = util::fnv1a_u64(sum, kMagic);
+    sum = util::fnv1a_u64(sum, static_cast<std::uint64_t>(set.num_qubits()));
+    sum = util::fnv1a_u64(sum, static_cast<std::uint64_t>(set.size()));
+    if (set.size() > 0) {
+      sum = util::fnv1a_bytes(sum, set.encoded3(0),
+                              set.size() * set.words_per_string() *
+                                  sizeof(std::uint64_t));
+      sum = util::fnv1a_bytes(sum, set.coefficients().data(),
+                              set.size() * sizeof(double));
+      sum = util::fnv1a_bytes(sum, view.data, tail_bytes);
+    }
+    write_pod(out, kTrailerMagic);
+    write_pod(out, sum);
   }
+  out.flush();
+  if (!out) throw_write_failure("spill_pauli_set", path);
   const std::size_t total_bytes =
       kHeaderBytes +
       set.size() * (set.words_per_string() * sizeof(std::uint64_t) +
@@ -99,22 +169,42 @@ ChunkedPauliReader::ChunkedPauliReader(std::string path,
   const std::uint64_t tail_end =
       coefs_end + base_count * 2 * words2_ * sizeof(std::uint64_t);
 
+  // A checksum trailer encountered while walking, with the byte range it
+  // covers; verified after the walk that wins is known.
+  struct TrailerSpan {
+    std::uint64_t begin = 0, end = 0, sum = 0;
+  };
+
   // Walks the append-segment chain from `start` to EOF; returns false on
   // any structural mismatch (bad magic, section overrunning the file).
+  // Checksum trailers may follow the base block and any segment; legacy
+  // files simply have none.
   const auto walk_segments = [&](std::uint64_t start,
-                                 std::vector<Segment>& out) {
+                                 std::vector<Segment>& out,
+                                 std::vector<TrailerSpan>& sums) {
     out.clear();
+    sums.clear();
     if (start > file_bytes) return false;
     std::uint64_t pos = start;
+    std::uint64_t cover_begin = 0;  // a trailer at `start` covers the base
     std::size_t next_id = base_count;
     while (pos < file_bytes) {
       if (file_bytes - pos < kSegmentHeaderBytes) return false;
       in.clear();
       in.seekg(static_cast<std::streamoff>(pos));
-      std::uint64_t magic = 0, count = 0;
+      std::uint64_t magic = 0, second = 0;
       in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-      in.read(reinterpret_cast<char*>(&count), sizeof(count));
-      if (!in || magic != kAppendMagic) return false;
+      in.read(reinterpret_cast<char*>(&second), sizeof(second));
+      if (!in) return false;
+      if (magic == kTrailerMagic) {
+        sums.push_back({cover_begin, pos, second});
+        pos += kTrailerBytes;
+        cover_begin = pos;
+        continue;
+      }
+      if (magic != kAppendMagic) return false;
+      const std::uint64_t count = second;
+      cover_begin = pos;  // a trailing checksum covers this whole segment
       Segment seg;
       seg.begin = next_id;
       seg.count = static_cast<std::size_t>(count);
@@ -140,17 +230,29 @@ ChunkedPauliReader::ChunkedPauliReader(std::string path,
       kHeaderBytes + base_count * words3_ * sizeof(std::uint64_t);
 
   std::vector<Segment> appended;
+  std::vector<TrailerSpan> trailers;
   bool base_has_packed;
-  if (walk_segments(tail_end, appended)) {
+  if (walk_segments(tail_end, appended, trailers)) {
     base.packed_offset = base_count > 0 ? coefs_end : 0;
     base_has_packed = true;
-  } else if (walk_segments(coefs_end, appended)) {
+  } else if (walk_segments(coefs_end, appended, trailers)) {
     base.packed_offset = 0;
     base_has_packed = base_count == 0;  // vacuously packed when empty
   } else {
     throw std::runtime_error(
         "ChunkedPauliReader: unrecognized trailing bytes in " + path_ +
         " (truncated append segment or corrupt packed tail)");
+  }
+
+  // Torn-write detection: every trailer the winning walk found must match
+  // the bytes it covers. One sequential pass on reopen buys the guarantee
+  // that no silently corrupted chunk is ever served to a solve.
+  for (const TrailerSpan& t : trailers) {
+    if (fnv_stream_range(in, t.begin, t.end, path_) != t.sum) {
+      throw std::runtime_error(
+          "ChunkedPauliReader: checksum mismatch in " + path_ +
+          " (torn or corrupt spill segment)");
+    }
   }
 
   segments_.push_back(base);
@@ -197,6 +299,7 @@ void ChunkedPauliReader::note_load(std::size_t chunk,
 void ChunkedPauliReader::read_span(std::istream& in, Section section,
                                    std::size_t begin, std::size_t count,
                                    char* dest) const {
+  PICASSO_FAILPOINT("spill.read");
   std::size_t stride = 0;
   switch (section) {
     case Section::Words3: stride = words3_ * sizeof(std::uint64_t); break;
@@ -302,6 +405,7 @@ std::size_t append_pauli_set(const PauliSet& delta, const std::string& path) {
   if (!out) {
     throw std::runtime_error("append_pauli_set: cannot append to " + path);
   }
+  errno = 0;
   const std::size_t count = delta.size();
   const std::size_t words3 = delta.words_per_string();
   write_pod(out, kAppendMagic);
@@ -313,13 +417,27 @@ std::size_t append_pauli_set(const PauliSet& delta, const std::string& path) {
             static_cast<std::streamsize>(count * sizeof(double)));
   const PackedView view = delta.packed_view();
   const std::size_t packed_words_total = view.size * 2 * view.words;
+  const std::size_t packed_bytes = packed_words_total * sizeof(std::uint64_t);
+  // Failpoint "spill.append": same contract as "spill.write" — short:N
+  // leaves a torn segment with no trailer for reopen to reject.
+  const std::size_t packed_written = PICASSO_FAILPOINT_CLAMP("spill.append",
+                                                             packed_bytes);
   out.write(reinterpret_cast<const char*>(view.data),
-            static_cast<std::streamsize>(packed_words_total *
-                                         sizeof(std::uint64_t)));
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("append_pauli_set: write failed for " + path);
+            static_cast<std::streamsize>(packed_written));
+  if (packed_written == packed_bytes) {
+    std::uint64_t sum = util::kFnvOffsetBasis;
+    sum = util::fnv1a_u64(sum, kAppendMagic);
+    sum = util::fnv1a_u64(sum, static_cast<std::uint64_t>(count));
+    sum = util::fnv1a_bytes(sum, delta.encoded3(0),
+                            count * words3 * sizeof(std::uint64_t));
+    sum = util::fnv1a_bytes(sum, delta.coefficients().data(),
+                            count * sizeof(double));
+    sum = util::fnv1a_bytes(sum, view.data, packed_bytes);
+    write_pod(out, kTrailerMagic);
+    write_pod(out, sum);
   }
+  out.flush();
+  if (!out) throw_write_failure("append_pauli_set", path);
   const std::size_t segment_bytes =
       kSegmentHeaderBytes +
       count * (words3 * sizeof(std::uint64_t) + sizeof(double)) +
@@ -332,15 +450,22 @@ std::size_t append_pauli_set(const PauliSet& delta, const std::string& path) {
 
 void write_spill_colors(const std::string& path,
                         const util::PackedColorArray& colors) {
+  // Serialize to memory first so the checksum covers exactly the blob
+  // bytes; the trailer makes a torn color sidecar detectable on reload.
+  std::ostringstream blob(std::ios::binary);
+  colors.save(blob);
+  const std::string bytes = std::move(blob).str();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw std::runtime_error("write_spill_colors: cannot open " + path);
   }
-  colors.save(out);
+  errno = 0;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  write_pod(out, kTrailerMagic);
+  write_pod(out, util::fnv1a_bytes(util::kFnvOffsetBasis, bytes.data(),
+                                   bytes.size()));
   out.flush();
-  if (!out) {
-    throw std::runtime_error("write_spill_colors: write failed for " + path);
-  }
+  if (!out) throw_write_failure("write_spill_colors", path);
 }
 
 util::PackedColorArray read_spill_colors(const std::string& path) {
@@ -348,7 +473,27 @@ util::PackedColorArray read_spill_colors(const std::string& path) {
   if (!in) {
     throw std::runtime_error("read_spill_colors: cannot open " + path);
   }
-  return util::PackedColorArray::load(in);
+  std::ostringstream buf(std::ios::binary);
+  buf << in.rdbuf();
+  std::string bytes = std::move(buf).str();
+  std::size_t body = bytes.size();
+  if (bytes.size() >= kTrailerBytes) {
+    std::uint64_t magic = 0, sum = 0;
+    std::memcpy(&magic, bytes.data() + bytes.size() - kTrailerBytes,
+                sizeof(magic));
+    std::memcpy(&sum, bytes.data() + bytes.size() - sizeof(sum), sizeof(sum));
+    if (magic == kTrailerMagic) {
+      body = bytes.size() - kTrailerBytes;
+      if (util::fnv1a_bytes(util::kFnvOffsetBasis, bytes.data(), body) !=
+          sum) {
+        throw std::runtime_error(
+            "read_spill_colors: checksum mismatch in " + path +
+            " (torn or corrupt color sidecar)");
+      }
+    }
+  }
+  std::istringstream blob(bytes.substr(0, body), std::ios::binary);
+  return util::PackedColorArray::load(blob);
 }
 
 }  // namespace picasso::pauli

@@ -1,5 +1,9 @@
 #include "service/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace picasso::service {
 
 Client Client::connect(const std::string& address) {
@@ -89,6 +93,62 @@ StatsMsg Client::stats() {
 void Client::shutdown_server() {
   std::lock_guard<std::mutex> lock(write_mu_);
   conn_.write_frame(FrameType::Shutdown, {});
+}
+
+namespace {
+
+/// splitmix64 — a tiny, seedable mixer; good enough to decorrelate backoff
+/// sleeps without dragging in <random> state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t backoff_ms_for(const RetryPolicy& policy,
+                             std::uint32_t attempt) {
+  double backoff = static_cast<double>(policy.initial_backoff_ms);
+  for (std::uint32_t i = 1; i < attempt; ++i) backoff *= policy.multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_ms));
+  if (policy.jitter_pct > 0) {
+    const std::uint64_t r = mix64(policy.jitter_seed ^ attempt);
+    const std::uint64_t span = 2ull * policy.jitter_pct + 1;
+    const double pct =
+        static_cast<double>(100 - policy.jitter_pct + (r % span)) / 100.0;
+    backoff *= pct;
+  }
+  return static_cast<std::uint64_t>(backoff);
+}
+
+}  // namespace
+
+RemoteResult solve_with_retry(const std::string& address,
+                              const pauli::PauliSet& records,
+                              const RemoteParams& params,
+                              const RetryPolicy& policy,
+                              const std::string& tenant,
+                              std::uint32_t priority,
+                              const ProgressHandler& on_progress) {
+  const std::uint32_t attempts = std::max(1u, policy.max_attempts);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      Client client = Client::connect(address);
+      RemoteResult outcome =
+          client.solve(records, params, tenant, priority, on_progress);
+      outcome.attempts = attempt;
+      if (outcome.ok || !is_retryable(outcome.error_code) ||
+          attempt >= attempts) {
+        return outcome;
+      }
+    } catch (const WireError&) {
+      // Transport failure: connect refused, torn mid-frame, timed out.
+      // The request is idempotent (result-cache contract), so retry.
+      if (attempt >= attempts) throw;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_ms_for(policy, attempt)));
+  }
 }
 
 }  // namespace picasso::service

@@ -25,6 +25,28 @@ struct RemoteResult {
   ServiceErrorCode error_code = ServiceErrorCode::Internal;
   std::string error_message;
   ResultMsg result;  // meaningful only when ok
+  /// Attempts consumed (1 = first try succeeded). Only solve_with_retry
+  /// ever reports more than 1.
+  std::uint32_t attempts = 1;
+};
+
+/// Exponential backoff with deterministic jitter for solve_with_retry.
+///
+/// Retrying a solve is safe because requests are idempotent: the server's
+/// result cache keys on the canonical problem fingerprint, so a retry of a
+/// request whose first attempt actually completed (e.g. the reply was lost)
+/// is answered from cache with the bit-identical coloring.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retry).
+  std::uint32_t max_attempts = 3;
+  std::uint32_t initial_backoff_ms = 50;
+  double multiplier = 2.0;
+  std::uint32_t max_backoff_ms = 2000;
+  /// Each sleep is scaled by a factor drawn from [100-jitter_pct,
+  /// 100+jitter_pct] percent, derived deterministically from jitter_seed
+  /// and the attempt number (reproducible tests, decorrelated clients).
+  std::uint32_t jitter_pct = 20;
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
 };
 
 using ProgressHandler = std::function<void(const ProgressMsg&)>;
@@ -68,5 +90,19 @@ class Client {
   std::uint64_t next_id_ = 1;
   std::atomic<std::uint64_t> inflight_id_{0};
 };
+
+/// Submits `records` with retry: each attempt opens a fresh connection, so
+/// both transport failures (connect refused, torn connection, WireTimeout)
+/// and retryable structured errors (QueueFull, StorageFull — see
+/// is_retryable) are retried with exponential backoff + jitter per
+/// `policy`. Non-retryable structured errors and success return
+/// immediately. Throws the last transport error once attempts run out.
+RemoteResult solve_with_retry(const std::string& address,
+                              const pauli::PauliSet& records,
+                              const RemoteParams& params,
+                              const RetryPolicy& policy,
+                              const std::string& tenant = "",
+                              std::uint32_t priority = 0,
+                              const ProgressHandler& on_progress = nullptr);
 
 }  // namespace picasso::service

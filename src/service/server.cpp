@@ -1,11 +1,14 @@
 #include "service/server.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <filesystem>
 #include <limits>
+#include <system_error>
 
 #include "core/solve_fused.hpp"
+#include "core/streaming.hpp"
 #include "util/fnv.hpp"
 
 namespace picasso::service {
@@ -35,10 +38,21 @@ void Server::ClientConn::send(FrameType type,
   if (!open.load(std::memory_order_relaxed)) return;
   try {
     conn.write_frame(type, payload);
-  } catch (const WireError&) {
-    // Peer hung up mid-write; further sends become no-ops and the reader
-    // loop tears the connection down.
+  } catch (const WireDisconnect&) {
+    // Benign client-gone (EPIPE/ECONNRESET): the peer lost interest in its
+    // reply. Count it and move on; the reader loop tears the rest down.
+    if (disconnect_counter) {
+      disconnect_counter->fetch_add(1, std::memory_order_relaxed);
+    }
     open.store(false, std::memory_order_relaxed);
+    conn.shutdown();
+  } catch (const WireError&) {
+    // A reply we could not deliver. Further sends become no-ops, and the
+    // socket is shut down so a peer still blocked on its reply sees EOF
+    // (and can retry against the result cache) instead of waiting forever;
+    // the EOF also wakes our own reader loop to tear the connection down.
+    open.store(false, std::memory_order_relaxed);
+    conn.shutdown();
   }
 }
 
@@ -54,6 +68,10 @@ void Server::start(const ServerConfig& config) {
                    ? (fs::temp_directory_path() / "picasso_serve").string()
                    : config.spill_dir;
   fs::create_directories(spill_dir_);
+  // Crash recovery: spill files left behind by dead processes (ours or a
+  // previous incarnation of this server) are swept before any solve runs.
+  stat_orphans_swept_.store(core::sweep_orphan_spills(spill_dir_),
+                            std::memory_order_relaxed);
 
   if (config.num_threads != 1) {
     const std::uint32_t workers =
@@ -153,6 +171,13 @@ StatsMsg Server::stats() const {
   msg.rejected_queue_full =
       stat_rejected_queue_full_.load(std::memory_order_relaxed);
   msg.cancelled = stat_cancelled_.load(std::memory_order_relaxed);
+  msg.client_disconnects =
+      stat_client_disconnects_.load(std::memory_order_relaxed);
+  msg.idle_disconnects = stat_idle_disconnects_.load(std::memory_order_relaxed);
+  msg.deadline_exceeded =
+      stat_deadline_exceeded_.load(std::memory_order_relaxed);
+  msg.degraded = stat_degraded_.load(std::memory_order_relaxed);
+  msg.orphan_spills_swept = stat_orphans_swept_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     msg.active = active_.size();
@@ -181,6 +206,10 @@ void Server::accept_loop() {
     if (!conn.valid()) break;  // listener shut down
     auto client = std::make_shared<ClientConn>();
     client->conn = std::move(conn);
+    // A stalled or half-dead peer is reaped by the idle/io timeouts instead
+    // of pinning this connection's reader thread forever.
+    client->conn.set_timeouts(config_.idle_timeout_ms, config_.io_timeout_ms);
+    client->disconnect_counter = &stat_client_disconnects_;
     std::lock_guard<std::mutex> lock(conns_mu_);
     if (stopping_.load(std::memory_order_acquire)) break;
     conns_.push_back(client);
@@ -194,6 +223,16 @@ void Server::reader_loop(std::shared_ptr<ClientConn> conn) {
   while (conn->open.load(std::memory_order_relaxed)) {
     try {
       if (!conn->conn.read_frame(frame)) break;  // clean EOF
+    } catch (const WireTimeout&) {
+      // A client waiting on its own solve is legitimately silent — keep it.
+      if (conn_busy(conn)) continue;
+      // Otherwise the peer is stalled with nothing in flight: reap the
+      // connection so the reader thread frees up.
+      stat_idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    } catch (const WireDisconnect&) {
+      stat_client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      break;
     } catch (const WireError&) {
       break;  // torn frame / reset — nothing sane to reply to
     }
@@ -224,6 +263,17 @@ void Server::reader_loop(std::shared_ptr<ClientConn> conn) {
   }
   conn->open.store(false, std::memory_order_relaxed);
   conn->conn.shutdown();
+}
+
+bool Server::conn_busy(const std::shared_ptr<ClientConn>& conn) const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (const auto& request : pending_) {
+    if (request->conn == conn) return true;
+  }
+  for (const auto& request : active_) {
+    if (request->conn == conn) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -322,8 +372,46 @@ void Server::handle_solve_request(const std::shared_ptr<ClientConn>& conn,
   // (fused/sketch) are charged the frontier floor instead, so a client can
   // shrink an over-budget request into an admissible one by picking a
   // streaming/fused strategy or setting a per-request budget.
+  bool admission_degraded = false;
+  std::string admission_degraded_reason;
   if (config_.memory_budget_bytes > 0) {
-    const std::size_t projected = projected_peak_bytes(plan, msg.records);
+    std::size_t projected = projected_peak_bytes(plan, msg.records);
+    if (projected > config_.memory_budget_bytes &&
+        config_.admission == AdmissionPolicy::Degrade) {
+      // Degradation ladder: re-plan down the strategy rungs until one fits.
+      // Determinism makes the downgraded coloring identical, so the client
+      // loses only speed — the downgrade is reported, not hidden.
+      const std::size_t original_projected = projected;
+      const std::string original_summary = plan.summary();
+      for (const api::ExecutionStrategy rung :
+           {api::ExecutionStrategy::Fused, api::ExecutionStrategy::Sketch}) {
+        if (static_cast<api::ExecutionStrategy>(msg.params.strategy) == rung) {
+          continue;  // already on this rung
+        }
+        RemoteParams downgraded = msg.params;
+        downgraded.strategy = static_cast<std::uint8_t>(rung);
+        try {
+          api::Session rung_session = session_for(downgraded);
+          api::SolvePlan rung_plan =
+              rung_session.plan(api::Problem::pauli(msg.records));
+          const std::size_t rung_projected =
+              projected_peak_bytes(rung_plan, msg.records);
+          if (rung_projected > config_.memory_budget_bytes) continue;
+          admission_degraded = true;
+          admission_degraded_reason =
+              "admission degraded plan (" + original_summary + ", projected " +
+              std::to_string(original_projected) + " bytes over budget " +
+              std::to_string(config_.memory_budget_bytes) + ") to " +
+              rung_plan.summary();
+          msg.params = downgraded;
+          plan = rung_plan;
+          projected = rung_projected;
+          break;
+        } catch (const std::exception&) {
+          continue;  // rung not viable for this problem; try the next
+        }
+      }
+    }
     if (projected > config_.memory_budget_bytes) {
       stat_rejected_over_budget_.fetch_add(1, std::memory_order_relaxed);
       send_error(conn, msg.id, ServiceErrorCode::OverBudget,
@@ -339,6 +427,14 @@ void Server::handle_solve_request(const std::shared_ptr<ClientConn>& conn,
   request->msg = std::move(msg);
   request->problem_hash = problem_hash;
   request->conn = conn;
+  request->degraded = admission_degraded;
+  request->degraded_reason = std::move(admission_degraded_reason);
+  if (request->msg.params.deadline_ms > 0) {
+    request->has_deadline = true;
+    request->deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(request->msg.params.deadline_ms);
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (pending_.size() >= config_.max_queue) {
@@ -451,12 +547,35 @@ void Server::execute(const std::shared_ptr<Request>& request) {
     return;
   }
 
+  // A request that spent its whole deadline in the queue never starts.
+  if (request->has_deadline &&
+      std::chrono::steady_clock::now() >= request->deadline) {
+    stat_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    send_error(conn, request->msg.id, ServiceErrorCode::DeadlineExceeded,
+               "deadline of " +
+                   std::to_string(request->msg.params.deadline_ms) +
+                   "ms expired while queued");
+    return;
+  }
+
   api::SolveOptions options;
   options.stop = request->stop.token();
-  if (request->msg.params.want_progress) {
+  const bool forward_progress = request->msg.params.want_progress;
+  if (forward_progress || request->has_deadline) {
     const std::uint64_t id = request->msg.id;
     auto conn_weak = std::weak_ptr<ClientConn>(conn);
-    options.progress = [id, conn_weak](const core::ProgressEvent& event) {
+    options.progress = [request, id, conn_weak,
+                        forward_progress](const core::ProgressEvent& event) {
+      // Deadline check rides the progress stream: every stage boundary
+      // compares against the armed deadline and trips the StopSource, which
+      // the solve's existing cancellation points honor.
+      if (request->has_deadline &&
+          !request->deadline_hit.load(std::memory_order_relaxed) &&
+          std::chrono::steady_clock::now() >= request->deadline) {
+        request->deadline_hit.store(true, std::memory_order_relaxed);
+        request->stop.request_stop();
+      }
+      if (!forward_progress) return;
       // Iteration granularity only — chunk/bucket events would flood the
       // socket on large problems.
       if (event.stage != core::ProgressStage::IterationDone) return;
@@ -492,12 +611,32 @@ void Server::execute(const std::shared_ptr<Request>& request) {
         static_cast<std::uint32_t>(report.result.iterations.size());
     stat_cache_misses_.fetch_add(1, std::memory_order_relaxed);
     stat_completed_.fetch_add(1, std::memory_order_relaxed);
+
+    // Degradation from either layer — the admission ladder or a mid-solve
+    // fallback (e.g. ENOSPC spill → in-memory) — is reported to the client.
+    const bool degraded = request->degraded || report.result.degraded;
+    std::string degraded_reason = request->degraded_reason;
+    if (report.result.degraded && !report.result.degraded_reason.empty()) {
+      if (!degraded_reason.empty()) degraded_reason += "; ";
+      degraded_reason += report.result.degraded_reason;
+    }
+    if (degraded) stat_degraded_.fetch_add(1, std::memory_order_relaxed);
+
     // Insert BEFORE replying: a client that resubmits the moment it sees
     // the result must hit the cache, not race past it.
     cache_insert(entry);
     send_result(conn, request->msg.id, entry, /*cache_hit=*/false,
-                elapsed.count());
+                elapsed.count(), degraded, degraded_reason);
   } catch (const core::SolveCancelled&) {
+    if (request->deadline_hit.load(std::memory_order_relaxed) &&
+        !request->cancelled.load(std::memory_order_relaxed)) {
+      stat_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      send_error(conn, request->msg.id, ServiceErrorCode::DeadlineExceeded,
+                 "deadline of " +
+                     std::to_string(request->msg.params.deadline_ms) +
+                     "ms exceeded mid-solve");
+      return;
+    }
     stat_cancelled_.fetch_add(1, std::memory_order_relaxed);
     send_error(conn, request->msg.id, ServiceErrorCode::Cancelled,
                stopping_.load(std::memory_order_acquire)
@@ -506,6 +645,16 @@ void Server::execute(const std::shared_ptr<Request>& request) {
   } catch (const api::ApiError& error) {
     send_error(conn, request->msg.id, ServiceErrorCode::BadRequest,
                error.what());
+  } catch (const std::system_error& error) {
+    if (error.code().value() == ENOSPC) {
+      // Unrecoverable storage exhaustion (the in-memory fallback only
+      // covers the budgeted-spill path): structured and retryable.
+      send_error(conn, request->msg.id, ServiceErrorCode::StorageFull,
+                 std::string("spill storage full: ") + error.what());
+    } else {
+      send_error(conn, request->msg.id, ServiceErrorCode::Internal,
+                 error.what());
+    }
   } catch (const std::exception& error) {
     send_error(conn, request->msg.id, ServiceErrorCode::Internal,
                error.what());
@@ -557,10 +706,13 @@ void Server::send_error(const std::shared_ptr<ClientConn>& conn,
 
 void Server::send_result(const std::shared_ptr<ClientConn>& conn,
                          std::uint64_t id, const CacheEntry& entry,
-                         bool cache_hit, double seconds) {
+                         bool cache_hit, double seconds, bool degraded,
+                         const std::string& degraded_reason) {
   ResultMsg msg;
   msg.id = id;
   msg.cache_hit = cache_hit;
+  msg.degraded = degraded;
+  msg.degraded_reason = degraded_reason;
   msg.problem_hash = entry.problem_hash;
   msg.coloring_hash = entry.coloring_hash;
   msg.num_colors = entry.num_colors;

@@ -36,6 +36,7 @@
 // stop() joins.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -53,6 +54,18 @@
 #include "util/memory.hpp"
 
 namespace picasso::service {
+
+/// What admission does with a request whose projected peak exceeds the
+/// server budget.
+enum class AdmissionPolicy : std::uint8_t {
+  /// Answer Error(OverBudget) naming both numbers (the default).
+  Reject = 0,
+  /// Walk the plan down the degradation ladder — materialized → fused →
+  /// sketch — and admit the first rung that fits, reporting the downgrade
+  /// in the result's `degraded` fields. Rejects only when even the sketch
+  /// frontier cannot fit.
+  Degrade = 1,
+};
 
 struct ServerConfig {
   /// "unix:/path/to.sock" or "tcp:host:port" (port 0 = ephemeral; read the
@@ -75,6 +88,17 @@ struct ServerConfig {
   std::string spill_dir;
   /// Base solve parameters; per-request RemoteParams overlay onto a copy.
   core::PicassoParams base_params;
+  /// Over-budget handling: hard reject (default) or degrade the plan.
+  AdmissionPolicy admission = AdmissionPolicy::Reject;
+  /// Reader-side idle timeout: a connection with no request in flight that
+  /// starts no frame within this window is reaped (counted in
+  /// stats.idle_disconnects), so a stalled peer can never pin a reader
+  /// thread. A client quietly waiting on its own queued/active solve is
+  /// never reaped. -1 = wait forever.
+  int idle_timeout_ms = -1;
+  /// Per-syscall send/recv timeout on accepted connections (-1 = blocking
+  /// forever). Bounds how long a mid-frame stall can hold a reader.
+  int io_timeout_ms = -1;
 };
 
 class Server {
@@ -114,6 +138,9 @@ class Server {
     Connection conn;
     std::mutex write_mu;
     std::atomic<bool> open{true};
+    /// Server counter bumped when a reply write finds the peer gone
+    /// (EPIPE/ECONNRESET) — benign, not an error.
+    std::atomic<std::uint64_t>* disconnect_counter = nullptr;
 
     /// Serialized frame write; marks the connection closed on failure
     /// (peer hung up) instead of throwing into the solver.
@@ -128,6 +155,14 @@ class Server {
     core::StopSource stop;  // armed at admission: Cancel reaches queued
                             // and running requests the same way
     std::atomic<bool> cancelled{false};
+    /// Absolute deadline armed at admission when deadline_ms > 0; checked
+    /// before dispatch and at every progress event during the solve.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    std::atomic<bool> deadline_hit{false};
+    /// Set when Degrade admission walked this request down the ladder.
+    bool degraded = false;
+    std::string degraded_reason;
   };
 
   struct CacheEntry {
@@ -142,6 +177,11 @@ class Server {
   void accept_loop();
   void reader_loop(std::shared_ptr<ClientConn> conn);
   void solver_loop();
+
+  /// True when `conn` has a queued or active request — such a connection is
+  /// legitimately quiet (waiting on its solve) and exempt from the idle
+  /// timeout.
+  bool conn_busy(const std::shared_ptr<ClientConn>& conn) const;
 
   void handle_solve_request(const std::shared_ptr<ClientConn>& conn,
                             const std::vector<std::uint8_t>& payload);
@@ -166,7 +206,9 @@ class Server {
   void send_error(const std::shared_ptr<ClientConn>& conn, std::uint64_t id,
                   ServiceErrorCode code, const std::string& message);
   void send_result(const std::shared_ptr<ClientConn>& conn, std::uint64_t id,
-                   const CacheEntry& entry, bool cache_hit, double seconds);
+                   const CacheEntry& entry, bool cache_hit, double seconds,
+                   bool degraded = false,
+                   const std::string& degraded_reason = std::string());
 
   std::size_t live_spill_files() const;
 
@@ -212,6 +254,11 @@ class Server {
   std::atomic<std::uint64_t> stat_rejected_over_budget_{0};
   std::atomic<std::uint64_t> stat_rejected_queue_full_{0};
   std::atomic<std::uint64_t> stat_cancelled_{0};
+  std::atomic<std::uint64_t> stat_client_disconnects_{0};
+  std::atomic<std::uint64_t> stat_idle_disconnects_{0};
+  std::atomic<std::uint64_t> stat_deadline_exceeded_{0};
+  std::atomic<std::uint64_t> stat_degraded_{0};
+  std::atomic<std::uint64_t> stat_orphans_swept_{0};
 };
 
 }  // namespace picasso::service

@@ -1,18 +1,24 @@
 #include "service/wire.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <utility>
+
+#include "util/failpoint.hpp"
 
 namespace picasso::service {
 
@@ -24,6 +30,8 @@ const char* to_string(ServiceErrorCode code) noexcept {
     case ServiceErrorCode::Cancelled: return "cancelled";
     case ServiceErrorCode::ShuttingDown: return "shutting-down";
     case ServiceErrorCode::Internal: return "internal";
+    case ServiceErrorCode::DeadlineExceeded: return "deadline-exceeded";
+    case ServiceErrorCode::StorageFull: return "storage-full";
   }
   return "?";
 }
@@ -111,6 +119,7 @@ std::vector<std::uint8_t> encode_solve_request(const SolveRequestMsg& msg) {
   w.u8(msg.params.strategy);
   w.u64(msg.params.memory_budget_bytes);
   w.u8(msg.params.want_progress ? 1 : 0);
+  w.u64(msg.params.deadline_ms);
   std::ostringstream blob;
   msg.records.save_binary(blob);
   const std::string& encoded = blob.str();
@@ -122,9 +131,11 @@ SolveRequestMsg decode_solve_request(
     const std::vector<std::uint8_t>& payload) {
   WireReader r(payload);
   const std::uint32_t version = r.u32();
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     throw WireError("protocol version " + std::to_string(version) +
-                    " != expected " + std::to_string(kProtocolVersion));
+                    " outside supported range [" +
+                    std::to_string(kMinProtocolVersion) + ", " +
+                    std::to_string(kProtocolVersion) + "]");
   }
   SolveRequestMsg msg;
   msg.id = r.u64();
@@ -138,6 +149,8 @@ SolveRequestMsg decode_solve_request(
   msg.params.strategy = r.u8();
   msg.params.memory_budget_bytes = r.u64();
   msg.params.want_progress = r.u8() != 0;
+  // deadline_ms joined in v2; v1 requests simply have no deadline.
+  msg.params.deadline_ms = version >= 2 ? r.u64() : 0;
   const std::vector<std::uint8_t> blob = r.bytes();
   std::istringstream in(
       std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
@@ -195,6 +208,8 @@ std::vector<std::uint8_t> encode_result(const ResultMsg& msg) {
   w.u32(msg.palette_total);
   w.u32(msg.iterations);
   w.f64(msg.seconds);
+  w.u8(msg.degraded ? 1 : 0);
+  w.str(msg.degraded_reason);
   w.u32(static_cast<std::uint32_t>(msg.colors.size()));
   for (std::uint32_t c : msg.colors) w.u32(c);
   return w.take();
@@ -211,6 +226,8 @@ ResultMsg decode_result(const std::vector<std::uint8_t>& payload) {
   msg.palette_total = r.u32();
   msg.iterations = r.u32();
   msg.seconds = r.f64();
+  msg.degraded = r.u8() != 0;
+  msg.degraded_reason = r.str();
   const std::uint32_t n = r.u32();
   if (static_cast<std::size_t>(n) * 4 > r.remaining()) {
     throw WireError("result color count exceeds payload");
@@ -249,6 +266,11 @@ std::vector<std::uint8_t> encode_stats(const StatsMsg& msg) {
   w.u64(msg.active);
   w.u64(msg.queued);
   w.u64(msg.spill_files_live);
+  w.u64(msg.client_disconnects);
+  w.u64(msg.idle_disconnects);
+  w.u64(msg.deadline_exceeded);
+  w.u64(msg.degraded);
+  w.u64(msg.orphan_spills_swept);
   return w.take();
 }
 
@@ -265,6 +287,11 @@ StatsMsg decode_stats(const std::vector<std::uint8_t>& payload) {
   msg.active = r.u64();
   msg.queued = r.u64();
   msg.spill_files_live = r.u64();
+  msg.client_disconnects = r.u64();
+  msg.idle_disconnects = r.u64();
+  msg.deadline_exceeded = r.u64();
+  msg.degraded = r.u64();
+  msg.orphan_spills_swept = r.u64();
   return msg;
 }
 
@@ -317,10 +344,29 @@ ParsedAddress parse_address(const std::string& address) {
 void write_all(int fd, const void* data, std::size_t len) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
+    // Failpoint "wire.send": error injects a reset-like failure, delay
+    // simulates a slow peer, short:N splits the transfer (exercising this
+    // loop exactly like a kernel short write would).
+    std::size_t attempt = len;
+    try {
+      // max(1, ...): a zero-length clamp would make send() a no-op loop.
+      attempt = std::max<std::size_t>(
+          1, PICASSO_FAILPOINT_CLAMP("wire.send", len));
+    } catch (const util::InjectedFault& fault) {
+      throw WireError(fault.what());
+    }
     // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a process kill.
-    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, p, attempt, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expiry — the peer stopped draining its socket.
+        throw WireTimeout("send timed out (peer not reading)");
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw WireDisconnect(std::string("peer gone: ") +
+                             std::strerror(errno));
+      }
       throw_errno("send");
     }
     p += n;
@@ -333,9 +379,24 @@ bool read_exact(int fd, void* data, std::size_t len) {
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    std::size_t attempt = len - got;
+    try {
+      // max(1, ...): recv(fd, p, 0) returning 0 would read as EOF.
+      attempt = std::max<std::size_t>(
+          1, PICASSO_FAILPOINT_CLAMP("wire.recv", len - got));
+    } catch (const util::InjectedFault& fault) {
+      throw WireError(fault.what());
+    }
+    const ssize_t n = ::recv(fd, p + got, attempt, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expiry — the peer stalled mid-frame.
+        throw WireTimeout("receive timed out mid-frame");
+      }
+      if (errno == ECONNRESET) {
+        throw WireDisconnect("peer gone: connection reset");
+      }
       throw_errno("recv");
     }
     if (n == 0) {
@@ -347,25 +408,45 @@ bool read_exact(int fd, void* data, std::size_t len) {
   return true;
 }
 
+/// Applies SO_RCVTIMEO/SO_SNDTIMEO; ms < 0 leaves the socket blocking.
+void apply_io_timeout(int fd, int ms) noexcept {
+  timeval tv{};
+  if (ms >= 0) {
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
 Connection::~Connection() { close(); }
 
 Connection::Connection(Connection&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      idle_timeout_ms_(std::exchange(other.idle_timeout_ms_, -1)) {}
 
 Connection& Connection::operator=(Connection&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    idle_timeout_ms_ = std::exchange(other.idle_timeout_ms_, -1);
   }
   return *this;
+}
+
+void Connection::set_timeouts(int idle_ms, int io_ms) noexcept {
+  idle_timeout_ms_ = idle_ms;
+  if (fd_ >= 0) apply_io_timeout(fd_, io_ms);
 }
 
 Connection Connection::connect(const std::string& address) {
   const ParsedAddress parsed = parse_address(address);
   if (parsed.is_unix) {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    // SOCK_CLOEXEC everywhere a service fd is born: a fork/exec from a
+    // progress callback or signal handler must not inherit connections.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) throw_errno("socket(unix)");
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -389,7 +470,8 @@ Connection Connection::connect(const std::string& address) {
   }
   int fd = -1;
   for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
-    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
     if (fd < 0) continue;
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
     ::close(fd);
@@ -403,6 +485,24 @@ Connection Connection::connect(const std::string& address) {
 }
 
 bool Connection::read_frame(Frame& frame) {
+  if (idle_timeout_ms_ >= 0) {
+    // Bound the wait for the next frame to START; once bytes flow, the
+    // per-recv SO_RCVTIMEO takes over. poll() rather than the socket
+    // timeout so "peer idle between requests" and "peer stalled mid-frame"
+    // stay separately tunable.
+    pollfd p{};
+    p.fd = fd_;
+    p.events = POLLIN;
+    int rc;
+    do {
+      rc = ::poll(&p, 1, idle_timeout_ms_);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) throw_errno("poll");
+    if (rc == 0) {
+      throw WireTimeout("idle timeout: no frame started within " +
+                        std::to_string(idle_timeout_ms_) + "ms");
+    }
+  }
   std::uint8_t header[5];
   if (!read_exact(fd_, header, 4)) return false;  // clean EOF
   std::uint32_t len = 0;
@@ -470,7 +570,7 @@ Listener Listener::listen(const std::string& address) {
   const ParsedAddress parsed = parse_address(address);
   Listener listener;
   if (parsed.is_unix) {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) throw_errno("socket(unix)");
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -490,7 +590,7 @@ Listener Listener::listen(const std::string& address) {
     listener.unix_path_ = parsed.path;
     return listener;
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) throw_errno("socket(tcp)");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -523,7 +623,7 @@ Listener Listener::listen(const std::string& address) {
 
 Connection Listener::accept() {
   while (true) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd >= 0) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

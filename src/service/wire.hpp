@@ -28,7 +28,11 @@
 
 namespace picasso::service {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Version 2 added deadline_ms to SolveRequest, degradation info to Result,
+/// and the fault-tolerance counters to StatsReply. Version-1 solve requests
+/// are still accepted (deadline_ms = 0).
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Hard cap on one frame's payload — a malformed or hostile length prefix
 /// must not become a multi-gigabyte allocation.
@@ -53,10 +57,20 @@ enum class ServiceErrorCode : std::uint8_t {
   BadRequest = 1,     // malformed frame / protocol mismatch / bad params
   OverBudget = 2,     // projected peak exceeds the server's global budget
   QueueFull = 3,      // bounded queue at capacity
-  Cancelled = 4,      // client-initiated cancellation won
-  ShuttingDown = 5,   // server is draining; request not accepted
-  Internal = 6,       // solve threw something unexpected
+  Cancelled = 4,         // client-initiated cancellation won
+  ShuttingDown = 5,      // server is draining; request not accepted
+  Internal = 6,          // solve threw something unexpected
+  DeadlineExceeded = 7,  // the request's deadline_ms elapsed first
+  StorageFull = 8,       // spill device full and no fallback was possible
 };
+
+/// Which codes a client may safely resubmit: the failure was about server
+/// state at one moment, not about the request itself, and the
+/// fingerprint-keyed result cache makes the retry idempotent.
+inline bool is_retryable(ServiceErrorCode code) noexcept {
+  return code == ServiceErrorCode::QueueFull ||
+         code == ServiceErrorCode::StorageFull;
+}
 
 const char* to_string(ServiceErrorCode code) noexcept;
 
@@ -65,6 +79,19 @@ const char* to_string(ServiceErrorCode code) noexcept;
 /// the client surfaces it.
 struct WireError : std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A configured idle/io timeout elapsed. Subclassed so the server can tell
+/// "stalled peer — drop it quietly" from "malformed or torn frame".
+struct WireTimeout : WireError {
+  explicit WireTimeout(const std::string& what) : WireError(what) {}
+};
+
+/// The peer vanished (EPIPE/ECONNRESET). A normal fact of life for a
+/// server — clients crash or lose interest mid-reply — so it is counted in
+/// stats, never treated as an error worth logging.
+struct WireDisconnect : WireError {
+  explicit WireDisconnect(const std::string& what) : WireError(what) {}
 };
 
 struct Frame {
@@ -140,6 +167,10 @@ struct RemoteParams {
   std::uint8_t strategy = 0;      // api::ExecutionStrategy numeric value
   std::uint64_t memory_budget_bytes = 0;
   bool want_progress = false;
+  /// Wall-clock budget for the whole request measured from admission; the
+  /// server answers Error(DeadlineExceeded) once it elapses (checked at
+  /// iteration/bucket boundaries through the solve's stop token). 0 = none.
+  std::uint64_t deadline_ms = 0;
 };
 
 struct SolveRequestMsg {
@@ -169,6 +200,11 @@ struct ResultMsg {
   std::uint32_t palette_total = 0;
   std::uint32_t iterations = 0;
   double seconds = 0.0;
+  /// Graceful degradation report: the solve completed, but by a cheaper
+  /// route than requested/planned (admission downgraded the strategy, or
+  /// a spill ENOSPC forced an in-memory fallback).
+  bool degraded = false;
+  std::string degraded_reason;
   std::vector<std::uint32_t> colors;
 };
 
@@ -189,6 +225,12 @@ struct StatsMsg {
   std::uint64_t active = 0;
   std::uint64_t queued = 0;
   std::uint64_t spill_files_live = 0;
+  // Fault-tolerance counters (protocol v2).
+  std::uint64_t client_disconnects = 0;   // EPIPE/ECONNRESET on replies
+  std::uint64_t idle_disconnects = 0;     // stalled peers reaped by timeout
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t degraded = 0;             // solves that completed degraded
+  std::uint64_t orphan_spills_swept = 0;  // janitor removals at startup
 };
 
 std::vector<std::uint8_t> encode_solve_request(const SolveRequestMsg& msg);
@@ -232,8 +274,16 @@ class Connection {
 
   bool valid() const noexcept { return fd_ >= 0; }
 
+  /// Millisecond timeouts so a stalled peer can never pin a thread:
+  /// `idle_ms` bounds the wait for the NEXT frame to start (poll before the
+  /// length prefix), `io_ms` bounds every subsequent send/recv making
+  /// progress mid-frame (SO_RCVTIMEO/SO_SNDTIMEO). Expiry throws
+  /// WireTimeout. -1 (the default) blocks forever — the client-side
+  /// behavior, where a solve legitimately takes as long as it takes.
+  void set_timeouts(int idle_ms, int io_ms) noexcept;
+
   /// False on clean EOF at a frame boundary; throws WireError on a torn
-  /// frame or socket error.
+  /// frame or socket error, WireTimeout when a configured timeout elapses.
   bool read_frame(Frame& frame);
   void write_frame(FrameType type, const std::vector<std::uint8_t>& payload);
 
@@ -244,6 +294,7 @@ class Connection {
 
  private:
   int fd_ = -1;
+  int idle_timeout_ms_ = -1;
 };
 
 class Listener {

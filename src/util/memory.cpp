@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "util/failpoint.hpp"
+
 namespace picasso::util {
 
 const char* to_string(MemSubsystem s) noexcept {
@@ -52,6 +54,11 @@ void MemoryRegistry::release(MemSubsystem sub, std::size_t bytes) noexcept {
 }
 
 bool MemoryRegistry::try_charge(MemSubsystem sub, std::size_t bytes) noexcept {
+  if (failpoints::any_armed() && failpoints::triggered("memory.charge")) {
+    // Injected admission failure: behaves exactly like a full budget, so
+    // every caller's denial path (cache fallback, degradation) is exercised.
+    return false;
+  }
   const std::size_t budget = budget_.load(std::memory_order_relaxed);
   if (budget == 0) {
     charge(sub, bytes);

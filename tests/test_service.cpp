@@ -72,6 +72,7 @@ TEST(ServiceWire, SolveRequestRoundTrip) {
   msg.params.strategy = 6;
   msg.params.memory_budget_bytes = 1u << 20;
   msg.params.want_progress = true;
+  msg.params.deadline_ms = 2500;
   msg.records = random_set(37, 12, 5);
 
   const auto decoded = psvc::decode_solve_request(psvc::encode_solve_request(msg));
@@ -86,6 +87,7 @@ TEST(ServiceWire, SolveRequestRoundTrip) {
   EXPECT_EQ(decoded.params.strategy, msg.params.strategy);
   EXPECT_EQ(decoded.params.memory_budget_bytes, msg.params.memory_budget_bytes);
   EXPECT_EQ(decoded.params.want_progress, msg.params.want_progress);
+  EXPECT_EQ(decoded.params.deadline_ms, msg.params.deadline_ms);
   ASSERT_EQ(decoded.records.size(), msg.records.size());
   EXPECT_EQ(decoded.records.num_qubits(), msg.records.num_qubits());
   const picasso::core::PicassoParams fp_params;
@@ -103,6 +105,8 @@ TEST(ServiceWire, ResultAndErrorRoundTrip) {
   result.palette_total = 256;
   result.iterations = 6;
   result.seconds = 0.125;
+  result.degraded = true;
+  result.degraded_reason = "admission degraded plan to strategy=fused";
   result.colors = {0, 1, 2, 200, 7};
   const auto r = psvc::decode_result(psvc::encode_result(result));
   EXPECT_EQ(r.id, result.id);
@@ -113,7 +117,26 @@ TEST(ServiceWire, ResultAndErrorRoundTrip) {
   EXPECT_EQ(r.palette_total, result.palette_total);
   EXPECT_EQ(r.iterations, result.iterations);
   EXPECT_EQ(r.seconds, result.seconds);
+  EXPECT_EQ(r.degraded, result.degraded);
+  EXPECT_EQ(r.degraded_reason, result.degraded_reason);
   EXPECT_EQ(r.colors, result.colors);
+
+  psvc::StatsMsg stats;
+  stats.received = 10;
+  stats.completed = 8;
+  stats.client_disconnects = 3;
+  stats.idle_disconnects = 2;
+  stats.deadline_exceeded = 1;
+  stats.degraded = 4;
+  stats.orphan_spills_swept = 5;
+  const auto s = psvc::decode_stats(psvc::encode_stats(stats));
+  EXPECT_EQ(s.received, stats.received);
+  EXPECT_EQ(s.completed, stats.completed);
+  EXPECT_EQ(s.client_disconnects, stats.client_disconnects);
+  EXPECT_EQ(s.idle_disconnects, stats.idle_disconnects);
+  EXPECT_EQ(s.deadline_exceeded, stats.deadline_exceeded);
+  EXPECT_EQ(s.degraded, stats.degraded);
+  EXPECT_EQ(s.orphan_spills_swept, stats.orphan_spills_swept);
 
   psvc::ErrorMsg error;
   error.id = 3;
